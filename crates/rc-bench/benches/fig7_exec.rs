@@ -1,0 +1,39 @@
+//! Figure 7 as a wall-clock benchmark: each paper workload executed under
+//! the five allocator configurations. The virtual-cycle version of this
+//! figure comes from `cargo run -p rc-bench --bin fig7`; this bench
+//! measures the real time of the whole instrumented pipeline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rc_lang::interp::run;
+use rc_lang::RunConfig;
+use rc_workloads::driver::prepare_workload;
+use rc_workloads::Scale;
+use std::hint::black_box;
+
+fn bench_fig7(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig7");
+    // A representative subset keeps bench time reasonable: the
+    // refcount-heavy compiler (lcc), the annotation-heavy interpreter
+    // (mudlle) and the subregion-heavy server (apache).
+    for wname in ["lcc", "mudlle", "apache"] {
+        let w = rc_workloads::by_name(wname).expect("known workload");
+        let compiled = prepare_workload(&w, Scale::TINY);
+        for (cfg_name, cfg) in RunConfig::figure7() {
+            g.bench_with_input(BenchmarkId::new(wname, cfg_name), &cfg, |bench, cfg| {
+                bench.iter(|| {
+                    let r = run(black_box(&compiled), cfg);
+                    assert!(r.outcome.is_exit());
+                    black_box(r.cycles)
+                });
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_fig7
+}
+criterion_main!(benches);

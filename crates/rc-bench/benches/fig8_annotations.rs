@@ -1,0 +1,69 @@
+//! Figure 8 as a wall-clock benchmark: the four check regimes
+//! (nq / qs / inf / nc), plus an ablation on the cost model: what if the
+//! annotation checks were as expensive as a full reference-count update?
+//! (Quantifies how much of RC's win is the cheap check versus the
+//! statically eliminated check — the design choice DESIGN.md calls out.)
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rc_lang::interp::run;
+use rc_lang::{CheckMode, RunConfig};
+use rc_workloads::driver::prepare_workload;
+use rc_workloads::Scale;
+use std::hint::black_box;
+
+fn bench_fig8(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig8");
+    for wname in ["lcc", "mudlle", "moss"] {
+        let w = rc_workloads::by_name(wname).expect("known workload");
+        let compiled = prepare_workload(&w, Scale::TINY);
+        for (cfg_name, cfg) in RunConfig::figure8() {
+            g.bench_with_input(BenchmarkId::new(wname, cfg_name), &cfg, |bench, cfg| {
+                bench.iter(|| {
+                    let r = run(black_box(&compiled), cfg);
+                    assert!(r.outcome.is_exit());
+                    black_box(r.cycles)
+                });
+            });
+        }
+    }
+    g.finish();
+}
+
+/// Ablation: checks priced like count updates.
+fn bench_expensive_checks_ablation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_expensive_checks");
+    let w = rc_workloads::by_name("mudlle").expect("known workload");
+    let compiled = prepare_workload(&w, Scale::TINY);
+
+    let mut expensive = RunConfig::rc(CheckMode::Qs);
+    expensive.costs.check_sameregion = expensive.costs.rc_update_full;
+    expensive.costs.check_parentptr = expensive.costs.rc_update_full;
+    expensive.costs.check_traditional = expensive.costs.rc_update_full;
+
+    let mut inf_expensive = RunConfig::rc(CheckMode::Inf);
+    inf_expensive.costs.check_sameregion = inf_expensive.costs.rc_update_full;
+    inf_expensive.costs.check_parentptr = inf_expensive.costs.rc_update_full;
+    inf_expensive.costs.check_traditional = inf_expensive.costs.rc_update_full;
+
+    for (name, cfg) in [
+        ("paper_costs_qs", RunConfig::rc(CheckMode::Qs)),
+        ("checks_cost_23_qs", expensive),
+        ("checks_cost_23_inf", inf_expensive),
+    ] {
+        g.bench_function(name, |bench| {
+            bench.iter(|| {
+                let r = run(black_box(&compiled), &cfg);
+                assert!(r.outcome.is_exit());
+                black_box(r.cycles)
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_fig8, bench_expensive_checks_ablation
+}
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Design-choice ablations over the full workload suite:
+//!
+//! 1. **Hierarchy numbering** — eager renumber-on-create (the paper's
+//!    implementation) vs gap-based O(1) intervals (the "more efficient
+//!    scheme" the paper anticipates).
+//! 2. **Delete semantics** — abort vs deferred (GC-like) reclamation.
+//! 3. **Check pricing** — Figure 3(b) checks at paper cost vs priced like
+//!    full count updates (how much of the win is the cheap check?).
+//!
+//! Usage: `cargo run --release -p rc-bench --bin ablations [--scale N]`.
+
+use rc_lang::interp::{run, Outcome};
+use rc_lang::{CheckMode, DeleteSemantics, RunConfig};
+use rc_workloads::driver::prepare_workload;
+use region_rt::NumberingScheme;
+
+fn cycles(c: &rc_lang::Compiled, cfg: &RunConfig) -> u64 {
+    let r = run(c, cfg);
+    assert!(matches!(r.outcome, Outcome::Exit(_)), "{:?}", r.outcome);
+    r.cycles
+}
+
+fn main() {
+    let scale = rc_bench::scale_from_args();
+    println!("workload   renumber    gap-based   Δ%    deferred-Δ%  checks@23-Δ%");
+    for w in rc_workloads::all() {
+        let c = prepare_workload(&w, scale);
+
+        let base = cycles(&c, &RunConfig::rc_inf());
+
+        let mut gap = RunConfig::rc_inf();
+        gap.numbering = NumberingScheme::GapBased;
+        let gap_c = cycles(&c, &gap);
+
+        let mut deferred = RunConfig::rc_inf();
+        deferred.delete_semantics = DeleteSemantics::Deferred;
+        let def_c = cycles(&c, &deferred);
+
+        let mut pricey = RunConfig::rc(CheckMode::Inf);
+        pricey.costs.check_sameregion = pricey.costs.rc_update_full;
+        pricey.costs.check_parentptr = pricey.costs.rc_update_full;
+        pricey.costs.check_traditional = pricey.costs.rc_update_full;
+        let pricey_c = cycles(&c, &pricey);
+
+        let pct = |v: u64| 100.0 * (v as f64 - base as f64) / base as f64;
+        println!(
+            "{:<10} {:<11} {:<11} {:<+5.1} {:<+12.1} {:<+.1}",
+            w.name,
+            base,
+            gap_c,
+            pct(gap_c),
+            pct(def_c),
+            pct(pricey_c),
+        );
+    }
+    println!("\nΔ% columns are relative to the default RC(inf) configuration.");
+}

@@ -1,0 +1,7 @@
+//! Regenerates the paper's fig9. Usage: `cargo run -p rc-bench --bin fig9 [--scale N]`.
+
+fn main() {
+    let scale = rc_bench::scale_from_args();
+    let rows = rc_bench::report::fig9(scale);
+    println!("{}", rc_bench::report::text_table(&rows));
+}

@@ -1,0 +1,7 @@
+//! Regenerates the paper's table1. Usage: `cargo run -p rc-bench --bin table1 [--scale N]`.
+
+fn main() {
+    let scale = rc_bench::scale_from_args();
+    let rows = rc_bench::report::table1(scale);
+    println!("{}", rc_bench::report::text_table(&rows));
+}

@@ -1,0 +1,7 @@
+//! Regenerates the paper's table3. Usage: `cargo run -p rc-bench --bin table3 [--scale N]`.
+
+fn main() {
+    let scale = rc_bench::scale_from_args();
+    let rows = rc_bench::report::table3(scale);
+    println!("{}", rc_bench::report::text_table(&rows));
+}

@@ -1,0 +1,36 @@
+#![warn(missing_docs)]
+
+//! # rc-bench — the evaluation harness
+//!
+//! Regenerates every table and figure of the paper's evaluation section
+//! from the reimplemented system:
+//!
+//! | Artifact | Generator |
+//! |---|---|
+//! | Table 1 (benchmark characteristics) | `cargo run -p rc-bench --bin table1` |
+//! | Table 2 (refcount overhead)         | `cargo run -p rc-bench --bin table2` |
+//! | Table 3 (annotation statistics)     | `cargo run -p rc-bench --bin table3` |
+//! | Figure 7 (exec time, 5 allocators)  | `cargo run -p rc-bench --bin fig7` |
+//! | Figure 8 (nq/qs/inf/nc)             | `cargo run -p rc-bench --bin fig8` |
+//! | Figure 9 (assignment categories)    | `cargo run -p rc-bench --bin fig9` |
+//! | All of the above → EXPERIMENTS.md   | `cargo run -p rc-bench --bin experiments` |
+//!
+//! Criterion wall-clock benchmarks live in `benches/`.
+
+pub mod report;
+
+use rc_workloads::Scale;
+
+/// Parses a scale from argv (e.g. `--scale 8`), defaulting to
+/// [`Scale::SMALL`].
+pub fn scale_from_args() -> Scale {
+    let args: Vec<String> = std::env::args().collect();
+    for i in 0..args.len() {
+        if args[i] == "--scale" {
+            if let Some(v) = args.get(i + 1).and_then(|s| s.parse().ok()) {
+                return Scale(v);
+            }
+        }
+    }
+    Scale::SMALL
+}

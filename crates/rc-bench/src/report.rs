@@ -1,0 +1,326 @@
+//! Regeneration of the paper's tables and figures.
+//!
+//! Each function reruns the eight workloads under the relevant
+//! configurations and assembles rows mirroring the paper's evaluation
+//! section. Absolute numbers are virtual-clock instruction counts (the
+//! substrate is an interpreter, not a 2001 SPARC), so the meaningful
+//! comparisons — who wins, relative overheads, crossovers — are reported
+//! as ratios and percentages alongside the paper's own values.
+
+use std::collections::BTreeMap;
+
+use rc_lang::interp::{run, Outcome, RunResult};
+use rc_lang::RunConfig;
+use rc_workloads::driver::{prepare_workload, static_stats};
+use rc_workloads::{paper, Scale, Workload};
+use serde::Serialize;
+
+/// Table 1: benchmark characteristics.
+#[derive(Debug, Clone, Serialize)]
+pub struct Table1Row {
+    /// Benchmark name.
+    pub name: String,
+    /// Lines in our miniature RC source.
+    pub lines: usize,
+    /// Objects allocated during the run.
+    pub allocs: u64,
+    /// Total memory allocated (kB).
+    pub mem_alloc_kb: u64,
+    /// Peak memory in use (kB).
+    pub max_use_kb: u64,
+    /// The original program's Table 1 row, for scale comparison.
+    pub paper_lines: u32,
+    /// Paper: number of allocations.
+    pub paper_allocs: u64,
+}
+
+/// Runs a workload once under a config, panicking on a non-exit.
+fn must_run(w: &Workload, scale: Scale, cfg: &RunConfig) -> RunResult {
+    let c = prepare_workload(w, scale);
+    let r = run(&c, cfg);
+    match r.outcome {
+        Outcome::Exit(_) => r,
+        ref other => panic!("{}: did not exit cleanly: {other:?}", w.name),
+    }
+}
+
+/// Generates Table 1.
+pub fn table1(scale: Scale) -> Vec<Table1Row> {
+    rc_workloads::all()
+        .iter()
+        .map(|w| {
+            let src = (w.source)(scale);
+            let r = must_run(w, scale, &RunConfig::rc_inf());
+            let p = paper::row(w.name).expect("paper row exists");
+            Table1Row {
+                name: w.name.to_string(),
+                lines: src.lines().filter(|l| !l.trim().is_empty()).count(),
+                allocs: r.stats.objects_allocated,
+                mem_alloc_kb: r.stats.words_allocated * 8 / 1024,
+                max_use_kb: r.stats.peak_live_words * 8 / 1024,
+                paper_lines: p.lines,
+                paper_allocs: p.allocs,
+            }
+        })
+        .collect()
+}
+
+/// Table 2: reference-counting overhead.
+#[derive(Debug, Clone, Serialize)]
+pub struct Table2Row {
+    /// Benchmark name.
+    pub name: String,
+    /// RC: reference-count work (count updates + local pins) as % of
+    /// total execution time, under the qs regime (annotations used, as in
+    /// the paper's Table 2).
+    pub rc_overhead_pct: f64,
+    /// C@: same, under the C@ configuration.
+    pub cat_overhead_pct: f64,
+    /// Region unscan as % of total execution time (RC).
+    pub unscan_pct: f64,
+    /// Paper's RC overhead %, where reported.
+    pub paper_rc_pct: Option<f64>,
+    /// Paper's C@ overhead %, where reported.
+    pub paper_cat_pct: Option<f64>,
+}
+
+/// Generates Table 2.
+pub fn table2(scale: Scale) -> Vec<Table2Row> {
+    rc_workloads::all()
+        .iter()
+        .map(|w| {
+            let rc = must_run(w, scale, &RunConfig::rc(rc_lang::CheckMode::Qs));
+            let cat = must_run(w, scale, &RunConfig::cat());
+            let p = paper::row(w.name).expect("paper row exists");
+            let pct = |part: u64, whole: u64| {
+                if whole == 0 { 0.0 } else { 100.0 * part as f64 / whole as f64 }
+            };
+            Table2Row {
+                name: w.name.to_string(),
+                rc_overhead_pct: pct(rc.stats.rc_cycles, rc.cycles),
+                cat_overhead_pct: pct(cat.stats.rc_cycles, cat.cycles),
+                unscan_pct: pct(rc.stats.unscan_cycles, rc.cycles),
+                paper_rc_pct: p.rc_overhead_pct,
+                paper_cat_pct: p.cat_overhead_pct,
+            }
+        })
+        .collect()
+}
+
+/// Table 3: annotation statistics and static verification rates.
+#[derive(Debug, Clone, Serialize)]
+pub struct Table3Row {
+    /// Benchmark name.
+    pub name: String,
+    /// Annotation keywords in the source.
+    pub keywords: usize,
+    /// Annotated assignment sites.
+    pub sites: usize,
+    /// Sites the inference proved safe.
+    pub safe_sites: usize,
+    /// % of annotated sites proven safe.
+    pub safe_pct: f64,
+    /// Paper's % safe.
+    pub paper_safe_pct: f64,
+    /// Paper's keyword count.
+    pub paper_keywords: u32,
+}
+
+/// Generates Table 3.
+pub fn table3(scale: Scale) -> Vec<Table3Row> {
+    rc_workloads::all()
+        .iter()
+        .map(|w| {
+            let s = static_stats(w, scale);
+            let p = paper::row(w.name).expect("paper row exists");
+            Table3Row {
+                name: w.name.to_string(),
+                keywords: s.keywords,
+                sites: s.sites,
+                safe_sites: s.safe_sites,
+                safe_pct: s.safe_pct(),
+                paper_safe_pct: p.safe_assign_pct,
+                paper_keywords: p.keywords,
+            }
+        })
+        .collect()
+}
+
+/// Figure 7: execution time per benchmark under the five configurations.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig7Row {
+    /// Benchmark name.
+    pub name: String,
+    /// Virtual cycles per configuration (C@, lea, GC, norc, RC).
+    pub cycles: BTreeMap<String, u64>,
+    /// Time relative to "lea" (the malloc/free baseline), per config.
+    pub rel_to_lea: BTreeMap<String, f64>,
+}
+
+/// Generates Figure 7.
+pub fn fig7(scale: Scale) -> Vec<Fig7Row> {
+    rc_workloads::all()
+        .iter()
+        .map(|w| {
+            let mut cycles = BTreeMap::new();
+            for (name, cfg) in RunConfig::figure7() {
+                let r = must_run(w, scale, &cfg);
+                cycles.insert(name.to_string(), r.cycles);
+            }
+            let lea = cycles["lea"] as f64;
+            let rel_to_lea = cycles
+                .iter()
+                .map(|(k, &v)| (k.clone(), v as f64 / lea))
+                .collect();
+            Fig7Row { name: w.name.to_string(), cycles, rel_to_lea }
+        })
+        .collect()
+}
+
+/// Figure 8: execution time under nq / qs / inf / nc.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig8Row {
+    /// Benchmark name.
+    pub name: String,
+    /// Virtual cycles per check regime.
+    pub cycles: BTreeMap<String, u64>,
+    /// Reference-counting + check overhead as % of execution time, per
+    /// regime (the quantity behind "27% instead of 11%").
+    pub overhead_pct: BTreeMap<String, f64>,
+}
+
+/// Generates Figure 8.
+pub fn fig8(scale: Scale) -> Vec<Fig8Row> {
+    rc_workloads::all()
+        .iter()
+        .map(|w| {
+            let mut cycles = BTreeMap::new();
+            let mut overhead = BTreeMap::new();
+            for (name, cfg) in RunConfig::figure8() {
+                let r = must_run(w, scale, &cfg);
+                cycles.insert(name.to_string(), r.cycles);
+                let dynamic =
+                    r.stats.rc_cycles + r.stats.check_cycles + r.stats.unscan_cycles;
+                overhead.insert(
+                    name.to_string(),
+                    if r.cycles == 0 { 0.0 } else { 100.0 * dynamic as f64 / r.cycles as f64 },
+                );
+            }
+            Fig8Row { name: w.name.to_string(), cycles, overhead_pct: overhead }
+        })
+        .collect()
+}
+
+/// Figure 9: runtime pointer-assignment categories.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig9Row {
+    /// Benchmark name.
+    pub name: String,
+    /// % of heap pointer assignments with no runtime work (statically
+    /// safe).
+    pub safe_pct: f64,
+    /// % that executed an annotation check.
+    pub checked_pct: f64,
+    /// % that did reference-count work.
+    pub counted_pct: f64,
+    /// Local pointer assignments (excluded from the percentages, as in
+    /// the paper).
+    pub local_assigns: u64,
+    /// Total heap pointer assignments.
+    pub heap_assigns: u64,
+}
+
+/// Generates Figure 9 (measured under the RC "inf" configuration, like
+/// the paper).
+pub fn fig9(scale: Scale) -> Vec<Fig9Row> {
+    use region_rt::AssignCategory;
+    rc_workloads::all()
+        .iter()
+        .map(|w| {
+            let r = must_run(w, scale, &RunConfig::rc_inf());
+            Fig9Row {
+                name: w.name.to_string(),
+                safe_pct: r.stats.assign_pct(AssignCategory::Safe),
+                checked_pct: r.stats.assign_pct(AssignCategory::Checked),
+                counted_pct: r.stats.assign_pct(AssignCategory::Counted),
+                local_assigns: r.stats.assigns_local,
+                heap_assigns: r.stats.heap_assigns(),
+            }
+        })
+        .collect()
+}
+
+/// Formats a sequence of serialisable rows as an aligned text table.
+pub fn text_table<T: Serialize>(rows: &[T]) -> String {
+    let vals: Vec<serde_json::Value> =
+        rows.iter().map(|r| serde_json::to_value(r).expect("serialisable")).collect();
+    let Some(first) = vals.first() else { return String::new() };
+    let headers: Vec<String> = first
+        .as_object()
+        .map(|o| o.keys().cloned().collect())
+        .unwrap_or_default();
+    fn fmt_val(v: &serde_json::Value) -> String {
+        match v {
+            serde_json::Value::Number(n) => {
+                if let Some(f) = n.as_f64() {
+                    if n.is_f64() { format!("{f:.1}") } else { n.to_string() }
+                } else {
+                    n.to_string()
+                }
+            }
+            serde_json::Value::String(s) => s.clone(),
+            serde_json::Value::Null => "-".to_string(),
+            serde_json::Value::Object(m) => m
+                .iter()
+                .map(|(k, v)| format!("{k}={}", fmt_val(v)))
+                .collect::<Vec<_>>()
+                .join(" "),
+            other => other.to_string(),
+        }
+    }
+    let mut grid: Vec<Vec<String>> = vec![headers.clone()];
+    for v in &vals {
+        grid.push(
+            headers
+                .iter()
+                .map(|h| fmt_val(v.get(h).unwrap_or(&serde_json::Value::Null)))
+                .collect(),
+        );
+    }
+    let widths: Vec<usize> = (0..headers.len())
+        .map(|i| grid.iter().map(|row| row[i].len()).max().unwrap_or(0))
+        .collect();
+    grid.iter()
+        .map(|row| {
+            row.iter()
+                .zip(&widths)
+                .map(|(cell, w)| format!("{cell:<w$}"))
+                .collect::<Vec<_>>()
+                .join("  ")
+                .trim_end()
+                .to_string()
+        })
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn text_table_formats() {
+        #[derive(Serialize)]
+        struct R {
+            name: String,
+            x: u64,
+        }
+        let t = text_table(&[
+            R { name: "aa".into(), x: 1 },
+            R { name: "b".into(), x: 123 },
+        ]);
+        assert!(t.contains("name"));
+        assert!(t.contains("123"));
+        assert_eq!(t.lines().count(), 3);
+    }
+}

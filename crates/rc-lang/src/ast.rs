@@ -1,0 +1,269 @@
+//! Surface AST of the RC dialect, as produced by the parser.
+//!
+//! Names are unresolved strings here; [`crate::sema`] resolves them into
+//! the typed HIR. Every assignment expression carries a [`SiteId`] so the
+//! rlang translation (which inserts `chk` statements) and the interpreter
+//! (which executes or skips the corresponding runtime checks) can talk
+//! about the same program points.
+
+pub use rlang::SiteId;
+
+/// A pointer qualifier (paper §3.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Qual {
+    /// No annotation: reference-counted.
+    #[default]
+    None,
+    /// `sameregion`.
+    SameRegion,
+    /// `parentptr`.
+    ParentPtr,
+    /// `traditional`.
+    Traditional,
+}
+
+/// An unresolved surface type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TypeExpr {
+    /// `int`
+    Int,
+    /// `region`
+    Region,
+    /// `struct T *qual`
+    StructPtr {
+        /// Struct name.
+        name: String,
+        /// Qualifier after the `*`.
+        qual: Qual,
+    },
+    /// `int *qual` — a pointer to an int array from `rarrayalloc`.
+    IntPtr(Qual),
+}
+
+/// A struct declaration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StructDef {
+    /// Struct name.
+    pub name: String,
+    /// Fields in declaration order.
+    pub fields: Vec<(TypeExpr, String)>,
+    /// Source line.
+    pub line: u32,
+}
+
+/// A global variable (optionally an array).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GlobalDef {
+    /// Element type.
+    pub ty: TypeExpr,
+    /// Name.
+    pub name: String,
+    /// `Some(n)` for `T g[n];`.
+    pub array_len: Option<u32>,
+    /// Source line.
+    pub line: u32,
+}
+
+/// A function definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FuncDefAst {
+    /// Name.
+    pub name: String,
+    /// Declared `static` (not visible outside the file: the analysis may
+    /// use its call sites).
+    pub is_static: bool,
+    /// Declared `deletes` (may delete a region, §3.3.2).
+    pub deletes: bool,
+    /// Return type (`None` = void).
+    pub ret: Option<TypeExpr>,
+    /// Parameters.
+    pub params: Vec<(TypeExpr, String)>,
+    /// Body.
+    pub body: Vec<BlockItem>,
+    /// Source line.
+    pub line: u32,
+}
+
+/// A declaration or statement inside a block.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BlockItem {
+    /// A local variable declaration.
+    Decl(VarDecl),
+    /// A statement.
+    Stmt(Stmt),
+}
+
+/// A local variable declaration (optionally an array, optionally
+/// initialised).
+#[derive(Debug, Clone, PartialEq)]
+pub struct VarDecl {
+    /// Element type.
+    pub ty: TypeExpr,
+    /// Name.
+    pub name: String,
+    /// `Some(n)` for `T x[n];` (allocated in the traditional region for
+    /// the function's duration, like a C stack array).
+    pub array_len: Option<u32>,
+    /// Initialiser.
+    pub init: Option<Expr>,
+    /// Source line.
+    pub line: u32,
+}
+
+/// A statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// Expression statement.
+    Expr(Expr),
+    /// Nested block.
+    Block(Vec<BlockItem>),
+    /// `if (c) s else s`
+    If(Expr, Box<Stmt>, Option<Box<Stmt>>),
+    /// `while (c) s`
+    While(Expr, Box<Stmt>),
+    /// `for (init; cond; step) s`
+    For(Option<Expr>, Option<Expr>, Option<Expr>, Box<Stmt>),
+    /// `return e;`
+    Return(Option<Expr>, u32),
+    /// `;`
+    Empty,
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%`
+    Rem,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `&&` (short-circuit)
+    And,
+    /// `||` (short-circuit)
+    Or,
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnOp {
+    /// `-`
+    Neg,
+    /// `!`
+    Not,
+}
+
+/// An expression. Assignments are expressions (their value is the assigned
+/// value) and carry the site identifier minted at parse time.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Integer literal.
+    Int(i64),
+    /// `null`.
+    Null,
+    /// Variable reference.
+    Var(String, u32),
+    /// `lhs = rhs` (lhs must be an lvalue).
+    Assign {
+        /// Target.
+        lhs: Box<Expr>,
+        /// Value.
+        rhs: Box<Expr>,
+        /// Program point shared with the rlang translation.
+        site: SiteId,
+        /// Source line.
+        line: u32,
+    },
+    /// Binary operation.
+    Bin(BinOp, Box<Expr>, Box<Expr>),
+    /// Unary operation.
+    Un(UnOp, Box<Expr>),
+    /// `obj->field`.
+    Field {
+        /// Object expression.
+        obj: Box<Expr>,
+        /// Field name.
+        name: String,
+        /// Source line.
+        line: u32,
+    },
+    /// `arr[idx]`.
+    Index {
+        /// Array expression.
+        arr: Box<Expr>,
+        /// Index expression.
+        idx: Box<Expr>,
+        /// Source line.
+        line: u32,
+    },
+    /// `f(args)`.
+    Call {
+        /// Callee name.
+        name: String,
+        /// Arguments.
+        args: Vec<Expr>,
+        /// Source line.
+        line: u32,
+    },
+    /// `ralloc(r, type)`.
+    Ralloc {
+        /// Region expression.
+        region: Box<Expr>,
+        /// Allocated type.
+        ty: TypeExpr,
+        /// Source line.
+        line: u32,
+    },
+    /// `rarrayalloc(r, n, type)`.
+    RarrayAlloc {
+        /// Region expression.
+        region: Box<Expr>,
+        /// Element count.
+        count: Box<Expr>,
+        /// Element type.
+        ty: TypeExpr,
+        /// Source line.
+        line: u32,
+    },
+    /// `newregion()`.
+    NewRegion,
+    /// `traditionalregion()`: a handle for the distinguished traditional
+    /// region (the malloc heap / globals / stack of the paper).
+    TraditionalRegion,
+    /// `newsubregion(r)`.
+    NewSubregion(Box<Expr>),
+    /// `deleteregion(r)`.
+    DeleteRegion(Box<Expr>, u32),
+    /// `regionof(x)`.
+    RegionOf(Box<Expr>, u32),
+    /// `assert(e)` — aborts the program when `e` is zero/null (used by the
+    /// workloads to self-check results).
+    Assert(Box<Expr>, u32),
+}
+
+/// A whole translation unit.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Ast {
+    /// Struct declarations.
+    pub structs: Vec<StructDef>,
+    /// Global variables.
+    pub globals: Vec<GlobalDef>,
+    /// Functions.
+    pub funcs: Vec<FuncDefAst>,
+}

@@ -1,0 +1,163 @@
+//! Execution configurations: the compiler/allocator matrix of the paper's
+//! evaluation.
+//!
+//! Figure 7 compares five configurations per benchmark — C@ (the authors'
+//! previous region compiler), "lea" (malloc/free), "GC" (Boehm–Weiser),
+//! "norc" (RC with reference counting disabled) and "RC" — and Figure 8
+//! compares four check regimes under RC: `nq` (annotations ignored), `qs`
+//! (annotations checked at runtime), `inf` (provably-safe checks removed)
+//! and `nc` (all checks unsafely removed).
+
+use region_rt::{CostModel, NumberingScheme};
+
+/// What `deleteregion` does when references remain — the paper's three
+/// memory-safety options (§3): abort the program, return a failure code,
+/// or defer the deletion until the count drops to zero (GC-like).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DeleteSemantics {
+    /// Abort the program (the paper's chosen default).
+    #[default]
+    Abort,
+    /// `deleteregion` evaluates to 1 on failure, 0 on success, and the
+    /// program continues.
+    Fail,
+    /// Doom the region; reclaim when the last reference disappears.
+    Deferred,
+}
+
+/// How annotated pointer stores are treated (Figure 8's columns).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CheckMode {
+    /// "nq": the annotations are ignored — every pointer store maintains
+    /// reference counts.
+    Nq,
+    /// "qs": the annotations are used and checked at runtime.
+    Qs,
+    /// "inf": the constraint inference removed provably-safe checks.
+    Inf,
+    /// "nc": all runtime checks are (unsafely) removed — the lower bound
+    /// on what inference could achieve.
+    Nc,
+}
+
+/// Which allocator/runtime backs the execution (Figure 7's columns).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Backend {
+    /// RC with reference counting enabled.
+    Rc,
+    /// RC with reference counting disabled ("norc"): fast but unsafe.
+    NoRc,
+    /// C@, the authors' previous system: no annotations, stack scanning at
+    /// `deleteregion`, slower base compiler (lcc vs gcc).
+    CAt,
+    /// "lea": malloc/free with the region-emulation library.
+    Lea,
+    /// "GC": the conservative collector with the region-emulation library
+    /// (deleteregion drops the object list; the collector reclaims).
+    Gc,
+}
+
+/// A complete run configuration.
+#[derive(Debug, Clone)]
+pub struct RunConfig {
+    /// The allocator/runtime.
+    pub backend: Backend,
+    /// The check regime (only meaningful for [`Backend::Rc`]).
+    pub checks: CheckMode,
+    /// Interpreter step budget (0 = unlimited); exceeded → the run stops
+    /// with [`crate::interp::Outcome::StepLimit`].
+    pub step_limit: u64,
+    /// GC heap-growth threshold in words.
+    pub gc_threshold_words: u64,
+    /// Cost constants.
+    pub costs: CostModel,
+    /// `deleteregion` failure semantics.
+    pub delete_semantics: DeleteSemantics,
+    /// Hierarchy numbering scheme (ablation knob).
+    pub numbering: NumberingScheme,
+}
+
+impl RunConfig {
+    fn base(backend: Backend, checks: CheckMode) -> RunConfig {
+        RunConfig {
+            backend,
+            checks,
+            step_limit: 500_000_000,
+            gc_threshold_words: 4 * 1024,
+            costs: CostModel::paper(),
+            delete_semantics: DeleteSemantics::Abort,
+            numbering: NumberingScheme::RenumberOnCreate,
+        }
+    }
+
+    /// RC with the given check regime.
+    pub fn rc(checks: CheckMode) -> RunConfig {
+        RunConfig::base(Backend::Rc, checks)
+    }
+
+    /// The paper's headline "RC" configuration (annotations + inference).
+    pub fn rc_inf() -> RunConfig {
+        RunConfig::rc(CheckMode::Inf)
+    }
+
+    /// "norc": reference counting disabled.
+    pub fn norc() -> RunConfig {
+        RunConfig::base(Backend::NoRc, CheckMode::Nc)
+    }
+
+    /// C@.
+    pub fn cat() -> RunConfig {
+        RunConfig::base(Backend::CAt, CheckMode::Nq)
+    }
+
+    /// "lea": malloc/free.
+    pub fn lea() -> RunConfig {
+        RunConfig::base(Backend::Lea, CheckMode::Nc)
+    }
+
+    /// "GC": conservative collection.
+    pub fn gc() -> RunConfig {
+        RunConfig::base(Backend::Gc, CheckMode::Nc)
+    }
+
+    /// All five Figure 7 configurations with their display names.
+    pub fn figure7() -> Vec<(&'static str, RunConfig)> {
+        vec![
+            ("C@", RunConfig::cat()),
+            ("lea", RunConfig::lea()),
+            ("GC", RunConfig::gc()),
+            ("norc", RunConfig::norc()),
+            ("RC", RunConfig::rc_inf()),
+        ]
+    }
+
+    /// The four Figure 8 check regimes with their display names.
+    pub fn figure8() -> Vec<(&'static str, RunConfig)> {
+        vec![
+            ("nq", RunConfig::rc(CheckMode::Nq)),
+            ("qs", RunConfig::rc(CheckMode::Qs)),
+            ("inf", RunConfig::rc(CheckMode::Inf)),
+            ("nc", RunConfig::rc(CheckMode::Nc)),
+        ]
+    }
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        RunConfig::rc_inf()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_cover_the_paper_matrix() {
+        assert_eq!(RunConfig::figure7().len(), 5);
+        assert_eq!(RunConfig::figure8().len(), 4);
+        assert_eq!(RunConfig::rc_inf().backend, Backend::Rc);
+        assert_eq!(RunConfig::rc_inf().checks, CheckMode::Inf);
+        assert_eq!(RunConfig::default().backend, Backend::Rc);
+    }
+}

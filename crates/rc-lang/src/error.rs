@@ -1,0 +1,57 @@
+//! Compile-time diagnostics for the RC front end.
+
+/// Which phase produced the diagnostic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorKind {
+    /// Lexical error.
+    Lex,
+    /// Syntax error.
+    Parse,
+    /// Semantic error (types, names, qualifier rules, `deletes`).
+    Sema,
+}
+
+/// A compile-time error with a source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompileError {
+    /// The phase.
+    pub kind: ErrorKind,
+    /// 1-based source line.
+    pub line: u32,
+    /// Human-readable message.
+    pub msg: String,
+}
+
+impl CompileError {
+    /// Creates an error.
+    pub fn new(kind: ErrorKind, line: u32, msg: impl Into<String>) -> CompileError {
+        CompileError { kind, line, msg: msg.into() }
+    }
+}
+
+impl std::fmt::Display for CompileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let phase = match self.kind {
+            ErrorKind::Lex => "lex",
+            ErrorKind::Parse => "parse",
+            ErrorKind::Sema => "sema",
+        };
+        write!(f, "{phase} error at line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_phase_and_line() {
+        let e = CompileError::new(ErrorKind::Sema, 42, "no such variable `x`");
+        let s = e.to_string();
+        assert!(s.contains("sema"));
+        assert!(s.contains("42"));
+        assert!(s.contains('x'));
+    }
+}

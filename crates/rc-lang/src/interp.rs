@@ -1,0 +1,1656 @@
+//! The RC interpreter.
+//!
+//! Executes a checked [`Module`] against the `region-rt` substrate under a
+//! [`RunConfig`]. This plays the role of the RC-to-C compiler plus the
+//! compiled binary in the paper's setup: every heap pointer store goes
+//! through the Figure 3 write barriers, `deletes` calls pin the regions of
+//! live locals, and all dynamic events land in the shared
+//! [`region_rt::Stats`] / virtual clock from which the evaluation's tables
+//! and figures are computed.
+
+use std::collections::HashMap;
+
+use region_rt::{
+    Addr, EmuBackend, EmuRegionId, EmuRegions, Heap, HeapConfig, PtrKind, RegionId, RtError,
+    SlotKind, Stats, TypeId, TypeLayout, WriteMode,
+};
+use rlang::SiteId;
+
+use crate::ast::Qual;
+use crate::config::{Backend, CheckMode, DeleteSemantics, RunConfig};
+use crate::hir::*;
+use crate::liveness::{pin_sets, PinSets};
+
+/// A module prepared for execution: parsed, checked, analysed.
+#[derive(Debug)]
+pub struct Compiled {
+    /// The typed module.
+    pub module: Module,
+    /// The rlang check-elimination analysis (used by the `inf` regime and
+    /// by Table 3).
+    pub analysis: rlang::Analysis,
+    /// Per-function pin sets for the `deletes` protocol.
+    pub pins: Vec<PinSets>,
+}
+
+/// Parses, checks and analyses an RC source file.
+///
+/// # Errors
+///
+/// Returns the first compile-time error.
+pub fn prepare(src: &str) -> Result<Compiled, crate::CompileError> {
+    let module = crate::compile(src)?;
+    let analysis = crate::to_rlang::analyse_module(&module);
+    let pins = module.funcs.iter().map(pin_sets).collect();
+    Ok(Compiled { module, analysis, pins })
+}
+
+/// How a run ended.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Outcome {
+    /// `main` returned this exit code.
+    Exit(i64),
+    /// The program aborted on a runtime failure (failed annotation check,
+    /// unsafe `deleteregion`, wild pointer, out-of-bounds index, …).
+    Aborted(RtError),
+    /// An `assert` failed.
+    AssertFailed,
+    /// The step budget was exhausted.
+    StepLimit,
+}
+
+impl Outcome {
+    /// Whether the run completed normally.
+    pub fn is_exit(&self) -> bool {
+        matches!(self, Outcome::Exit(_))
+    }
+}
+
+/// The result of executing a module.
+#[derive(Debug)]
+pub struct RunResult {
+    /// How the run ended.
+    pub outcome: Outcome,
+    /// Dynamic-event counters.
+    pub stats: Stats,
+    /// Total virtual time in charged instructions (includes the C@
+    /// base-compiler factor when applicable).
+    pub cycles: u64,
+    /// Interpreter steps executed.
+    pub steps: u64,
+    /// Result of the final heap audit (`None` when auditing was off).
+    pub audit: Option<Result<(), region_rt::AuditError>>,
+}
+
+/// Executes a compiled module under a configuration.
+pub fn run(c: &Compiled, config: &RunConfig) -> RunResult {
+    run_opts(c, config, false)
+}
+
+/// As [`run`], additionally auditing the heap's reference-count invariant
+/// at the end (used by the test suite).
+pub fn run_audited(c: &Compiled, config: &RunConfig) -> RunResult {
+    run_opts(c, config, true)
+}
+
+fn run_opts(c: &Compiled, config: &RunConfig, audit: bool) -> RunResult {
+    // The tree-walking interpreter nests several host frames per RC frame;
+    // deep RC recursion (parse trees, list walks) needs more than a test
+    // thread's default 2 MB. Run on a dedicated big-stack thread.
+    std::thread::scope(|s| {
+        let handle = std::thread::Builder::new()
+            .name("rc-interp".into())
+            .stack_size(256 * 1024 * 1024)
+            .spawn_scoped(s, || run_on_this_stack(c, config, audit))
+            .expect("spawning the interpreter thread");
+        match handle.join() {
+            Ok(r) => r,
+            Err(payload) => std::panic::resume_unwind(payload),
+        }
+    })
+}
+
+fn run_on_this_stack(c: &Compiled, config: &RunConfig, audit: bool) -> RunResult {
+    let mut interp = Interp::new(c, config);
+    let outcome = interp.run_main();
+    let audit = audit.then(|| interp.heap.audit());
+    let base_extra = if config.backend == Backend::CAt {
+        interp.base_ops * (config.costs.cat_base_factor_pct.saturating_sub(100)) / 100
+    } else {
+        0
+    };
+    RunResult {
+        outcome,
+        cycles: interp.heap.clock.cycles() + base_extra,
+        stats: interp.heap.stats.clone(),
+        steps: interp.steps,
+        audit,
+    }
+}
+
+/// A runtime value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Value {
+    Int(i64),
+    Ptr(Addr),
+    Region(Addr), // region descriptor address (NULL = null handle)
+}
+
+impl Value {
+    fn default_of(ty: RcType) -> Value {
+        match ty {
+            RcType::Int => Value::Int(0),
+            RcType::Region => Value::Region(Addr::NULL),
+            _ => Value::Ptr(Addr::NULL),
+        }
+    }
+
+    fn truthy(self) -> bool {
+        match self {
+            Value::Int(n) => n != 0,
+            Value::Ptr(a) | Value::Region(a) => !a.is_null(),
+        }
+    }
+
+    fn raw(self) -> u64 {
+        match self {
+            Value::Int(n) => n as u64,
+            Value::Ptr(a) | Value::Region(a) => a.raw(),
+        }
+    }
+
+    fn from_raw(ty: RcType, raw: u64) -> Value {
+        match ty {
+            RcType::Int => Value::Int(raw as i64),
+            RcType::Region => Value::Region(Addr::from_raw(raw)),
+            _ => Value::Ptr(Addr::from_raw(raw)),
+        }
+    }
+
+    fn addr(self) -> Addr {
+        match self {
+            Value::Int(_) => Addr::NULL,
+            Value::Ptr(a) | Value::Region(a) => a,
+        }
+    }
+}
+
+/// Early exit from evaluation.
+enum Halt {
+    Abort(RtError),
+    AssertFailed,
+    StepLimit,
+}
+
+enum Flow {
+    Normal,
+    Return(Value),
+}
+
+/// What a region descriptor designates.
+#[derive(Debug, Clone, Copy)]
+enum RtRegion {
+    Real(RegionId),
+    Emu(EmuRegionId),
+}
+
+struct Frame {
+    vals: Vec<Value>,
+    /// Base addresses of array locals (`None` for scalars).
+    arrays: Vec<Option<Addr>>,
+}
+
+struct Interp<'c> {
+    c: &'c Compiled,
+    config: &'c RunConfig,
+    heap: Heap,
+    emu: Option<EmuRegions>,
+    /// Per-struct type layouts (plus the int-cell type at the end).
+    layouts: Vec<TypeId>,
+    int_cell: TypeId,
+    desc_ty: TypeId,
+    /// Region descriptors.
+    desc_map: HashMap<Addr, RtRegion>,
+    desc_of_real: Vec<Addr>,
+    /// Owner of each emu allocation (for `regionof` under lea/GC).
+    emu_owner: HashMap<Addr, Addr>, // object -> descriptor
+    /// The globals block.
+    globals_obj: Addr,
+    /// Base address and length of each global array.
+    global_arrays: Vec<Option<(Addr, u32)>>,
+    /// Cache of stack-array layouts.
+    stack_types: HashMap<(String, u8), TypeId>,
+    /// Descriptor for the traditional region (`traditionalregion()`).
+    trad_desc: Addr,
+    frames: Vec<Frame>,
+    steps: u64,
+    base_ops: u64,
+}
+
+impl<'c> Interp<'c> {
+    fn new(c: &'c Compiled, config: &'c RunConfig) -> Interp<'c> {
+        let rc_enabled = matches!(config.backend, Backend::Rc | Backend::CAt);
+        let delete_policy = match config.delete_semantics {
+            DeleteSemantics::Deferred => region_rt::DeletePolicy::Deferred,
+            _ => region_rt::DeletePolicy::Abort,
+        };
+        let mut heap = Heap::new(HeapConfig {
+            page_budget: 0,
+            rc_enabled,
+            costs: config.costs.clone(),
+            gc_threshold_words: config.gc_threshold_words,
+            delete_policy,
+            numbering: config.numbering,
+            ..Default::default()
+        });
+
+        // Annotations are ignored in the layouts of nq and C@: every
+        // pointer is a counted pointer (so fewer objects qualify for the
+        // pointerfree allocator, and the delete-time scan grows).
+        let quals_ignored =
+            config.backend == Backend::CAt || config.checks == CheckMode::Nq;
+        let eff = |q: Qual| -> PtrKind {
+            if quals_ignored {
+                return PtrKind::Counted;
+            }
+            match q {
+                Qual::None => PtrKind::Counted,
+                Qual::SameRegion => PtrKind::SameRegion,
+                Qual::ParentPtr => PtrKind::ParentPtr,
+                Qual::Traditional => PtrKind::Traditional,
+            }
+        };
+        let slot_of = |ty: RcType| -> SlotKind {
+            match ty {
+                RcType::Int => SlotKind::Data,
+                // Region handles are unannotated `struct region *` values
+                // pointing at descriptors in the traditional region.
+                RcType::Region => SlotKind::Ptr(eff(Qual::None)),
+                RcType::Ptr { qual, .. } => SlotKind::Ptr(eff(qual)),
+                RcType::IntPtr(qual) => SlotKind::Ptr(eff(qual)),
+            }
+        };
+
+        let mut layouts = Vec::new();
+        for s in &c.module.structs {
+            let slots = s.fields.iter().map(|f| slot_of(f.ty)).collect();
+            layouts.push(heap.register_type(TypeLayout::new(s.name.clone(), slots)));
+        }
+        let int_cell = heap.register_type(TypeLayout::data("__int_cell", 1));
+        let desc_ty = heap.register_type(TypeLayout::data("__region_desc", 1));
+
+        // The globals block lives in the malloc heap (the traditional
+        // region), one slot per scalar global.
+        let gslots: Vec<SlotKind> = c
+            .module
+            .globals
+            .iter()
+            .map(|g| if g.array_len.is_some() { SlotKind::Data } else { slot_of(g.ty) })
+            .collect();
+        let globals_ty = heap.register_type(TypeLayout::new(
+            "__globals",
+            if gslots.is_empty() { vec![SlotKind::Data] } else { gslots },
+        ));
+        let globals_obj = heap.m_alloc(globals_ty, 1).expect("fresh heap cannot be full");
+
+        // Global arrays are separate traditional-region objects.
+        let mut global_arrays = Vec::new();
+        for g in &c.module.globals {
+            match g.array_len {
+                None => global_arrays.push(None),
+                Some(n) => {
+                    let ty = heap.register_type(TypeLayout::new(
+                        format!("__garr_{}", g.name),
+                        vec![slot_of(g.ty); n as usize],
+                    ));
+                    let addr = heap.m_alloc(ty, 1).expect("fresh heap cannot be full");
+                    global_arrays.push(Some((addr, n)));
+                }
+            }
+        }
+
+        let mut emu = match config.backend {
+            Backend::Lea => Some(EmuRegions::new(EmuBackend::MallocFree)),
+            Backend::Gc => Some(EmuRegions::new(EmuBackend::Gc)),
+            _ => None,
+        };
+
+        // Pre-create the traditional-region descriptor. Under the emu
+        // backends it is a reserved, never-deleted emulated region (the
+        // malloc heap of the original programs).
+        let trad_desc = heap.m_alloc(desc_ty, 1).expect("fresh heap cannot be full");
+        let trad_rt = match &mut emu {
+            Some(e) => RtRegion::Emu(e.new_region()),
+            None => RtRegion::Real(region_rt::TRADITIONAL),
+        };
+        let mut desc_map = HashMap::new();
+        desc_map.insert(trad_desc, trad_rt);
+        let desc_of_real = match trad_rt {
+            RtRegion::Real(_) => vec![trad_desc],
+            RtRegion::Emu(_) => Vec::new(),
+        };
+
+        Interp {
+            c,
+            config,
+            heap,
+            emu,
+            layouts,
+            int_cell,
+            desc_ty,
+            desc_map,
+            desc_of_real,
+            emu_owner: HashMap::new(),
+            globals_obj,
+            global_arrays,
+            stack_types: HashMap::new(),
+            trad_desc,
+            frames: Vec::new(),
+            steps: 0,
+            base_ops: 0,
+        }
+    }
+
+    fn run_main(&mut self) -> Outcome {
+        match self.call(self.c.module.main, Vec::new()) {
+            Ok(v) => match v {
+                Value::Int(n) => Outcome::Exit(n),
+                _ => Outcome::Exit(0),
+            },
+            Err(Halt::Abort(e)) => Outcome::Aborted(e),
+            Err(Halt::AssertFailed) => Outcome::AssertFailed,
+            Err(Halt::StepLimit) => Outcome::StepLimit,
+        }
+    }
+
+    fn step(&mut self) -> Result<(), Halt> {
+        self.steps += 1;
+        self.base_ops += 1;
+        self.heap.clock.charge(self.config.costs.base_op);
+        if self.config.step_limit != 0 && self.steps > self.config.step_limit {
+            return Err(Halt::StepLimit);
+        }
+        Ok(())
+    }
+
+    fn func(&self, f: FuncRef) -> &'c HFunc {
+        &self.c.module.funcs[f.0 as usize]
+    }
+
+    fn call(&mut self, f: FuncRef, args: Vec<Value>) -> Result<Value, Halt> {
+        let func = self.func(f);
+        let nvars = func.var_count();
+        let mut frame = Frame { vals: Vec::with_capacity(nvars), arrays: vec![None; nvars] };
+        for (i, p) in func.params.iter().enumerate() {
+            frame.vals.push(args.get(i).copied().unwrap_or(Value::default_of(p.ty)));
+        }
+        for l in &func.locals {
+            frame.vals.push(Value::default_of(l.ty));
+        }
+        // Allocate stack arrays in the traditional region.
+        for (i, v) in func.params.iter().chain(func.locals.iter()).enumerate() {
+            if let Some(n) = v.array_len {
+                let ty = self.stack_array_type(f, i as u32, v, n);
+                let addr = self.heap.m_alloc(ty, 1).map_err(Halt::Abort)?;
+                frame.arrays[i] = Some(addr);
+            }
+        }
+        self.frames.push(frame);
+        if self.frames.len() > 2_000 {
+            self.frames.pop();
+            return Err(Halt::Abort(RtError::OutOfMemory));
+        }
+
+        let mut result = Ok(Value::Int(0));
+        match self.exec_block(f, &func.body) {
+            Ok(Flow::Normal) => {}
+            Ok(Flow::Return(v)) => result = Ok(v),
+            Err(h) => result = Err(h),
+        }
+
+        // Free stack arrays.
+        let frame = self.frames.pop().expect("frame pushed above");
+        for a in frame.arrays.into_iter().flatten() {
+            // Ignore errors during unwinding: the halt outcome wins.
+            let _ = self.heap.m_free(a);
+        }
+        result
+    }
+
+    /// Registers (once per function/var) the layout for a stack array.
+    fn stack_array_type(&mut self, _f: FuncRef, _v: u32, var: &HVar, n: u32) -> TypeId {
+        // Cache layouts so repeated calls do not bloat the type table.
+        let key_name = format!("__stk_{}_{}", var.name, n);
+        let slot = match var.ty {
+            RcType::Int => SlotKind::Data,
+            RcType::Region => SlotKind::Ptr(self.effective_kind(Qual::None)),
+            RcType::Ptr { qual, .. } | RcType::IntPtr(qual) => {
+                SlotKind::Ptr(self.effective_kind(qual))
+            }
+        };
+        let key = (key_name.clone(), slot_tag(slot));
+        if let Some(id) = self.stack_types.get(&key) {
+            return *id;
+        }
+        let id = self
+            .heap
+            .register_type(TypeLayout::new(key_name, vec![slot; n as usize]));
+        self.stack_types.insert(key, id);
+        id
+    }
+
+    fn effective_kind(&self, q: Qual) -> PtrKind {
+        let quals_ignored =
+            self.config.backend == Backend::CAt || self.config.checks == CheckMode::Nq;
+        if quals_ignored {
+            return PtrKind::Counted;
+        }
+        match q {
+            Qual::None => PtrKind::Counted,
+            Qual::SameRegion => PtrKind::SameRegion,
+            Qual::ParentPtr => PtrKind::ParentPtr,
+            Qual::Traditional => PtrKind::Traditional,
+        }
+    }
+
+    fn exec_block(&mut self, f: FuncRef, stmts: &[HStmt]) -> Result<Flow, Halt> {
+        for s in stmts {
+            match self.exec_stmt(f, s)? {
+                Flow::Normal => {}
+                r @ Flow::Return(_) => return Ok(r),
+            }
+        }
+        Ok(Flow::Normal)
+    }
+
+    fn exec_stmt(&mut self, f: FuncRef, s: &HStmt) -> Result<Flow, Halt> {
+        self.step()?;
+        match s {
+            HStmt::Expr(e) => {
+                self.eval(f, e)?;
+                Ok(Flow::Normal)
+            }
+            HStmt::Return(e) => {
+                let v = match e {
+                    None => Value::Int(0),
+                    Some(e) => self.eval(f, e)?,
+                };
+                Ok(Flow::Return(v))
+            }
+            HStmt::If(c, a, b) => {
+                let cv = self.eval(f, c)?;
+                if cv.truthy() {
+                    self.exec_block(f, a)
+                } else {
+                    self.exec_block(f, b)
+                }
+            }
+            HStmt::While(c, body) => {
+                loop {
+                    let cv = self.eval(f, c)?;
+                    if !cv.truthy() {
+                        break;
+                    }
+                    match self.exec_block(f, body)? {
+                        Flow::Normal => {}
+                        r @ Flow::Return(_) => return Ok(r),
+                    }
+                    self.step()?;
+                }
+                Ok(Flow::Normal)
+            }
+        }
+    }
+
+    fn frame(&self) -> &Frame {
+        self.frames.last().expect("executing inside a frame")
+    }
+
+    fn frame_mut(&mut self) -> &mut Frame {
+        self.frames.last_mut().expect("executing inside a frame")
+    }
+
+    fn eval(&mut self, f: FuncRef, e: &HExpr) -> Result<Value, Halt> {
+        self.step()?;
+        match e {
+            HExpr::Int(n) => Ok(Value::Int(*n)),
+            HExpr::Null(ty) => Ok(Value::default_of(*ty)),
+            HExpr::ReadLocal(v) => Ok(self.frame().vals[v.0 as usize]),
+            HExpr::ReadGlobal(g) => {
+                let ty = self.c.module.global(*g).ty;
+                let raw = self
+                    .heap
+                    .read_word(self.globals_obj, g.0 as usize)
+                    .map_err(Halt::Abort)?;
+                Ok(Value::from_raw(ty, raw))
+            }
+            HExpr::AssignLocal { v, val } => {
+                let value = self.eval(f, val)?;
+                self.heap.stats.assigns_local += 1;
+                self.frame_mut().vals[v.0 as usize] = value;
+                Ok(value)
+            }
+            HExpr::AssignGlobal { g, val, site } => {
+                let value = self.eval(f, val)?;
+                let ty = self.c.module.global(*g).ty;
+                self.write_slot(self.globals_obj, g.0 as usize, value, ty, *site)?;
+                Ok(value)
+            }
+            HExpr::ReadField { obj, s, field } => {
+                let o = self.eval(f, obj)?;
+                let addr = self.nonnull(o)?;
+                let fty = self.c.module.struct_def(*s).fields[*field as usize].ty;
+                let raw = self.heap.read_word(addr, *field as usize).map_err(Halt::Abort)?;
+                Ok(Value::from_raw(fty, raw))
+            }
+            HExpr::AssignField { obj, s, field, val, site } => {
+                let o = self.eval(f, obj)?;
+                let addr = self.nonnull(o)?;
+                let value = self.eval(f, val)?;
+                let fty = self.c.module.struct_def(*s).fields[*field as usize].ty;
+                self.write_slot(addr, *field as usize, value, fty, *site)?;
+                Ok(value)
+            }
+            HExpr::ReadArraySlot { base, idx, elem } => {
+                let (addr, len) = self.array_base(f, *base)?;
+                let i = self.index_in(f, idx, len)?;
+                let raw = self.heap.read_word(addr, i).map_err(Halt::Abort)?;
+                Ok(Value::from_raw(*elem, raw))
+            }
+            HExpr::AssignArraySlot { base, idx, val, elem, site } => {
+                let (addr, len) = self.array_base(f, *base)?;
+                let i = self.index_in(f, idx, len)?;
+                let value = self.eval(f, val)?;
+                self.write_slot(addr, i, value, *elem, *site)?;
+                Ok(value)
+            }
+            HExpr::PtrElem { ptr, idx, s } => {
+                let p = self.eval(f, ptr)?;
+                let addr = self.nonnull(p)?;
+                let i = self.eval_int(f, idx)?;
+                if i < 0 {
+                    return Err(Halt::Abort(RtError::WildPointer { addr }));
+                }
+                let size = self.c.module.struct_def(*s).fields.len().max(1);
+                Ok(Value::Ptr(addr.offset(i as usize * size)))
+            }
+            HExpr::ReadIntElem { ptr, idx } => {
+                let p = self.eval(f, ptr)?;
+                let addr = self.nonnull(p)?;
+                let i = self.eval_int(f, idx)?;
+                if i < 0 {
+                    return Err(Halt::Abort(RtError::WildPointer { addr }));
+                }
+                let raw = self.heap.read_word(addr, i as usize).map_err(Halt::Abort)?;
+                Ok(Value::Int(raw as i64))
+            }
+            HExpr::AssignIntElem { ptr, idx, val } => {
+                let p = self.eval(f, ptr)?;
+                let addr = self.nonnull(p)?;
+                let i = self.eval_int(f, idx)?;
+                if i < 0 {
+                    return Err(Halt::Abort(RtError::WildPointer { addr }));
+                }
+                let value = self.eval(f, val)?;
+                self.heap.write_int(addr, i as usize, value.raw()).map_err(Halt::Abort)?;
+                Ok(value)
+            }
+            HExpr::Bin(op, l, r) => self.eval_bin(f, *op, l, r),
+            HExpr::Un(op, inner) => {
+                let v = self.eval(f, inner)?;
+                Ok(match op {
+                    crate::ast::UnOp::Neg => match v {
+                        Value::Int(n) => Value::Int(n.wrapping_neg()),
+                        _ => Value::Int(0),
+                    },
+                    crate::ast::UnOp::Not => Value::Int(i64::from(!v.truthy())),
+                })
+            }
+            HExpr::Call { f: callee, args, pin } => {
+                let vals = args
+                    .iter()
+                    .map(|a| self.eval(f, a))
+                    .collect::<Result<Vec<_>, _>>()?;
+                let pins = self.pin_for_deletes(f, *callee, *pin);
+                let r = self.call(*callee, vals);
+                self.unpin(pins);
+                r
+            }
+            HExpr::Ralloc { region, s } => {
+                let r = self.eval(f, region)?;
+                self.alloc(r, self.layouts[s.0 as usize], 1)
+            }
+            HExpr::RallocStructArray { region, count, s } => {
+                let r = self.eval(f, region)?;
+                let n = self.eval_int(f, count)?.max(1) as u32;
+                self.alloc(r, self.layouts[s.0 as usize], n)
+            }
+            HExpr::RallocIntArray { region, count } => {
+                let r = self.eval(f, region)?;
+                let n = self.eval_int(f, count)?.max(1) as u32;
+                self.alloc(r, self.int_cell, n)
+            }
+            HExpr::NewRegion => self.new_region(None),
+            HExpr::TraditionalRegion => Ok(Value::Region(self.trad_desc)),
+            HExpr::NewSubregion(parent) => {
+                let p = self.eval(f, parent)?;
+                self.new_region(Some(p))
+            }
+            HExpr::DeleteRegion(r, pin) => {
+                let rv = self.eval(f, r)?;
+                let pins = self.pin_list(f, *pin);
+                let pinned = self.do_pins(&pins);
+                let res = self.delete_region(rv);
+                self.unpin(pinned);
+                match res {
+                    Ok(()) => Ok(Value::Int(0)),
+                    Err(halt) => {
+                        if self.config.delete_semantics == DeleteSemantics::Fail {
+                            // The paper's second option: "simply return a
+                            // failure code from deleteregion when its use
+                            // would be unsafe."
+                            if let Halt::Abort(
+                                RtError::DeleteWithLiveRefs { .. }
+                                | RtError::DeleteWithSubregions { .. },
+                            ) = halt
+                            {
+                                return Ok(Value::Int(1));
+                            }
+                        }
+                        Err(halt)
+                    }
+                }
+            }
+            HExpr::RegionOf(x) => {
+                let v = self.eval(f, x)?;
+                let addr = self.nonnull(v)?;
+                let desc = self.descriptor_of(addr)?;
+                Ok(Value::Region(desc))
+            }
+            HExpr::Assert(e) => {
+                let v = self.eval(f, e)?;
+                if v.truthy() {
+                    Ok(Value::Int(0))
+                } else {
+                    Err(Halt::AssertFailed)
+                }
+            }
+        }
+    }
+
+    fn eval_bin(
+        &mut self,
+        f: FuncRef,
+        op: crate::ast::BinOp,
+        l: &HExpr,
+        r: &HExpr,
+    ) -> Result<Value, Halt> {
+        use crate::ast::BinOp::*;
+        // Short-circuit forms first.
+        match op {
+            And => {
+                let lv = self.eval(f, l)?;
+                if !lv.truthy() {
+                    return Ok(Value::Int(0));
+                }
+                let rv = self.eval(f, r)?;
+                return Ok(Value::Int(i64::from(rv.truthy())));
+            }
+            Or => {
+                let lv = self.eval(f, l)?;
+                if lv.truthy() {
+                    return Ok(Value::Int(1));
+                }
+                let rv = self.eval(f, r)?;
+                return Ok(Value::Int(i64::from(rv.truthy())));
+            }
+            _ => {}
+        }
+        let lv = self.eval(f, l)?;
+        let rv = self.eval(f, r)?;
+        let out = match op {
+            Add => Value::Int(int(lv).wrapping_add(int(rv))),
+            Sub => Value::Int(int(lv).wrapping_sub(int(rv))),
+            Mul => Value::Int(int(lv).wrapping_mul(int(rv))),
+            Div => {
+                let d = int(rv);
+                Value::Int(if d == 0 { 0 } else { int(lv).wrapping_div(d) })
+            }
+            Rem => {
+                let d = int(rv);
+                Value::Int(if d == 0 { 0 } else { int(lv).wrapping_rem(d) })
+            }
+            Lt => Value::Int(i64::from(int(lv) < int(rv))),
+            Le => Value::Int(i64::from(int(lv) <= int(rv))),
+            Gt => Value::Int(i64::from(int(lv) > int(rv))),
+            Ge => Value::Int(i64::from(int(lv) >= int(rv))),
+            Eq => Value::Int(i64::from(lv.raw() == rv.raw())),
+            Ne => Value::Int(i64::from(lv.raw() != rv.raw())),
+            And | Or => unreachable!("handled above"),
+        };
+        Ok(out)
+    }
+
+    fn eval_int(&mut self, f: FuncRef, e: &HExpr) -> Result<i64, Halt> {
+        Ok(int(self.eval(f, e)?))
+    }
+
+    fn nonnull(&self, v: Value) -> Result<Addr, Halt> {
+        let a = v.addr();
+        if a.is_null() {
+            return Err(Halt::Abort(RtError::WildPointer { addr: Addr::NULL }));
+        }
+        Ok(a)
+    }
+
+    fn index_in(&mut self, f: FuncRef, idx: &HExpr, len: u32) -> Result<usize, Halt> {
+        let i = self.eval_int(f, idx)?;
+        if i < 0 || i >= len as i64 {
+            return Err(Halt::Abort(RtError::WildPointer { addr: Addr::NULL }));
+        }
+        Ok(i as usize)
+    }
+
+    fn array_base(&mut self, f: FuncRef, base: ArrayBase) -> Result<(Addr, u32), Halt> {
+        match base {
+            ArrayBase::Local(v) => {
+                let frame = self.frame();
+                let addr = frame.arrays[v.0 as usize].expect("sema guarantees array local");
+                let len = self.func(f).var(v).array_len.expect("array local");
+                Ok((addr, len))
+            }
+            ArrayBase::Global(g) => {
+                let (addr, len) =
+                    self.global_arrays[g.0 as usize].expect("sema guarantees array global");
+                Ok((addr, len))
+            }
+        }
+    }
+
+    /// Figure 3(a)/(b): dispatches a heap slot write through the barrier
+    /// selected by the slot's type, the configuration and the analysis.
+    fn write_slot(
+        &mut self,
+        obj: Addr,
+        field: usize,
+        val: Value,
+        slot_ty: RcType,
+        site: SiteId,
+    ) -> Result<(), Halt> {
+        match slot_ty {
+            RcType::Int => {
+                self.heap.write_int(obj, field, val.raw()).map_err(Halt::Abort)
+            }
+            _ => {
+                let qual = slot_ty.qual().unwrap_or(Qual::None);
+                let mode = self.write_mode(qual, site);
+                self.heap.write_ptr(obj, field, val.addr(), mode).map_err(Halt::Abort)
+            }
+        }
+    }
+
+    fn write_mode(&self, qual: Qual, site: SiteId) -> WriteMode {
+        match self.config.backend {
+            Backend::Lea | Backend::Gc | Backend::NoRc => return WriteMode::Raw,
+            Backend::CAt => return WriteMode::Counted,
+            Backend::Rc => {}
+        }
+        let kind = match qual {
+            Qual::None => return WriteMode::Counted,
+            Qual::SameRegion => PtrKind::SameRegion,
+            Qual::ParentPtr => PtrKind::ParentPtr,
+            Qual::Traditional => PtrKind::Traditional,
+        };
+        match self.config.checks {
+            CheckMode::Nq => WriteMode::Counted,
+            CheckMode::Qs => WriteMode::Check(kind),
+            CheckMode::Inf => {
+                if self.c.analysis.is_safe(site) {
+                    WriteMode::Safe
+                } else {
+                    WriteMode::Check(kind)
+                }
+            }
+            CheckMode::Nc => WriteMode::Raw,
+        }
+    }
+
+    // ---- regions -------------------------------------------------------
+
+    fn new_region(&mut self, parent: Option<Value>) -> Result<Value, Halt> {
+        let desc = self.heap.m_alloc(self.desc_ty, 1).map_err(Halt::Abort)?;
+        let rt = match &mut self.emu {
+            Some(emu) => RtRegion::Emu(emu.new_region()),
+            None => {
+                let rid = match parent {
+                    None => self.heap.new_region(),
+                    Some(p) => {
+                        let pdesc = self.nonnull(p)?;
+                        match self.desc_map.get(&pdesc) {
+                            Some(RtRegion::Real(prid)) => {
+                                self.heap.new_subregion(*prid).map_err(Halt::Abort)?
+                            }
+                            _ => return Err(Halt::Abort(RtError::WildPointer { addr: pdesc })),
+                        }
+                    }
+                };
+                while self.desc_of_real.len() <= rid.0 as usize {
+                    self.desc_of_real.push(Addr::NULL);
+                }
+                self.desc_of_real[rid.0 as usize] = desc;
+                RtRegion::Real(rid)
+            }
+        };
+        self.desc_map.insert(desc, rt);
+        Ok(Value::Region(desc))
+    }
+
+    fn resolve_region(&self, v: Value) -> Result<RtRegion, Halt> {
+        let desc = v.addr();
+        if desc.is_null() {
+            return Err(Halt::Abort(RtError::WildPointer { addr: desc }));
+        }
+        self.desc_map
+            .get(&desc)
+            .copied()
+            .ok_or(Halt::Abort(RtError::WildPointer { addr: desc }))
+    }
+
+    fn alloc(&mut self, region: Value, ty: TypeId, n: u32) -> Result<Value, Halt> {
+        match self.resolve_region(region)? {
+            RtRegion::Real(rid) => {
+                let a = self.heap.rarray_alloc(rid, ty, n).map_err(Halt::Abort)?;
+                Ok(Value::Ptr(a))
+            }
+            RtRegion::Emu(eid) => {
+                let emu = self.emu.as_mut().expect("emu backend");
+                let a = emu.alloc(&mut self.heap, eid, ty, n).map_err(Halt::Abort)?;
+                self.emu_owner.insert(a, region.addr());
+                self.maybe_collect();
+                Ok(Value::Ptr(a))
+            }
+        }
+    }
+
+    fn delete_region(&mut self, region: Value) -> Result<(), Halt> {
+        match self.resolve_region(region)? {
+            RtRegion::Real(rid) => {
+                // C@ scanned the stack at deleteregion instead of pinning
+                // at deletes calls; charge that scan.
+                if self.config.backend == Backend::CAt {
+                    let slots: u64 = self
+                        .frames
+                        .iter()
+                        .map(|fr| {
+                            fr.vals
+                                .iter()
+                                .filter(|v| matches!(v, Value::Ptr(_) | Value::Region(_)))
+                                .count() as u64
+                        })
+                        .sum();
+                    let cost = slots * self.config.costs.cat_stack_scan_per_slot;
+                    self.heap.stats.rc_cycles += cost;
+                    self.heap.clock.charge(cost);
+                }
+                self.heap.delete_region(rid).map_err(Halt::Abort)
+            }
+            RtRegion::Emu(eid) => {
+                let emu = self.emu.as_mut().expect("emu backend");
+                emu.delete_region(&mut self.heap, eid).map_err(Halt::Abort)?;
+                self.maybe_collect();
+                Ok(())
+            }
+        }
+    }
+
+    fn descriptor_of(&mut self, obj: Addr) -> Result<Addr, Halt> {
+        if self.emu.is_some() {
+            return self
+                .emu_owner
+                .get(&obj)
+                .copied()
+                .ok_or(Halt::Abort(RtError::WildPointer { addr: obj }));
+        }
+        let rid = self
+            .heap
+            .try_region_of(obj)
+            .ok_or(Halt::Abort(RtError::WildPointer { addr: obj }))?;
+        if let Some(&d) = self.desc_of_real.get(rid.0 as usize) {
+            if !d.is_null() {
+                return Ok(d);
+            }
+        }
+        // Objects in the traditional region (malloc'd) have no user-created
+        // descriptor; lazily create one.
+        let desc = self.heap.m_alloc(self.desc_ty, 1).map_err(Halt::Abort)?;
+        while self.desc_of_real.len() <= rid.0 as usize {
+            self.desc_of_real.push(Addr::NULL);
+        }
+        self.desc_of_real[rid.0 as usize] = desc;
+        self.desc_map.insert(desc, RtRegion::Real(rid));
+        Ok(desc)
+    }
+
+    fn maybe_collect(&mut self) {
+        if self.config.backend != Backend::Gc || !self.heap.gc_should_collect() {
+            return;
+        }
+        let mut roots: Vec<u64> = Vec::new();
+        for fr in &self.frames {
+            roots.extend(fr.vals.iter().map(|v| v.raw()));
+            roots.extend(fr.arrays.iter().flatten().map(|a| a.raw()));
+        }
+        // Globals block and global arrays are conservative roots too: scan
+        // their slots.
+        let gl = self.c.module.globals.len().max(1);
+        for i in 0..gl {
+            if let Ok(w) = self.heap.read_word(self.globals_obj, i) {
+                roots.push(w);
+            }
+        }
+        let garrs: Vec<(Addr, u32)> = self.global_arrays.iter().flatten().copied().collect();
+        for (addr, len) in garrs {
+            for i in 0..len as usize {
+                if let Ok(w) = self.heap.read_word(addr, i) {
+                    roots.push(w);
+                }
+            }
+        }
+        if let Some(emu) = &self.emu {
+            roots.extend(emu.all_roots());
+        }
+        self.heap.gc_collect(&roots);
+    }
+
+    // ---- deletes pinning -----------------------------------------------
+
+    fn pin_for_deletes(&mut self, f: FuncRef, callee: FuncRef, pin: u32) -> Vec<RegionId> {
+        if !self.func(callee).deletes {
+            return Vec::new();
+        }
+        let pins = self.pin_list(f, pin);
+        self.do_pins(&pins)
+    }
+
+    fn pin_list(&self, f: FuncRef, pin: u32) -> Vec<Addr> {
+        if self.config.backend != Backend::Rc {
+            return Vec::new();
+        }
+        let frame = self.frame();
+        self.c.pins[f.0 as usize]
+            .pins(pin)
+            .iter()
+            .filter_map(|&v| {
+                let val = frame.vals[v.0 as usize];
+                match val {
+                    Value::Ptr(a) if !a.is_null() => Some(a),
+                    _ => None,
+                }
+            })
+            .collect()
+    }
+
+    fn do_pins(&mut self, ptrs: &[Addr]) -> Vec<RegionId> {
+        let mut pinned = Vec::new();
+        for &a in ptrs {
+            if let Some(rid) = self.heap.try_region_of(a) {
+                self.heap.pin_region(rid);
+                pinned.push(rid);
+            }
+        }
+        pinned
+    }
+
+    fn unpin(&mut self, pinned: Vec<RegionId>) {
+        for rid in pinned {
+            self.heap.unpin_region(rid);
+        }
+    }
+}
+
+fn int(v: Value) -> i64 {
+    match v {
+        Value::Int(n) => n,
+        _ => 0,
+    }
+}
+
+fn slot_tag(s: SlotKind) -> u8 {
+    match s {
+        SlotKind::Data => 0,
+        SlotKind::Ptr(PtrKind::Counted) => 1,
+        SlotKind::Ptr(PtrKind::SameRegion) => 2,
+        SlotKind::Ptr(PtrKind::ParentPtr) => 3,
+        SlotKind::Ptr(PtrKind::Traditional) => 4,
+        SlotKind::RegionHandle => 5,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{CheckMode, RunConfig};
+
+    fn go(src: &str, config: RunConfig) -> RunResult {
+        let c = prepare(src).unwrap();
+        let r = run_audited(&c, &config);
+        if let Some(Err(e)) = &r.audit {
+            panic!("audit failed: {e} (outcome {:?})", r.outcome);
+        }
+        r
+    }
+
+    fn exit_code(src: &str, config: RunConfig) -> i64 {
+        let r = go(src, config);
+        match r.outcome {
+            Outcome::Exit(n) => n,
+            other => panic!("program did not exit cleanly: {other:?}"),
+        }
+    }
+
+    const FIG1: &str = r#"
+        struct finfo { int sz; };
+        struct rlist {
+            struct rlist *sameregion next;
+            struct finfo *sameregion data;
+        };
+        int main() deletes {
+            struct rlist *rl;
+            struct rlist *last = null;
+            region r = newregion();
+            int i;
+            int total = 0;
+            for (i = 0; i < 50; i = i + 1) {
+                rl = ralloc(r, struct rlist);
+                rl->data = ralloc(r, struct finfo);
+                rl->data->sz = i;
+                rl->next = last;
+                last = rl;
+            }
+            while (last != null) {
+                total = total + last->data->sz;
+                last = last->next;
+            }
+            deleteregion(r);
+            return total;
+        }
+    "#;
+
+    #[test]
+    fn figure1_runs_under_all_configurations() {
+        let expected = (0..50).sum::<i64>();
+        for (name, cfg) in RunConfig::figure7() {
+            assert_eq!(exit_code(FIG1, cfg), expected, "config {name}");
+        }
+        for (name, cfg) in RunConfig::figure8() {
+            assert_eq!(exit_code(FIG1, cfg), expected, "config {name}");
+        }
+    }
+
+    #[test]
+    fn figure1_inf_eliminates_all_checks() {
+        let r = go(FIG1, RunConfig::rc(CheckMode::Inf));
+        assert!(r.stats.assigns_safe > 0);
+        assert_eq!(r.stats.checks_sameregion, 0, "all checks statically removed");
+        let qs = go(FIG1, RunConfig::rc(CheckMode::Qs));
+        assert!(qs.stats.checks_sameregion > 0, "qs executes the checks");
+        assert!(qs.cycles >= r.cycles, "inf is no slower than qs");
+        let nq = go(FIG1, RunConfig::rc(CheckMode::Nq));
+        assert!(
+            nq.stats.rc_cycles > qs.stats.rc_cycles,
+            "ignoring annotations does more refcount work"
+        );
+    }
+
+    #[test]
+    fn unsafe_delete_aborts() {
+        // A global keeps a counted pointer into the region: deletion must
+        // fail under RC.
+        let src = r#"
+            struct t { int x; };
+            struct t *keep;
+            int main() deletes {
+                region r = newregion();
+                keep = ralloc(r, struct t);
+                deleteregion(r);
+                return 0;
+            }
+        "#;
+        let c = prepare(src).unwrap();
+        let r = run(&c, &RunConfig::rc_inf());
+        assert!(
+            matches!(r.outcome, Outcome::Aborted(RtError::DeleteWithLiveRefs { .. })),
+            "{:?}",
+            r.outcome
+        );
+        // With reference counting disabled the delete (unsafely) succeeds.
+        let r2 = run(&c, &RunConfig::norc());
+        assert!(r2.outcome.is_exit());
+    }
+
+    #[test]
+    fn clearing_the_reference_allows_delete() {
+        let src = r#"
+            struct t { int x; };
+            struct t *keep;
+            int main() deletes {
+                region r = newregion();
+                keep = ralloc(r, struct t);
+                keep = null;
+                deleteregion(r);
+                return 0;
+            }
+        "#;
+        assert_eq!(exit_code(src, RunConfig::rc_inf()), 0);
+    }
+
+    #[test]
+    fn sameregion_violation_aborts_under_qs() {
+        let src = r#"
+            struct t { struct t *sameregion next; };
+            int main() {
+                region a = newregion();
+                region b = newregion();
+                struct t *x = ralloc(a, struct t);
+                struct t *y = ralloc(b, struct t);
+                x->next = y;
+                return 0;
+            }
+        "#;
+        let c = prepare(src).unwrap();
+        let r = run(&c, &RunConfig::rc(CheckMode::Qs));
+        assert!(
+            matches!(r.outcome, Outcome::Aborted(RtError::CheckFailed { kind: PtrKind::SameRegion, .. })),
+            "{:?}",
+            r.outcome
+        );
+        // nc removes the check: the bad store goes through (unsafe).
+        let r2 = run(&c, &RunConfig::rc(CheckMode::Nc));
+        assert!(r2.outcome.is_exit());
+    }
+
+    #[test]
+    fn parentptr_violation_aborts() {
+        let src = r#"
+            struct t { struct t *parentptr up; };
+            int main() {
+                region a = newregion();
+                region b = newregion();
+                struct t *x = ralloc(a, struct t);
+                struct t *y = ralloc(b, struct t);
+                x->up = y;
+                return 0;
+            }
+        "#;
+        let c = prepare(src).unwrap();
+        let r = run(&c, &RunConfig::rc(CheckMode::Qs));
+        assert!(matches!(
+            r.outcome,
+            Outcome::Aborted(RtError::CheckFailed { kind: PtrKind::ParentPtr, .. })
+        ));
+    }
+
+    #[test]
+    fn parentptr_to_parent_is_ok() {
+        let src = r#"
+            struct t { struct t *parentptr up; };
+            int main() deletes {
+                region r = newregion();
+                region sub = newsubregion(r);
+                struct t *p = ralloc(r, struct t);
+                struct t *c = ralloc(sub, struct t);
+                c->up = p;
+                assert(c->up != null);
+                deleteregion(sub);
+                deleteregion(r);
+                return 7;
+            }
+        "#;
+        assert_eq!(exit_code(src, RunConfig::rc(CheckMode::Qs)), 7);
+    }
+
+    #[test]
+    fn subregion_order_enforced() {
+        let src = r#"
+            int main() deletes {
+                region r = newregion();
+                region sub = newsubregion(r);
+                deleteregion(r);
+                return 0;
+            }
+        "#;
+        let c = prepare(src).unwrap();
+        let r = run(&c, &RunConfig::rc_inf());
+        assert!(matches!(r.outcome, Outcome::Aborted(RtError::DeleteWithSubregions { .. })));
+    }
+
+    #[test]
+    fn deletes_pinning_protects_live_locals() {
+        // f deletes its scratch region; the caller's live pointer into
+        // another region is pinned and unpinned without incident, while a
+        // live pointer into the *deleted* region makes the delete abort.
+        let src = r#"
+            struct t { int x; };
+            static void cleanup(region r) deletes { deleteregion(r); }
+            int main() deletes {
+                region scratch = newregion();
+                struct t *dangling = ralloc(scratch, struct t);
+                cleanup(scratch);
+                dangling->x = 1;
+                return 0;
+            }
+        "#;
+        let c = prepare(src).unwrap();
+        let r = run(&c, &RunConfig::rc_inf());
+        // dangling is live across the call → pinned → delete fails.
+        assert!(
+            matches!(r.outcome, Outcome::Aborted(RtError::DeleteWithLiveRefs { .. })),
+            "{:?}",
+            r.outcome
+        );
+        assert!(r.stats.local_pins > 0);
+    }
+
+    #[test]
+    fn dead_locals_do_not_block_delete() {
+        let src = r#"
+            struct t { int x; };
+            static void cleanup(region r) deletes { deleteregion(r); }
+            int main() deletes {
+                region scratch = newregion();
+                struct t *tmp = ralloc(scratch, struct t);
+                tmp->x = 3;
+                cleanup(scratch);
+                return 0;
+            }
+        "#;
+        assert_eq!(exit_code(src, RunConfig::rc_inf()), 0);
+    }
+
+    #[test]
+    fn regionof_and_subregions() {
+        let src = r#"
+            struct t { int x; };
+            int main() deletes {
+                region r = newregion();
+                struct t *p = ralloc(r, struct t);
+                assert(regionof(p) == r);
+                struct t *q = ralloc(regionof(p), struct t);
+                assert(regionof(q) == r);
+                q = null;
+                p = null;
+                deleteregion(r);
+                return 0;
+            }
+        "#;
+        assert_eq!(exit_code(src, RunConfig::rc_inf()), 0);
+    }
+
+    #[test]
+    fn arrays_and_globals_work() {
+        let src = r#"
+            struct t { int v; };
+            struct t *cache[8];
+            int hits;
+            int main() deletes {
+                region r = newregion();
+                int i;
+                for (i = 0; i < 8; i = i + 1) {
+                    cache[i] = ralloc(r, struct t);
+                    cache[i]->v = i * i;
+                }
+                for (i = 0; i < 8; i = i + 1) {
+                    hits = hits + cache[i]->v;
+                }
+                for (i = 0; i < 8; i = i + 1) {
+                    cache[i] = null;
+                }
+                deleteregion(r);
+                return hits;
+            }
+        "#;
+        let expected: i64 = (0..8).map(|i| i * i).sum();
+        assert_eq!(exit_code(src, RunConfig::rc_inf()), expected);
+        assert_eq!(exit_code(src, RunConfig::lea()), expected);
+        assert_eq!(exit_code(src, RunConfig::gc()), expected);
+    }
+
+    #[test]
+    fn int_arrays_round_trip() {
+        let src = r#"
+            int main() deletes {
+                region r = newregion();
+                int *a = rarrayalloc(r, 16, int);
+                int i;
+                int s = 0;
+                for (i = 0; i < 16; i = i + 1) { a[i] = i; }
+                for (i = 0; i < 16; i = i + 1) { s = s + a[i]; }
+                a = null;
+                deleteregion(r);
+                return s;
+            }
+        "#;
+        assert_eq!(exit_code(src, RunConfig::rc_inf()), 120);
+    }
+
+    #[test]
+    fn struct_array_elements() {
+        let src = r#"
+            struct pt { int x; int y; };
+            int main() deletes {
+                region r = newregion();
+                struct pt *ps = rarrayalloc(r, 5, struct pt);
+                int i;
+                for (i = 0; i < 5; i = i + 1) {
+                    ps[i]->x = i;
+                    ps[i]->y = 2 * i;
+                }
+                int s = ps[4]->x + ps[4]->y;
+                ps = null;
+                deleteregion(r);
+                return s;
+            }
+        "#;
+        assert_eq!(exit_code(src, RunConfig::rc_inf()), 12);
+    }
+
+    #[test]
+    fn stack_arrays_are_per_call() {
+        let src = r#"
+            static int fill(int seed) {
+                int buf[4];
+                int i;
+                for (i = 0; i < 4; i = i + 1) { buf[i] = seed + i; }
+                return buf[3];
+            }
+            int main() {
+                return fill(10) + fill(20);
+            }
+        "#;
+        assert_eq!(exit_code(src, RunConfig::rc_inf()), 13 + 23);
+    }
+
+    #[test]
+    fn gc_backend_collects_garbage() {
+        let src = r#"
+            struct t { int x; };
+            int main() deletes {
+                int i;
+                for (i = 0; i < 5000; i = i + 1) {
+                    region r = newregion();
+                    struct t *p = ralloc(r, struct t);
+                    p->x = i;
+                    deleteregion(r);
+                }
+                return 0;
+            }
+        "#;
+        let mut cfg = RunConfig::gc();
+        cfg.gc_threshold_words = 2048;
+        let r = go(src, cfg);
+        assert!(r.outcome.is_exit());
+        assert!(r.stats.gc_collections > 0, "collections must have run");
+        assert!(r.stats.gc_swept_objects > 0);
+    }
+
+    #[test]
+    fn lea_backend_frees_per_object() {
+        let src = r#"
+            struct t { int x; };
+            int main() deletes {
+                region r = newregion();
+                int i;
+                for (i = 0; i < 100; i = i + 1) {
+                    struct t *p = ralloc(r, struct t);
+                    p->x = i;
+                }
+                deleteregion(r);
+                return 0;
+            }
+        "#;
+        let r = go(src, RunConfig::lea());
+        assert!(r.outcome.is_exit());
+        assert_eq!(r.stats.free_calls, 100, "region emulation frees each object");
+    }
+
+    #[test]
+    fn traditional_annotation_checked() {
+        let src = r#"
+            struct buf { int c; };
+            struct holder { struct buf *traditional b; };
+            int main() {
+                region r = newregion();
+                struct holder *h = ralloc(r, struct holder);
+                struct buf *bad = ralloc(r, struct buf);
+                h->b = bad;
+                return 0;
+            }
+        "#;
+        let c = prepare(src).unwrap();
+        let r = run(&c, &RunConfig::rc(CheckMode::Qs));
+        assert!(matches!(
+            r.outcome,
+            Outcome::Aborted(RtError::CheckFailed { kind: PtrKind::Traditional, .. })
+        ));
+    }
+
+    #[test]
+    fn cat_config_counts_everything() {
+        let r_cat = go(FIG1, RunConfig::cat());
+        let r_rc = go(FIG1, RunConfig::rc_inf());
+        assert!(r_cat.outcome.is_exit());
+        assert!(
+            r_cat.stats.rc_cycles > r_rc.stats.rc_cycles,
+            "C@ does strictly more refcount work ({} vs {})",
+            r_cat.stats.rc_cycles,
+            r_rc.stats.rc_cycles
+        );
+        assert!(r_cat.cycles > r_rc.cycles, "RC beats C@ end to end");
+    }
+
+    #[test]
+    fn assert_failure_is_reported() {
+        let src = "int main() { assert(1 == 2); return 0; }";
+        let c = prepare(src).unwrap();
+        let r = run(&c, &RunConfig::rc_inf());
+        assert_eq!(r.outcome, Outcome::AssertFailed);
+    }
+
+    #[test]
+    fn step_limit_halts_infinite_loops() {
+        let src = "int main() { while (1) { } return 0; }";
+        let c = prepare(src).unwrap();
+        let mut cfg = RunConfig::rc_inf();
+        cfg.step_limit = 10_000;
+        let r = run(&c, &cfg);
+        assert_eq!(r.outcome, Outcome::StepLimit);
+    }
+
+    #[test]
+    fn out_of_bounds_array_aborts() {
+        let src = r#"
+            int g[4];
+            int main() { g[7] = 1; return 0; }
+        "#;
+        let c = prepare(src).unwrap();
+        let r = run(&c, &RunConfig::rc_inf());
+        assert!(matches!(r.outcome, Outcome::Aborted(RtError::WildPointer { .. })));
+    }
+
+    #[test]
+    fn null_dereference_aborts() {
+        let src = r#"
+            struct t { int x; };
+            int main() { struct t *p = null; return p->x; }
+        "#;
+        let c = prepare(src).unwrap();
+        let r = run(&c, &RunConfig::rc_inf());
+        assert!(matches!(r.outcome, Outcome::Aborted(RtError::WildPointer { .. })));
+    }
+
+    #[test]
+    fn region_handles_in_structs() {
+        let src = r#"
+            struct env { region r; struct env *parent; };
+            int main() deletes {
+                region outer = newregion();
+                struct env *top = ralloc(outer, struct env);
+                top->r = newregion();
+                struct env *inner = ralloc(top->r, struct env);
+                inner->parent = top;
+                inner->r = null;
+                inner = null;
+                deleteregion(top->r);
+                top->parent = null;
+                deleteregion(outer);
+                return 0;
+            }
+        "#;
+        let r = go(src, RunConfig::rc_inf());
+        assert!(r.outcome.is_exit(), "{:?}", r.outcome);
+    }
+
+    #[test]
+    fn recursion_works() {
+        let src = r#"
+            static int fib(int n) {
+                if (n < 2) { return n; }
+                return fib(n - 1) + fib(n - 2);
+            }
+            int main() { return fib(15); }
+        "#;
+        assert_eq!(exit_code(src, RunConfig::rc_inf()), 610);
+    }
+
+    #[test]
+    fn cycles_within_a_region_are_free() {
+        let src = r#"
+            struct node { struct node *next; };
+            int main() deletes {
+                region r = newregion();
+                struct node *a = ralloc(r, struct node);
+                struct node *b = ralloc(r, struct node);
+                a->next = b;
+                b->next = a;
+                a = null;
+                b = null;
+                deleteregion(r);
+                return 0;
+            }
+        "#;
+        assert_eq!(exit_code(src, RunConfig::rc_inf()), 0);
+    }
+
+    #[test]
+    fn cross_region_cycle_blocks_until_broken() {
+        let src = r#"
+            struct node { struct node *next; };
+            int main() deletes {
+                region r1 = newregion();
+                region r2 = newregion();
+                struct node *a = ralloc(r1, struct node);
+                struct node *b = ralloc(r2, struct node);
+                a->next = b;
+                b->next = a;
+                a = null;
+                b = null;
+                deleteregion(r1);
+                return 0;
+            }
+        "#;
+        let c = prepare(src).unwrap();
+        let r = run(&c, &RunConfig::rc_inf());
+        assert!(
+            matches!(r.outcome, Outcome::Aborted(RtError::DeleteWithLiveRefs { .. })),
+            "cross-region cycles must be broken by the programmer first: {:?}",
+            r.outcome
+        );
+    }
+}
+
+#[cfg(test)]
+mod delete_semantics_tests {
+    use super::*;
+    use crate::config::{DeleteSemantics, RunConfig};
+
+    /// A program whose deleteregion fails while a global still points in,
+    /// clears the global, then retries.
+    const RETRY: &str = r#"
+        struct t { int x; };
+        struct t *keep;
+        int main() deletes {
+            region r = newregion();
+            keep = ralloc(r, struct t);
+            int first = deleteregion(r);
+            keep = null;
+            int second = deleteregion(r);
+            return first * 10 + second;
+        }
+    "#;
+
+    #[test]
+    fn abort_semantics_abort() {
+        let c = prepare(RETRY).unwrap();
+        let r = run(&c, &RunConfig::rc_inf());
+        assert!(matches!(r.outcome, Outcome::Aborted(RtError::DeleteWithLiveRefs { .. })));
+    }
+
+    #[test]
+    fn fail_semantics_return_a_code() {
+        let c = prepare(RETRY).unwrap();
+        let mut cfg = RunConfig::rc_inf();
+        cfg.delete_semantics = DeleteSemantics::Fail;
+        let r = run(&c, &cfg);
+        // First delete fails (1), second succeeds (0).
+        assert_eq!(r.outcome, Outcome::Exit(10), "{:?}", r.outcome);
+    }
+
+    #[test]
+    fn deferred_semantics_reclaim_when_clear() {
+        let src = r#"
+            struct t { int x; };
+            struct t *keep;
+            int main() deletes {
+                region r = newregion();
+                keep = ralloc(r, struct t);
+                int status = deleteregion(r);   // doomed, not freed
+                keep->x = 42;                   // still safely usable!
+                int v = keep->x;
+                keep = null;                    // last ref: reclaimed now
+                return v + status;
+            }
+        "#;
+        let c = prepare(src).unwrap();
+        let mut cfg = RunConfig::rc_inf();
+        cfg.delete_semantics = DeleteSemantics::Deferred;
+        let r = run_audited(&c, &cfg);
+        assert_eq!(r.outcome, Outcome::Exit(42), "{:?}", r.outcome);
+        assert_eq!(r.stats.regions_deferred, 1);
+        assert_eq!(r.stats.regions_deleted, 1, "reclaimed once the global cleared");
+        assert!(matches!(r.audit, Some(Ok(()))));
+    }
+
+    #[test]
+    fn deferred_still_detects_wild_access_after_reclaim() {
+        // Once the count hits zero and the region is reclaimed, a stale
+        // *uncounted* access (via a dangling handle idiom) is caught by
+        // the simulated heap rather than corrupting silently.
+        let src = r#"
+            struct t { int x; };
+            int main() deletes {
+                region r = newregion();
+                struct t *p = ralloc(r, struct t);
+                p->x = 1;
+                int unused = deleteregion(r);
+                return 0;
+            }
+        "#;
+        let c = prepare(src).unwrap();
+        let mut cfg = RunConfig::rc_inf();
+        cfg.delete_semantics = DeleteSemantics::Deferred;
+        let r = run_audited(&c, &cfg);
+        // p is dead at the delete, so the region is reclaimed immediately.
+        assert!(r.outcome.is_exit());
+        assert_eq!(r.stats.regions_deleted, 1);
+    }
+}

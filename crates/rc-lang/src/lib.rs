@@ -1,0 +1,37 @@
+#![warn(missing_docs)]
+
+//! # rc-lang — the RC dialect of C with regions
+//!
+//! Front end, static analysis glue, and interpreter for **RC**, the
+//! region-based dialect of C from Gay & Aiken, *Language Support for
+//! Regions* (PLDI 2001).
+
+pub mod ast;
+pub mod error;
+pub mod hir;
+pub mod lexer;
+pub mod parser;
+pub mod pretty;
+pub mod sema;
+pub mod to_rlang;
+pub mod token;
+
+pub use error::CompileError;
+pub use hir::Module;
+
+/// Parses and checks an RC source file.
+///
+/// # Errors
+///
+/// Returns the first lexical, syntax or semantic error.
+pub fn compile(src: &str) -> Result<Module, CompileError> {
+    let ast = parser::parse(src)?;
+    sema::check(&ast)
+}
+
+pub mod config;
+pub mod interp;
+pub mod liveness;
+
+pub use config::{Backend, CheckMode, DeleteSemantics, RunConfig};
+pub use interp::{prepare, run, run_audited, Compiled, Outcome, RunResult};

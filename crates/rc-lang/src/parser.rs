@@ -1,0 +1,691 @@
+//! Recursive-descent parser for the RC dialect.
+//!
+//! The grammar is a C subset with region keywords:
+//!
+//! ```text
+//! unit      := (structdef | global | func)*
+//! structdef := "struct" IDENT "{" (type IDENT ";")* "}" ";"
+//! global    := type IDENT ("[" INT "]")? ";"
+//! func      := "static"? ("void" | type) IDENT "(" params? ")" "deletes"? block
+//! type      := "int" "*"? | "region" | "struct" IDENT "*" qual?
+//! qual      := "sameregion" | "parentptr" | "traditional"
+//! block     := "{" (vardecl | stmt)* "}"
+//! vardecl   := type IDENT ("[" INT "]")? ("=" expr)? ";"
+//! stmt      := expr ";" | ";" | block | "if" ... | "while" ... | "for" ... | "return" expr? ";"
+//! expr      := assignment (right-associative "=") over C precedence
+//! ```
+//!
+//! Every assignment gets a fresh [`SiteId`], the currency shared with the
+//! rlang translation and check eliminator.
+
+use crate::ast::*;
+use crate::error::{CompileError, ErrorKind};
+use crate::lexer::lex;
+use crate::token::{Spanned, Token};
+
+/// Parses a translation unit.
+///
+/// # Errors
+///
+/// Returns the first lexical or syntax error.
+pub fn parse(src: &str) -> Result<Ast, CompileError> {
+    let toks = lex(src)?;
+    let mut p = Parser { toks, pos: 0, next_site: 0 };
+    p.unit()
+}
+
+struct Parser {
+    toks: Vec<Spanned>,
+    pos: usize,
+    next_site: u32,
+}
+
+impl Parser {
+    fn peek(&self) -> &Token {
+        &self.toks[self.pos].tok
+    }
+
+    fn peek2(&self) -> &Token {
+        &self.toks[(self.pos + 1).min(self.toks.len() - 1)].tok
+    }
+
+    fn line(&self) -> u32 {
+        self.toks[self.pos].line
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.toks[self.pos].tok.clone();
+        if self.pos + 1 < self.toks.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err(&self, msg: impl Into<String>) -> CompileError {
+        CompileError::new(ErrorKind::Parse, self.line(), msg)
+    }
+
+    fn expect(&mut self, t: Token, what: &str) -> Result<(), CompileError> {
+        if *self.peek() == t {
+            self.bump();
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {what}, found {:?}", self.peek())))
+        }
+    }
+
+    fn ident(&mut self, what: &str) -> Result<String, CompileError> {
+        match self.bump() {
+            Token::Ident(s) => Ok(s),
+            other => Err(self.err(format!("expected {what}, found {other:?}"))),
+        }
+    }
+
+    fn fresh_site(&mut self) -> SiteId {
+        let s = SiteId(self.next_site);
+        self.next_site += 1;
+        s
+    }
+
+    fn unit(&mut self) -> Result<Ast, CompileError> {
+        let mut ast = Ast::default();
+        while *self.peek() != Token::Eof {
+            if *self.peek() == Token::KwStruct && matches!(self.peek2(), Token::Ident(_)) {
+                // Lookahead for "struct I {" = declaration.
+                let save = self.pos;
+                self.bump();
+                self.bump();
+                let is_def = *self.peek() == Token::LBrace;
+                self.pos = save;
+                if is_def {
+                    ast.structs.push(self.struct_def()?);
+                    continue;
+                }
+            }
+            self.top_item(&mut ast)?;
+        }
+        Ok(ast)
+    }
+
+    fn struct_def(&mut self) -> Result<StructDef, CompileError> {
+        let line = self.line();
+        self.expect(Token::KwStruct, "`struct`")?;
+        let name = self.ident("struct name")?;
+        self.expect(Token::LBrace, "`{`")?;
+        let mut fields = Vec::new();
+        while *self.peek() != Token::RBrace {
+            let ty = self.type_expr()?;
+            let fname = self.ident("field name")?;
+            self.expect(Token::Semi, "`;`")?;
+            fields.push((ty, fname));
+        }
+        self.expect(Token::RBrace, "`}`")?;
+        self.expect(Token::Semi, "`;` after struct")?;
+        Ok(StructDef { name, fields, line })
+    }
+
+    fn top_item(&mut self, ast: &mut Ast) -> Result<(), CompileError> {
+        let line = self.line();
+        let is_static = if *self.peek() == Token::KwStatic {
+            self.bump();
+            true
+        } else {
+            false
+        };
+        let ret = if *self.peek() == Token::KwVoid {
+            self.bump();
+            None
+        } else {
+            Some(self.type_expr()?)
+        };
+        let name = self.ident("name")?;
+        if *self.peek() == Token::LParen {
+            // Function definition.
+            self.bump();
+            let mut params = Vec::new();
+            if *self.peek() != Token::RParen {
+                loop {
+                    let ty = self.type_expr()?;
+                    let pname = self.ident("parameter name")?;
+                    params.push((ty, pname));
+                    if *self.peek() == Token::Comma {
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+            }
+            self.expect(Token::RParen, "`)`")?;
+            let deletes = if *self.peek() == Token::KwDeletes {
+                self.bump();
+                true
+            } else {
+                false
+            };
+            let body = self.block()?;
+            ast.funcs.push(FuncDefAst { name, is_static, deletes, ret, params, body, line });
+        } else {
+            // Global variable.
+            if is_static {
+                // `static` on globals is accepted and ignored (file scope
+                // is the only scope).
+            }
+            let ty = ret.ok_or_else(|| self.err("global variables cannot be void"))?;
+            let array_len = self.opt_array_len()?;
+            self.expect(Token::Semi, "`;` after global")?;
+            ast.globals.push(GlobalDef { ty, name, array_len, line });
+        }
+        Ok(())
+    }
+
+    fn opt_array_len(&mut self) -> Result<Option<u32>, CompileError> {
+        if *self.peek() == Token::LBracket {
+            self.bump();
+            let n = match self.bump() {
+                Token::Int(n) if n > 0 => n as u32,
+                other => {
+                    return Err(self.err(format!("expected positive array length, found {other:?}")))
+                }
+            };
+            self.expect(Token::RBracket, "`]`")?;
+            Ok(Some(n))
+        } else {
+            Ok(None)
+        }
+    }
+
+    fn type_expr(&mut self) -> Result<TypeExpr, CompileError> {
+        match self.bump() {
+            Token::KwInt => {
+                if *self.peek() == Token::Star {
+                    self.bump();
+                    Ok(TypeExpr::IntPtr(self.opt_qual()?))
+                } else {
+                    Ok(TypeExpr::Int)
+                }
+            }
+            Token::KwRegion => Ok(TypeExpr::Region),
+            Token::KwStruct => {
+                let name = self.ident("struct name")?;
+                self.expect(Token::Star, "`*` (struct values must be pointers)")?;
+                let qual = self.opt_qual()?;
+                Ok(TypeExpr::StructPtr { name, qual })
+            }
+            other => Err(self.err(format!("expected a type, found {other:?}"))),
+        }
+    }
+
+    fn opt_qual(&mut self) -> Result<Qual, CompileError> {
+        Ok(match self.peek() {
+            Token::KwSameRegion => {
+                self.bump();
+                Qual::SameRegion
+            }
+            Token::KwParentPtr => {
+                self.bump();
+                Qual::ParentPtr
+            }
+            Token::KwTraditional => {
+                self.bump();
+                Qual::Traditional
+            }
+            Token::Star => {
+                return Err(self.err("pointers to pointers are not supported"));
+            }
+            _ => Qual::None,
+        })
+    }
+
+    fn starts_type(&self) -> bool {
+        matches!(self.peek(), Token::KwInt | Token::KwRegion | Token::KwStruct)
+    }
+
+    fn block(&mut self) -> Result<Vec<BlockItem>, CompileError> {
+        self.expect(Token::LBrace, "`{`")?;
+        let mut items = Vec::new();
+        while *self.peek() != Token::RBrace {
+            if self.starts_type() {
+                items.push(BlockItem::Decl(self.var_decl()?));
+            } else {
+                items.push(BlockItem::Stmt(self.stmt()?));
+            }
+        }
+        self.expect(Token::RBrace, "`}`")?;
+        Ok(items)
+    }
+
+    fn var_decl(&mut self) -> Result<VarDecl, CompileError> {
+        let line = self.line();
+        let ty = self.type_expr()?;
+        let name = self.ident("variable name")?;
+        let array_len = self.opt_array_len()?;
+        let init = if *self.peek() == Token::Assign {
+            self.bump();
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        self.expect(Token::Semi, "`;` after declaration")?;
+        Ok(VarDecl { ty, name, array_len, init, line })
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, CompileError> {
+        match self.peek() {
+            Token::Semi => {
+                self.bump();
+                Ok(Stmt::Empty)
+            }
+            Token::LBrace => Ok(Stmt::Block(self.block()?)),
+            Token::KwIf => {
+                self.bump();
+                self.expect(Token::LParen, "`(`")?;
+                let cond = self.expr()?;
+                self.expect(Token::RParen, "`)`")?;
+                let then_s = Box::new(self.stmt()?);
+                let else_s = if *self.peek() == Token::KwElse {
+                    self.bump();
+                    Some(Box::new(self.stmt()?))
+                } else {
+                    None
+                };
+                Ok(Stmt::If(cond, then_s, else_s))
+            }
+            Token::KwWhile => {
+                self.bump();
+                self.expect(Token::LParen, "`(`")?;
+                let cond = self.expr()?;
+                self.expect(Token::RParen, "`)`")?;
+                Ok(Stmt::While(cond, Box::new(self.stmt()?)))
+            }
+            Token::KwFor => {
+                self.bump();
+                self.expect(Token::LParen, "`(`")?;
+                let init = if *self.peek() == Token::Semi { None } else { Some(self.expr()?) };
+                self.expect(Token::Semi, "`;`")?;
+                let cond = if *self.peek() == Token::Semi { None } else { Some(self.expr()?) };
+                self.expect(Token::Semi, "`;`")?;
+                let step = if *self.peek() == Token::RParen { None } else { Some(self.expr()?) };
+                self.expect(Token::RParen, "`)`")?;
+                Ok(Stmt::For(init, cond, step, Box::new(self.stmt()?)))
+            }
+            Token::KwReturn => {
+                let line = self.line();
+                self.bump();
+                let e = if *self.peek() == Token::Semi { None } else { Some(self.expr()?) };
+                self.expect(Token::Semi, "`;` after return")?;
+                Ok(Stmt::Return(e, line))
+            }
+            _ => {
+                let e = self.expr()?;
+                self.expect(Token::Semi, "`;` after expression")?;
+                Ok(Stmt::Expr(e))
+            }
+        }
+    }
+
+    fn expr(&mut self) -> Result<Expr, CompileError> {
+        self.assignment()
+    }
+
+    fn assignment(&mut self) -> Result<Expr, CompileError> {
+        let line = self.line();
+        let lhs = self.or_expr()?;
+        if *self.peek() == Token::Assign {
+            self.bump();
+            let rhs = self.assignment()?;
+            let site = self.fresh_site();
+            Ok(Expr::Assign { lhs: Box::new(lhs), rhs: Box::new(rhs), site, line })
+        } else {
+            Ok(lhs)
+        }
+    }
+
+    fn or_expr(&mut self) -> Result<Expr, CompileError> {
+        let mut l = self.and_expr()?;
+        while *self.peek() == Token::OrOr {
+            self.bump();
+            let r = self.and_expr()?;
+            l = Expr::Bin(BinOp::Or, Box::new(l), Box::new(r));
+        }
+        Ok(l)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr, CompileError> {
+        let mut l = self.cmp_expr()?;
+        while *self.peek() == Token::AndAnd {
+            self.bump();
+            let r = self.cmp_expr()?;
+            l = Expr::Bin(BinOp::And, Box::new(l), Box::new(r));
+        }
+        Ok(l)
+    }
+
+    fn cmp_expr(&mut self) -> Result<Expr, CompileError> {
+        let mut l = self.add_expr()?;
+        loop {
+            let op = match self.peek() {
+                Token::Eq => BinOp::Eq,
+                Token::Ne => BinOp::Ne,
+                Token::Lt => BinOp::Lt,
+                Token::Le => BinOp::Le,
+                Token::Gt => BinOp::Gt,
+                Token::Ge => BinOp::Ge,
+                _ => break,
+            };
+            self.bump();
+            let r = self.add_expr()?;
+            l = Expr::Bin(op, Box::new(l), Box::new(r));
+        }
+        Ok(l)
+    }
+
+    fn add_expr(&mut self) -> Result<Expr, CompileError> {
+        let mut l = self.mul_expr()?;
+        loop {
+            let op = match self.peek() {
+                Token::Plus => BinOp::Add,
+                Token::Minus => BinOp::Sub,
+                _ => break,
+            };
+            self.bump();
+            let r = self.mul_expr()?;
+            l = Expr::Bin(op, Box::new(l), Box::new(r));
+        }
+        Ok(l)
+    }
+
+    fn mul_expr(&mut self) -> Result<Expr, CompileError> {
+        let mut l = self.unary()?;
+        loop {
+            let op = match self.peek() {
+                Token::Star => BinOp::Mul,
+                Token::Slash => BinOp::Div,
+                Token::Percent => BinOp::Rem,
+                _ => break,
+            };
+            self.bump();
+            let r = self.unary()?;
+            l = Expr::Bin(op, Box::new(l), Box::new(r));
+        }
+        Ok(l)
+    }
+
+    fn unary(&mut self) -> Result<Expr, CompileError> {
+        match self.peek() {
+            Token::Minus => {
+                self.bump();
+                Ok(Expr::Un(UnOp::Neg, Box::new(self.unary()?)))
+            }
+            Token::Not => {
+                self.bump();
+                Ok(Expr::Un(UnOp::Not, Box::new(self.unary()?)))
+            }
+            _ => self.postfix(),
+        }
+    }
+
+    fn postfix(&mut self) -> Result<Expr, CompileError> {
+        let mut e = self.primary()?;
+        loop {
+            match self.peek() {
+                Token::Arrow => {
+                    let line = self.line();
+                    self.bump();
+                    let name = self.ident("field name")?;
+                    e = Expr::Field { obj: Box::new(e), name, line };
+                }
+                Token::LBracket => {
+                    let line = self.line();
+                    self.bump();
+                    let idx = self.expr()?;
+                    self.expect(Token::RBracket, "`]`")?;
+                    e = Expr::Index { arr: Box::new(e), idx: Box::new(idx), line };
+                }
+                _ => break,
+            }
+        }
+        Ok(e)
+    }
+
+    fn primary(&mut self) -> Result<Expr, CompileError> {
+        let line = self.line();
+        match self.bump() {
+            Token::Int(n) => Ok(Expr::Int(n)),
+            Token::KwNull => Ok(Expr::Null),
+            Token::LParen => {
+                let e = self.expr()?;
+                self.expect(Token::RParen, "`)`")?;
+                Ok(e)
+            }
+            Token::KwNewRegion => {
+                self.expect(Token::LParen, "`(`")?;
+                self.expect(Token::RParen, "`)`")?;
+                Ok(Expr::NewRegion)
+            }
+            Token::KwTraditionalRegion => {
+                self.expect(Token::LParen, "`(`")?;
+                self.expect(Token::RParen, "`)`")?;
+                Ok(Expr::TraditionalRegion)
+            }
+            Token::KwNewSubregion => {
+                self.expect(Token::LParen, "`(`")?;
+                let r = self.expr()?;
+                self.expect(Token::RParen, "`)`")?;
+                Ok(Expr::NewSubregion(Box::new(r)))
+            }
+            Token::KwDeleteRegion => {
+                self.expect(Token::LParen, "`(`")?;
+                let r = self.expr()?;
+                self.expect(Token::RParen, "`)`")?;
+                Ok(Expr::DeleteRegion(Box::new(r), line))
+            }
+            Token::KwRegionOf => {
+                self.expect(Token::LParen, "`(`")?;
+                let r = self.expr()?;
+                self.expect(Token::RParen, "`)`")?;
+                Ok(Expr::RegionOf(Box::new(r), line))
+            }
+            Token::KwAssert => {
+                self.expect(Token::LParen, "`(`")?;
+                let e = self.expr()?;
+                self.expect(Token::RParen, "`)`")?;
+                Ok(Expr::Assert(Box::new(e), line))
+            }
+            Token::KwRalloc => {
+                self.expect(Token::LParen, "`(`")?;
+                let region = self.expr()?;
+                self.expect(Token::Comma, "`,`")?;
+                let ty = self.alloc_type()?;
+                self.expect(Token::RParen, "`)`")?;
+                Ok(Expr::Ralloc { region: Box::new(region), ty, line })
+            }
+            Token::KwRarrayAlloc => {
+                self.expect(Token::LParen, "`(`")?;
+                let region = self.expr()?;
+                self.expect(Token::Comma, "`,`")?;
+                let count = self.expr()?;
+                self.expect(Token::Comma, "`,`")?;
+                let ty = self.alloc_type()?;
+                self.expect(Token::RParen, "`)`")?;
+                Ok(Expr::RarrayAlloc { region: Box::new(region), count: Box::new(count), ty, line })
+            }
+            Token::Ident(name) => {
+                if *self.peek() == Token::LParen {
+                    self.bump();
+                    let mut args = Vec::new();
+                    if *self.peek() != Token::RParen {
+                        loop {
+                            args.push(self.expr()?);
+                            if *self.peek() == Token::Comma {
+                                self.bump();
+                            } else {
+                                break;
+                            }
+                        }
+                    }
+                    self.expect(Token::RParen, "`)`")?;
+                    Ok(Expr::Call { name, args, line })
+                } else {
+                    Ok(Expr::Var(name, line))
+                }
+            }
+            other => Err(self.err(format!("expected an expression, found {other:?}"))),
+        }
+    }
+
+    /// The type argument of `ralloc`/`rarrayalloc`: `struct T` or `int`
+    /// (no `*` — it names the *allocated* type, as in the paper's
+    /// `ralloc(r, struct rlist)`).
+    fn alloc_type(&mut self) -> Result<TypeExpr, CompileError> {
+        match self.bump() {
+            Token::KwStruct => {
+                let name = self.ident("struct name")?;
+                Ok(TypeExpr::StructPtr { name, qual: Qual::None })
+            }
+            Token::KwInt => Ok(TypeExpr::Int),
+            other => Err(self.err(format!("expected `struct T` or `int`, found {other:?}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_figure1() {
+        let src = r#"
+            struct finfo { int sz; };
+            struct rlist {
+                struct rlist *sameregion next;
+                struct finfo *sameregion data;
+            };
+            int main() deletes {
+                struct rlist *rl;
+                struct rlist *last = null;
+                region r = newregion();
+                int i = 0;
+                while (i < 100) {
+                    rl = ralloc(r, struct rlist);
+                    rl->data = ralloc(r, struct finfo);
+                    rl->data->sz = i;
+                    rl->next = last;
+                    last = rl;
+                    i = i + 1;
+                }
+                deleteregion(r);
+                return 0;
+            }
+        "#;
+        let ast = parse(src).unwrap();
+        assert_eq!(ast.structs.len(), 2);
+        assert_eq!(ast.funcs.len(), 1);
+        assert!(ast.funcs[0].deletes);
+        assert_eq!(ast.structs[1].fields.len(), 2);
+    }
+
+    #[test]
+    fn parses_globals_and_arrays() {
+        let src = r#"
+            struct t { int x; };
+            struct t *objects[100];
+            int counter;
+            region current;
+            void f() {
+                int stack[16];
+                stack[0] = 1;
+                objects[3] = null;
+            }
+        "#;
+        let ast = parse(src).unwrap();
+        assert_eq!(ast.globals.len(), 3);
+        assert_eq!(ast.globals[0].array_len, Some(100));
+        assert_eq!(ast.globals[1].array_len, None);
+    }
+
+    #[test]
+    fn parses_qualifiers() {
+        let src = r#"
+            struct n {
+                struct n *sameregion a;
+                struct n *parentptr b;
+                struct n *traditional c;
+                struct n *d;
+            };
+        "#;
+        let ast = parse(src).unwrap();
+        let q = |i: usize| match &ast.structs[0].fields[i].0 {
+            TypeExpr::StructPtr { qual, .. } => *qual,
+            _ => panic!(),
+        };
+        assert_eq!(q(0), Qual::SameRegion);
+        assert_eq!(q(1), Qual::ParentPtr);
+        assert_eq!(q(2), Qual::Traditional);
+        assert_eq!(q(3), Qual::None);
+    }
+
+    #[test]
+    fn sites_are_unique() {
+        let src = "void f() { int a; int b; a = 1; b = 2; a = b; }";
+        let ast = parse(src).unwrap();
+        let mut sites = Vec::new();
+        fn collect(e: &Expr, out: &mut Vec<SiteId>) {
+            if let Expr::Assign { site, rhs, lhs, .. } = e {
+                out.push(*site);
+                collect(lhs, out);
+                collect(rhs, out);
+            }
+        }
+        for item in &ast.funcs[0].body {
+            if let BlockItem::Stmt(Stmt::Expr(e)) = item {
+                collect(e, &mut sites);
+            }
+        }
+        sites.sort();
+        sites.dedup();
+        assert_eq!(sites.len(), 3);
+    }
+
+    #[test]
+    fn rejects_pointer_to_pointer() {
+        assert!(parse("struct t { int x; }; struct t **p;").is_err());
+    }
+
+    #[test]
+    fn rejects_missing_semicolon() {
+        assert!(parse("void f() { return 1 }").is_err());
+    }
+
+    #[test]
+    fn parses_for_loops_and_operators() {
+        let src = r#"
+            int sum() {
+                int s = 0;
+                int i;
+                for (i = 0; i < 10 && s >= 0; i = i + 1) {
+                    s = s + i * 2 % 7 - 1 / 1;
+                }
+                for (;;) { return s; }
+                return -s;
+            }
+        "#;
+        assert!(parse(src).is_ok());
+    }
+
+    #[test]
+    fn parses_region_api() {
+        let src = r#"
+            struct t { int x; };
+            void f() deletes {
+                region r = newregion();
+                region s = newsubregion(r);
+                struct t *p = ralloc(s, struct t);
+                int *a = rarrayalloc(r, 10, int);
+                assert(regionof(p) == s);
+                deleteregion(s);
+                deleteregion(r);
+            }
+        "#;
+        assert!(parse(src).is_ok(), "{:?}", parse(src));
+    }
+}

@@ -1,0 +1,171 @@
+//! Tokens of the RC dialect.
+//!
+//! RC is "essentially C with a region library and a few type annotations"
+//! (paper §3). The dialect implemented here is the C-like subset the
+//! paper's programs exercise: struct declarations, functions, globals,
+//! integer arithmetic, pointers with the three qualifiers, and the region
+//! API of Figure 2 as keywords.
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Token {
+    // Literals and identifiers.
+    /// Integer literal.
+    Int(i64),
+    /// Identifier.
+    Ident(String),
+
+    // Keywords.
+    /// `struct`
+    KwStruct,
+    /// `int`
+    KwInt,
+    /// `void`
+    KwVoid,
+    /// `region`
+    KwRegion,
+    /// `if`
+    KwIf,
+    /// `else`
+    KwElse,
+    /// `while`
+    KwWhile,
+    /// `for`
+    KwFor,
+    /// `return`
+    KwReturn,
+    /// `null` (also `NULL`)
+    KwNull,
+    /// `static`
+    KwStatic,
+    /// `sameregion`
+    KwSameRegion,
+    /// `parentptr`
+    KwParentPtr,
+    /// `traditional`
+    KwTraditional,
+    /// `deletes`
+    KwDeletes,
+    /// `ralloc`
+    KwRalloc,
+    /// `rarrayalloc`
+    KwRarrayAlloc,
+    /// `newregion`
+    KwNewRegion,
+    /// `newsubregion`
+    KwNewSubregion,
+    /// `deleteregion`
+    KwDeleteRegion,
+    /// `regionof`
+    KwRegionOf,
+    /// `assert`
+    KwAssert,
+    /// `traditionalregion`
+    KwTraditionalRegion,
+
+    // Punctuation and operators.
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `;`
+    Semi,
+    /// `,`
+    Comma,
+    /// `*`
+    Star,
+    /// `=`
+    Assign,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// `!`
+    Not,
+    /// `&&`
+    AndAnd,
+    /// `||`
+    OrOr,
+    /// `->`
+    Arrow,
+    /// End of input.
+    Eof,
+}
+
+impl Token {
+    /// Keyword lookup for an identifier-shaped word.
+    pub fn keyword(word: &str) -> Option<Token> {
+        Some(match word {
+            "struct" => Token::KwStruct,
+            "int" => Token::KwInt,
+            "void" => Token::KwVoid,
+            "region" => Token::KwRegion,
+            "if" => Token::KwIf,
+            "else" => Token::KwElse,
+            "while" => Token::KwWhile,
+            "for" => Token::KwFor,
+            "return" => Token::KwReturn,
+            "null" | "NULL" => Token::KwNull,
+            "static" => Token::KwStatic,
+            "sameregion" => Token::KwSameRegion,
+            "parentptr" => Token::KwParentPtr,
+            "traditional" => Token::KwTraditional,
+            "deletes" => Token::KwDeletes,
+            "ralloc" => Token::KwRalloc,
+            "rarrayalloc" => Token::KwRarrayAlloc,
+            "newregion" => Token::KwNewRegion,
+            "newsubregion" => Token::KwNewSubregion,
+            "deleteregion" => Token::KwDeleteRegion,
+            "regionof" => Token::KwRegionOf,
+            "assert" => Token::KwAssert,
+            "traditionalregion" => Token::KwTraditionalRegion,
+            _ => return None,
+        })
+    }
+}
+
+/// A token plus its source line (for diagnostics).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Spanned {
+    /// The token.
+    pub tok: Token,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keywords_resolve() {
+        assert_eq!(Token::keyword("sameregion"), Some(Token::KwSameRegion));
+        assert_eq!(Token::keyword("NULL"), Some(Token::KwNull));
+        assert_eq!(Token::keyword("null"), Some(Token::KwNull));
+        assert_eq!(Token::keyword("frobnicate"), None);
+    }
+}

@@ -1,0 +1,114 @@
+//! Robustness properties of the RC front end: the compiler must never
+//! panic — any input is either accepted or rejected with a diagnostic —
+//! and accepted programs must run deterministically.
+
+use proptest::prelude::*;
+use rc_lang::interp::{prepare, run, Outcome};
+use rc_lang::RunConfig;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Arbitrary byte soup never panics the lexer/parser/sema pipeline.
+    #[test]
+    fn compiler_never_panics_on_garbage(src in "\\PC{0,200}") {
+        let _ = rc_lang::compile(&src);
+    }
+
+    /// Token-shaped soup (keywords, punctuation, idents) never panics.
+    #[test]
+    fn compiler_never_panics_on_token_soup(
+        toks in proptest::collection::vec(
+            prop_oneof![
+                Just("struct"), Just("int"), Just("region"), Just("if"),
+                Just("while"), Just("return"), Just("deletes"), Just("null"),
+                Just("sameregion"), Just("parentptr"), Just("traditional"),
+                Just("ralloc"), Just("newregion"), Just("deleteregion"),
+                Just("{"), Just("}"), Just("("), Just(")"), Just(";"),
+                Just("*"), Just("="), Just("=="), Just("->"), Just("["),
+                Just("]"), Just(","), Just("x"), Just("main"), Just("7"),
+            ],
+            0..60,
+        )
+    ) {
+        let src = toks.join(" ");
+        let _ = rc_lang::compile(&src);
+    }
+
+    /// A generated family of straight-line list programs: compile, run
+    /// under RC and under lea, and agree on the exit code.
+    #[test]
+    fn generated_list_programs_agree_across_backends(
+        n in 1..40u32,
+        vals in proptest::collection::vec(0..100i64, 1..8),
+    ) {
+        let stores: String = vals
+            .iter()
+            .enumerate()
+            .map(|(i, v)| format!("n->v = n->v + {v} * {};\n", i + 1))
+            .collect();
+        let src = format!(
+            r#"
+            struct cell {{ int v; struct cell *sameregion next; }};
+            int main() deletes {{
+                region r = newregion();
+                struct cell *list = null;
+                int i;
+                for (i = 0; i < {n}; i = i + 1) {{
+                    struct cell *n = ralloc(r, struct cell);
+                    n->v = i;
+                    {stores}
+                    n->next = list;
+                    list = n;
+                }}
+                int sum = 0;
+                while (list != null) {{ sum = (sum + list->v) % 65536; list = list->next; }}
+                deleteregion(r);
+                return sum;
+            }}
+            "#
+        );
+        let c = prepare(&src).expect("generated program compiles");
+        let rc = run(&c, &RunConfig::rc_inf());
+        let lea = run(&c, &RunConfig::lea());
+        let (Outcome::Exit(a), Outcome::Exit(b)) = (&rc.outcome, &lea.outcome) else {
+            panic!("runs did not exit: {:?} / {:?}", rc.outcome, lea.outcome);
+        };
+        prop_assert_eq!(a, b);
+        // Everything was in one region: all sameregion checks eliminated.
+        prop_assert_eq!(rc.stats.checks_sameregion, 0);
+    }
+
+    /// Run determinism: the same compiled program under the same config
+    /// produces identical stats.
+    #[test]
+    fn runs_are_deterministic(n in 1..30u32) {
+        let src = format!(
+            r#"
+            struct t {{ int x; struct t *next; }};
+            int main() deletes {{
+                region a = newregion();
+                region b = newregion();
+                struct t *p = ralloc(a, struct t);
+                int i;
+                for (i = 0; i < {n}; i = i + 1) {{
+                    struct t *q = ralloc(b, struct t);
+                    p->next = q;
+                    q->x = i;
+                }}
+                p->next = null;
+                p = null;
+                deleteregion(b);
+                deleteregion(a);
+                return 0;
+            }}
+            "#
+        );
+        let c = prepare(&src).expect("compiles");
+        let r1 = run(&c, &RunConfig::rc_inf());
+        let r2 = run(&c, &RunConfig::rc_inf());
+        prop_assert_eq!(r1.outcome, r2.outcome);
+        prop_assert_eq!(r1.stats, r2.stats);
+        prop_assert_eq!(r1.cycles, r2.cycles);
+    }
+}

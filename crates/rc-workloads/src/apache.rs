@@ -1,0 +1,207 @@
+//! **apache** — the Apache web server's request handling.
+//!
+//! The original (62,289 lines ported to RC) "uses subregions to handle
+//! sub-requests created to handle an original request. On our test input,
+//! 10% of runtime pointer assignments in Apache are to pointers that
+//! always stay within the same region or point to a parent region. We
+//! capture these pointers with a parentptr type qualifier." Table 3: 31%
+//! statically safe (the paper's own measurement was noisy for apache).
+//!
+//! The miniature serves a stream of connections: each connection gets a
+//! region; each request a subregion of the connection; internal redirects
+//! spawn sub-requests in sub-subregions whose `parentptr` back-links are
+//! built two ways — directly (verified) and through a dispatch helper
+//! called with mixed region arguments (kept as runtime checks). Header
+//! lists are `sameregion`; the keep-alive table holds counted
+//! cross-region pointers.
+
+use crate::{Scale, Workload};
+
+/// The apache workload.
+pub fn workload() -> Workload {
+    Workload {
+        name: "apache",
+        description: "connection/request/subrequest handling with subregions",
+        source,
+    }
+}
+
+/// RC source at the given scale.
+pub fn source(scale: Scale) -> String {
+    let connections = 6 * scale.0;
+    format!(
+        r#"
+// apache: per-connection regions, per-request subregions, parentptr
+// back-links from sub-requests.
+struct hdr {{ int key; int val; struct hdr *sameregion next; }};
+struct req {{
+    int id;
+    int status;
+    struct hdr *sameregion hdrs;
+    struct req *parentptr parent;
+}};
+struct conn {{ int fd; int nreq; struct req *cur; }};
+
+struct req *keepalive[8];
+struct hdr *curhdrs;
+int kidx;
+int rng;
+
+static int rnd(int m) {{
+    rng = (rng * 69069 + 5) % 2147483647;
+    if (rng < 0) {{ rng = -rng; }}
+    return rng % m;
+}}
+
+// Header chains are threaded through a global cursor (as Apache's pool
+// cursor was): same region at runtime, opaque to the analysis.
+static struct hdr *add_hdr(struct req *r, int k, int v) {{
+    struct hdr *h = ralloc(regionof(r), struct hdr);
+    h->key = k;
+    h->val = v;
+    if (k % 8 == 7) {{
+        curhdrs = r->hdrs;
+        h->next = curhdrs;
+        curhdrs = h;
+        r->hdrs = curhdrs;
+        curhdrs = null;
+    }} else {{
+        h->next = r->hdrs;
+        r->hdrs = h;
+    }}
+    return h;
+}}
+
+static struct req *mkreq(region rr, int id) {{
+    struct req *r = ralloc(rr, struct req);
+    r->id = id;
+    r->status = 200;
+    // hdrs/parent start null (ralloc zeroes).
+    return r;
+}}
+
+// Dispatch helper with mixed call sites: sometimes the parent comes from
+// the keep-alive table (region unknown), so the parentptr store stays a
+// runtime check.
+static void link_parent(struct req *child, struct req *parent) {{
+    child->parent = parent;
+}}
+
+static int handle_subrequest(region reqr, struct req *parent, int depth) deletes {{
+    region sub = newsubregion(reqr);
+    struct req *s = mkreq(sub, parent->id * 10 + depth);
+    // All parent links go through the dispatch helper, whose mixed call
+    // sites keep the parentptr store as a runtime check.
+    link_parent(s, parent);
+    add_hdr(s, 1, depth);
+    add_hdr(s, 2, parent->id);
+    int out = 0;
+    struct hdr *h = s->hdrs;
+    while (h != null) {{
+        out = (out + h->key * 31 + h->val) % 1000003;
+        h = h->next;
+    }}
+    if (depth < 2 && rnd(3) == 0) {{
+        out = (out + handle_subrequest(sub, s, depth + 1)) % 1000003;
+    }}
+    s = null;
+    h = null;
+    deleteregion(sub);
+    return out;
+}}
+
+static int handle_request(region connr, struct conn *c, int id) deletes {{
+    region reqr = newsubregion(connr);
+    struct req *r = mkreq(reqr, id);
+    c->cur = r;
+    int nh = 3 + rnd(4);
+    int i;
+    for (i = 0; i < nh; i = i + 1) {{
+        add_hdr(r, i, rnd(100));
+    }}
+    if (rnd(16) == 0) {{
+        // Redispatch through the keep-alive table: this call site is what
+        // keeps add_hdr's stores as runtime checks.
+        keepalive[6] = r;
+        struct req *rr = keepalive[6];
+        if (rr != null) {{
+            add_hdr(rr, 99, 1);
+        }}
+        keepalive[6] = null;
+        rr = null;
+    }}
+    // Internal redirect via the dispatch helper: parent argument comes
+    // from the keep-alive table half the time (unverifiable site).
+    if (keepalive[kidx % 8] != null && rnd(2) == 0) {{
+        link_parent(r, r);
+    }}
+    int out = handle_subrequest(reqr, r, 1);
+    struct hdr *h = r->hdrs;
+    while (h != null) {{
+        out = (out + h->val) % 1000003;
+        h = h->next;
+    }}
+    // Render the response body (the bulk of a real request's CPU time).
+    int body = 0;
+    int b;
+    for (b = 0; b < 220; b = b + 1) {{
+        body = (body * 33 + out + b) % 1000003;
+    }}
+    out = (out + body) % 1000003;
+    c->cur = null;
+    r = null;
+    h = null;
+    deleteregion(reqr);
+    return out;
+}}
+
+int main() deletes {{
+    rng = 987654321;
+    kidx = 0;
+    int connections = {connections};
+    int checksum = 0;
+    int cn;
+    for (cn = 0; cn < connections; cn = cn + 1) {{
+        region connr = newregion();
+        struct conn *c = ralloc(connr, struct conn);
+        c->fd = cn;
+        c->nreq = 2 + rnd(3);
+        int q;
+        for (q = 0; q < c->nreq; q = q + 1) {{
+            checksum = (checksum + handle_request(connr, c, cn * 100 + q)) % 1000003;
+        }}
+        // Park a pointer in the keep-alive table (counted, cross-region),
+        // re-link it through the table (the unverifiable dispatch site),
+        // then clear it before the connection dies.
+        struct req *park = mkreq(connr, cn);
+        keepalive[kidx % 8] = park;
+        kidx = kidx + 1;
+        struct req *ka = keepalive[(kidx - 1) % 8];
+        struct req *ka2 = keepalive[(kidx - 1) % 8];
+        if (ka != null && ka2 != null) {{
+            link_parent(ka, ka2);
+        }}
+        ka = null;
+        ka2 = null;
+        park = null;
+        keepalive[(kidx - 1) % 8] = null;
+        c = null;
+        deleteregion(connr);
+    }}
+    assert(checksum >= 0);
+    return checksum;
+}}
+"#
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::smoke_all_configs;
+
+    #[test]
+    fn apache_runs_everywhere() {
+        smoke_all_configs(&workload());
+    }
+}

@@ -1,0 +1,172 @@
+//! **cfrac** — continued-fraction integer factoring.
+//!
+//! The original (4,203 lines, 3.8M allocations) factors large integers
+//! with hand-written reference counting (disabled under RC/GC). Its
+//! profile per the paper: "essentially all pointer assignments are of
+//! pointers to local variables used for by-reference parameters" —
+//! reference-counting overhead is negligible (0.4% under RC), and about
+//! half of the few annotated assignments verify statically (Table 3: 8
+//! keywords, 50% safe).
+//!
+//! The miniature factors a stream of composite numbers with base-10000
+//! big integers: one region per candidate, a storm of local pointer
+//! shuffling in the arithmetic helpers, `sameregion` digit arrays
+//! allocated via the `regionof` idiom (verified), and a result-pair cache
+//! whose second slot flows through a global (unverified, checked at
+//! runtime).
+
+use crate::{Scale, Workload};
+
+/// The cfrac workload.
+pub fn workload() -> Workload {
+    Workload {
+        name: "cfrac",
+        description: "continued-fraction factoring with big integers",
+        source,
+    }
+}
+
+/// RC source at the given scale.
+pub fn source(scale: Scale) -> String {
+    let rounds = 40 * scale.0;
+    format!(
+        r#"
+// cfrac: big-integer factoring. Base-10000 limbs in sameregion arrays.
+struct big {{ int len; int *sameregion d; }};
+// Result pair: a stays local (verified), b flows through a global
+// (defeats the analysis; checked at runtime).
+struct pair {{ struct big *sameregion a; struct big *sameregion b; }};
+struct big *gscratch;
+int *gdigits;
+
+static struct big *big_from(region r, int n) {{
+    struct big *b = ralloc(r, struct big);
+    b->d = rarrayalloc(regionof(b), 12, int);
+    b->len = 0;
+    while (n > 0) {{
+        b->d[b->len] = n % 10000;
+        n = n / 10000;
+        b->len = b->len + 1;
+    }}
+    if (b->len == 0) {{ b->d[0] = 0; b->len = 1; }}
+    return b;
+}}
+
+static struct big *big_mul_small(region r, struct big *x, int m) {{
+    struct big *res = ralloc(r, struct big);
+    if (m % 16 == 0) {{
+        // Rare slow path: the digit array trips through a global (as the
+        // original's shared temporaries did) — same region at runtime,
+        // opaque statically.
+        gdigits = rarrayalloc(regionof(res), x->len + 4, int);
+        res->d = gdigits;
+        gdigits = null;
+    }} else {{
+        res->d = rarrayalloc(regionof(res), x->len + 4, int);
+    }}
+    int carry = 0;
+    int i;
+    for (i = 0; i < x->len; i = i + 1) {{
+        int v = x->d[i] * m + carry;
+        res->d[i] = v % 10000;
+        carry = v / 10000;
+    }}
+    res->len = x->len;
+    while (carry > 0) {{
+        res->d[res->len] = carry % 10000;
+        carry = carry / 10000;
+        res->len = res->len + 1;
+    }}
+    return res;
+}}
+
+static struct big *big_add_small(region r, struct big *x, int a) {{
+    struct big *res = ralloc(r, struct big);
+    if (a % 16 == 15) {{
+        gdigits = rarrayalloc(regionof(res), x->len + 4, int);
+        res->d = gdigits;
+        gdigits = null;
+    }} else {{
+        res->d = rarrayalloc(regionof(res), x->len + 4, int);
+    }}
+    int carry = a;
+    int i;
+    for (i = 0; i < x->len; i = i + 1) {{
+        int v = x->d[i] + carry;
+        res->d[i] = v % 10000;
+        carry = v / 10000;
+    }}
+    res->len = x->len;
+    while (carry > 0) {{
+        res->d[res->len] = carry % 10000;
+        carry = carry / 10000;
+        res->len = res->len + 1;
+    }}
+    return res;
+}}
+
+static int big_mod_small(struct big *x, int m) {{
+    int rem = 0;
+    int i;
+    for (i = x->len - 1; i >= 0; i = i - 1) {{
+        rem = (rem * 10000 + x->d[i]) % m;
+    }}
+    return rem;
+}}
+
+int main() deletes {{
+    int rounds = {rounds};
+    int checksum = 0;
+    int t;
+    for (t = 0; t < rounds; t = t + 1) {{
+        region r = newregion();
+        struct big *n = big_from(r, 9973 + t * 17);
+        struct big *tmp;
+        int k;
+        // Build the candidate: lots of local pointer shuffling, the
+        // cfrac signature.
+        for (k = 0; k < 6; k = k + 1) {{
+            tmp = big_mul_small(r, n, 37 + k);
+            n = tmp;
+            tmp = big_add_small(r, n, k + 1);
+            n = tmp;
+        }}
+        // Cache the (n, scratch) pair; the global hop defeats inference.
+        struct pair *p = ralloc(r, struct pair);
+        p->a = n;
+        if (t % 8 == 0) {{
+            gscratch = n;
+            p->b = gscratch;
+            gscratch = null;
+        }} else {{
+            p->b = p->a;
+        }}
+        // Trial division.
+        int d;
+        for (d = 2; d < 60; d = d + 1) {{
+            if (big_mod_small(p->a, d) == 0) {{
+                checksum = checksum + d;
+            }}
+        }}
+        n = null;
+        tmp = null;
+        p = null;
+        deleteregion(r);
+    }}
+    assert(checksum > 0);
+    return checksum % 1000000;
+}}
+"#
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::smoke_all_configs;
+
+    #[test]
+    fn cfrac_runs_everywhere() {
+        smoke_all_configs(&workload());
+    }
+}

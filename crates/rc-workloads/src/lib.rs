@@ -1,0 +1,99 @@
+#![warn(missing_docs)]
+
+//! # rc-workloads — the eight PLDI 2001 benchmarks
+//!
+//! RC-dialect reimplementations of the benchmark suite from Gay & Aiken,
+//! *Language Support for Regions*: cfrac, gröbner, mudlle, lcc, moss,
+//! tile, rc and apache. The originals are tens of thousands of lines of C
+//! we cannot rerun; each module here is a miniature that reproduces the
+//! benchmark's *allocation and pointer-assignment profile* — the quantities
+//! the paper's evaluation actually measures:
+//!
+//! - which data structures live in regions and how they are annotated
+//!   (Table 3's keyword counts and the §5.2 idioms that do / do not
+//!   verify);
+//! - the runtime mix of local / annotated / counted pointer assignments
+//!   (Figure 9);
+//! - the allocation volume and lifetime shape (Table 1, Figure 7);
+//! - the reference-counting and check overheads (Table 2, Figure 8).
+//!
+//! Each workload is a deterministic, self-checking program (it `assert`s a
+//! checksum) that runs identically under every backend, so a wrong answer
+//! in any configuration fails loudly.
+
+pub mod apache;
+pub mod cfrac;
+pub mod driver;
+pub mod grobner;
+pub mod lcc;
+pub mod moss;
+pub mod mudlle;
+pub mod paper;
+pub mod rcc;
+pub mod tile;
+
+/// Workload size, as a multiplier over the per-workload base iteration
+/// counts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Scale(pub u32);
+
+impl Scale {
+    /// Fast enough for unit tests (fractions of a second per run).
+    pub const TINY: Scale = Scale(1);
+    /// Default for table/figure generation.
+    pub const SMALL: Scale = Scale(8);
+    /// For benchmarking runs.
+    pub const FULL: Scale = Scale(40);
+}
+
+/// A benchmark program.
+#[derive(Clone)]
+pub struct Workload {
+    /// Benchmark name, matching the paper's tables.
+    pub name: &'static str,
+    /// What the original program did.
+    pub description: &'static str,
+    /// Produces the RC source at a given scale.
+    pub source: fn(Scale) -> String,
+}
+
+impl std::fmt::Debug for Workload {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Workload").field("name", &self.name).finish()
+    }
+}
+
+/// All eight workloads, in the paper's table order.
+pub fn all() -> Vec<Workload> {
+    vec![
+        cfrac::workload(),
+        grobner::workload(),
+        mudlle::workload(),
+        lcc::workload(),
+        moss::workload(),
+        tile::workload(),
+        rcc::workload(),
+        apache::workload(),
+    ]
+}
+
+/// Looks up a workload by name.
+pub fn by_name(name: &str) -> Option<Workload> {
+    all().into_iter().find(|w| w.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_matches_paper_order() {
+        let names: Vec<&str> = all().iter().map(|w| w.name).collect();
+        assert_eq!(
+            names,
+            vec!["cfrac", "grobner", "mudlle", "lcc", "moss", "tile", "rc", "apache"]
+        );
+        assert!(by_name("moss").is_some());
+        assert!(by_name("nope").is_none());
+    }
+}

@@ -1,0 +1,163 @@
+//! The paper's reported numbers, transcribed for side-by-side comparison.
+//!
+//! EXPERIMENTS.md and the table generators print these next to our
+//! measurements. We reproduce *shapes* (who wins, roughly by how much,
+//! which benchmarks verify), not the absolute 2001 SPARC timings.
+
+/// One row of the paper's evaluation, per benchmark.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PaperRow {
+    /// Benchmark name.
+    pub name: &'static str,
+    /// Table 1: lines of code of the original program.
+    pub lines: u32,
+    /// Table 1: number of allocations.
+    pub allocs: u64,
+    /// Table 1: total memory allocated (kB).
+    pub mem_alloc_kb: u64,
+    /// Table 1: maximum memory in use (kB).
+    pub max_use_kb: u64,
+    /// Table 2: RC reference-counting overhead as % of execution time
+    /// (None where the paper's measurement was below noise / omitted).
+    pub rc_overhead_pct: Option<f64>,
+    /// Table 2: C@ reference-counting overhead as % of execution time.
+    pub cat_overhead_pct: Option<f64>,
+    /// Table 3: annotation keywords added.
+    pub keywords: u32,
+    /// Table 3: % of annotated assignment sites proven safe statically.
+    pub safe_assign_pct: f64,
+    /// §5/Figure 9 narrative: % of runtime (non-local) pointer assignments
+    /// of annotated types (lower bound stated in the paper: ≥39% on all
+    /// benchmarks except cfrac).
+    pub annotated_assign_floor_pct: Option<f64>,
+}
+
+/// All eight rows, in table order.
+pub fn rows() -> Vec<PaperRow> {
+    vec![
+        PaperRow {
+            name: "cfrac",
+            lines: 4_203,
+            allocs: 3_812_425,
+            mem_alloc_kb: 56_076,
+            max_use_kb: 102,
+            rc_overhead_pct: Some(0.4),
+            cat_overhead_pct: Some(6.0),
+            keywords: 8,
+            safe_assign_pct: 50.0,
+            annotated_assign_floor_pct: None, // the paper's outlier
+        },
+        PaperRow {
+            name: "grobner",
+            lines: 3_219,
+            allocs: 5_971_710,
+            mem_alloc_kb: 312_992,
+            max_use_kb: 474,
+            rc_overhead_pct: Some(0.7),
+            cat_overhead_pct: Some(7.0),
+            keywords: 22,
+            safe_assign_pct: 80.0,
+            annotated_assign_floor_pct: Some(39.0),
+        },
+        PaperRow {
+            name: "mudlle",
+            lines: 5_078,
+            allocs: 1_594_372,
+            mem_alloc_kb: 22_354,
+            max_use_kb: 210,
+            rc_overhead_pct: Some(6.0),
+            cat_overhead_pct: Some(13.0),
+            keywords: 21,
+            safe_assign_pct: 88.0,
+            annotated_assign_floor_pct: Some(39.0),
+        },
+        PaperRow {
+            name: "lcc",
+            lines: 12_430,
+            allocs: 1_002_210,
+            mem_alloc_kb: 55_637,
+            max_use_kb: 4_121,
+            rc_overhead_pct: Some(11.0),
+            cat_overhead_pct: Some(17.0),
+            keywords: 331,
+            safe_assign_pct: 31.0,
+            annotated_assign_floor_pct: Some(39.0),
+        },
+        PaperRow {
+            name: "moss",
+            lines: 2_675,
+            allocs: 553_986,
+            mem_alloc_kb: 6_312,
+            max_use_kb: 2_185,
+            rc_overhead_pct: Some(-0.5), // measured negative: noise
+            cat_overhead_pct: Some(2.0),
+            keywords: 22,
+            safe_assign_pct: 89.0,
+            annotated_assign_floor_pct: Some(39.0),
+        },
+        PaperRow {
+            name: "tile",
+            lines: 926,
+            allocs: 10_459,
+            mem_alloc_kb: 309,
+            max_use_kb: 153,
+            rc_overhead_pct: Some(0.0),
+            cat_overhead_pct: Some(0.4),
+            keywords: 0,
+            safe_assign_pct: 84.0,
+            annotated_assign_floor_pct: Some(99.9),
+        },
+        PaperRow {
+            name: "rc",
+            lines: 22_823,
+            allocs: 81_093,
+            mem_alloc_kb: 4_714,
+            max_use_kb: 4_214,
+            rc_overhead_pct: Some(4.0),
+            cat_overhead_pct: None, // rc was not ported to C@
+            keywords: 64,
+            safe_assign_pct: 11.0,
+            annotated_assign_floor_pct: Some(39.0),
+        },
+        PaperRow {
+            name: "apache",
+            lines: 62_289,
+            allocs: 164_296,
+            mem_alloc_kb: 30_806,
+            max_use_kb: 78,
+            rc_overhead_pct: Some(8.0),
+            cat_overhead_pct: None, // apache was not ported to C@
+            keywords: 0,
+            safe_assign_pct: 31.0,
+            annotated_assign_floor_pct: Some(10.0), // parentptr share
+        },
+    ]
+}
+
+/// Looks up the paper row for a benchmark.
+pub fn row(name: &str) -> Option<PaperRow> {
+    rows().into_iter().find(|r| r.name == name)
+}
+
+/// Headline Figure 8 deltas: "without any qualifiers the reference count
+/// overhead of lcc would be 27% instead of 11%, and the overhead of mudlle
+/// would be 23% instead of 6%".
+pub const LCC_NQ_OVERHEAD_PCT: f64 = 27.0;
+/// See [`LCC_NQ_OVERHEAD_PCT`].
+pub const MUDLLE_NQ_OVERHEAD_PCT: f64 = 23.0;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rows_cover_all_benchmarks() {
+        let names: Vec<&str> = rows().iter().map(|r| r.name).collect();
+        assert_eq!(
+            names,
+            vec!["cfrac", "grobner", "mudlle", "lcc", "moss", "tile", "rc", "apache"]
+        );
+        assert!(row("lcc").is_some());
+        assert_eq!(row("lcc").unwrap().safe_assign_pct, 31.0);
+    }
+}

@@ -1,0 +1,208 @@
+//! Region bump allocators.
+//!
+//! Each region has two allocators (paper §3.3.1): `normal` for objects that
+//! contain unannotated pointers, and `pointerfree` for "objects containing
+//! only non-pointer data or annotated pointers". The distinction pays off at
+//! deletion: pointerfree pages need not be scanned because they cannot hold
+//! references to other regions that were counted.
+
+use crate::addr::{Addr, WORDS_PER_PAGE};
+use crate::error::RtError;
+use crate::layout::TypeId;
+use crate::page::{PageOwner, PageStore};
+
+/// A record of one allocation (object start, element type, element count).
+///
+/// The paper's runtime recovers this information from per-allocation type
+/// tags laid out in the pages themselves; we keep an explicit allocation
+/// log per allocator, which is observationally equivalent for the
+/// delete-time scan and lets the heap auditor enumerate objects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AllocRecord {
+    /// Address of the first word of the object (or array).
+    pub addr: Addr,
+    /// Element type.
+    pub ty: TypeId,
+    /// Number of elements (1 for a plain `ralloc`).
+    pub count: u32,
+}
+
+/// A bump allocator over whole pages.
+#[derive(Debug, Default)]
+pub struct BumpAlloc {
+    /// Pages owned by this allocator, in acquisition order.
+    pages: Vec<u32>,
+    /// Next free word in the last page (WORDS_PER_PAGE when full/absent).
+    cursor: usize,
+    /// Log of every allocation, for scanning and auditing.
+    objs: Vec<AllocRecord>,
+    /// Total words handed out.
+    used_words: u64,
+}
+
+/// Result of one bump allocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BumpOutcome {
+    /// The object address.
+    pub addr: Addr,
+    /// Number of fresh pages acquired from the OS (expensive).
+    pub new_pages: usize,
+    /// Number of recycled pages taken from the free pool (cheap).
+    pub recycled_pages: usize,
+}
+
+impl BumpAlloc {
+    /// Creates an empty allocator.
+    pub fn new() -> BumpAlloc {
+        BumpAlloc { pages: Vec::new(), cursor: WORDS_PER_PAGE, objs: Vec::new(), used_words: 0 }
+    }
+
+    /// Allocates `words` words for `count` elements of type `ty`.
+    ///
+    /// Objects up to a page fit in the current page or a fresh one; larger
+    /// objects get a dedicated span of contiguous pages (blocks "whose size
+    /// is a multiple of the page size").
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RtError::OutOfMemory`] if the page budget is exhausted.
+    pub fn alloc(
+        &mut self,
+        store: &mut PageStore,
+        owner: PageOwner,
+        words: usize,
+        ty: TypeId,
+        count: u32,
+    ) -> Result<BumpOutcome, RtError> {
+        debug_assert!(words > 0);
+        let mut new_pages = 0;
+        let mut recycled_pages = 0;
+        let addr = if words > WORDS_PER_PAGE {
+            let span = words.div_ceil(WORDS_PER_PAGE);
+            let first = store.acquire_span(owner, span)?;
+            new_pages = span;
+            for i in 0..span as u32 {
+                self.pages.push(first + i);
+            }
+            // A large object consumes its whole span; the current small-object
+            // page (if any) is untouched, so the cursor is left alone.
+            Addr::from_parts(first, 0)
+        } else {
+            if self.cursor + words > WORDS_PER_PAGE {
+                let (p, recycled) = store.acquire2(owner)?;
+                if recycled {
+                    recycled_pages = 1;
+                } else {
+                    new_pages = 1;
+                }
+                self.pages.push(p);
+                self.cursor = 0;
+            }
+            let page = *self.pages.last().expect("page just ensured");
+            let a = Addr::from_parts(page, self.cursor as u32);
+            self.cursor += words;
+            a
+        };
+        self.objs.push(AllocRecord { addr, ty, count });
+        self.used_words += words as u64;
+        Ok(BumpOutcome { addr, new_pages, recycled_pages })
+    }
+
+    /// Releases every page back to the store and clears the log. Returns
+    /// the number of words that were in use (for the live-memory gauge).
+    pub fn release_all(&mut self, store: &mut PageStore) -> u64 {
+        for &p in &self.pages {
+            store.release(p);
+        }
+        self.pages.clear();
+        self.objs.clear();
+        self.cursor = WORDS_PER_PAGE;
+        std::mem::take(&mut self.used_words)
+    }
+
+    /// The allocation log.
+    pub fn objs(&self) -> &[AllocRecord] {
+        &self.objs
+    }
+
+    /// Words handed out and still live.
+    pub fn used_words(&self) -> u64 {
+        self.used_words
+    }
+
+    /// Pages currently owned.
+    pub fn page_count(&self) -> usize {
+        self.pages.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::region::RegionId;
+
+    fn setup() -> (PageStore, BumpAlloc) {
+        (PageStore::new(0), BumpAlloc::new())
+    }
+
+    const OWNER: PageOwner = PageOwner::Region(RegionId(1));
+    const TY: TypeId = TypeId(0);
+
+    #[test]
+    fn sequential_allocs_pack_one_page() {
+        let (mut store, mut a) = setup();
+        let x = a.alloc(&mut store, OWNER, 4, TY, 1).unwrap();
+        let y = a.alloc(&mut store, OWNER, 4, TY, 1).unwrap();
+        assert_eq!(x.new_pages, 1);
+        assert_eq!(y.new_pages, 0);
+        assert_eq!(x.addr.page(), y.addr.page());
+        assert_eq!(y.addr.word(), x.addr.word() + 4);
+        assert_eq!(a.used_words(), 8);
+    }
+
+    #[test]
+    fn page_overflow_gets_fresh_page() {
+        let (mut store, mut a) = setup();
+        let x = a.alloc(&mut store, OWNER, 1000, TY, 1).unwrap();
+        let y = a.alloc(&mut store, OWNER, 100, TY, 1).unwrap();
+        assert_ne!(x.addr.page(), y.addr.page());
+        assert_eq!(y.new_pages, 1);
+    }
+
+    #[test]
+    fn large_object_spans_contiguous_pages() {
+        let (mut store, mut a) = setup();
+        let x = a.alloc(&mut store, OWNER, 3000, TY, 1).unwrap();
+        assert_eq!(x.new_pages, 3);
+        assert_eq!(x.addr.word(), 0);
+        for i in 0..3 {
+            assert_eq!(store.owner(x.addr.page() + i), OWNER);
+        }
+    }
+
+    #[test]
+    fn release_all_returns_pages_and_words() {
+        let (mut store, mut a) = setup();
+        a.alloc(&mut store, OWNER, 10, TY, 1).unwrap();
+        a.alloc(&mut store, OWNER, 2000, TY, 1).unwrap();
+        let pages_before = a.page_count();
+        assert_eq!(pages_before, 3);
+        let words = a.release_all(&mut store);
+        assert_eq!(words, 2010);
+        assert_eq!(a.page_count(), 0);
+        assert!(a.objs().is_empty());
+        // Store can now recycle those pages.
+        let p = store.acquire(PageOwner::Gc).unwrap();
+        assert!(p <= 3);
+    }
+
+    #[test]
+    fn log_records_all_allocations() {
+        let (mut store, mut a) = setup();
+        a.alloc(&mut store, OWNER, 2, TypeId(7), 1).unwrap();
+        a.alloc(&mut store, OWNER, 6, TypeId(8), 3).unwrap();
+        assert_eq!(a.objs().len(), 2);
+        assert_eq!(a.objs()[1].ty, TypeId(8));
+        assert_eq!(a.objs()[1].count, 3);
+    }
+}

@@ -1,0 +1,118 @@
+//! Runtime error types.
+//!
+//! RC's dynamic safety guarantee is delivered through failures: a
+//! `deleteregion` whose region still has external references fails, and an
+//! assignment violating a `sameregion` / `parentptr` / `traditional`
+//! annotation aborts the program (paper §3.2, Figure 3(b)). In this
+//! reproduction "abort" surfaces as an [`RtError`] so tests can assert on
+//! the exact failure.
+
+use crate::addr::Addr;
+use crate::layout::PtrKind;
+use crate::region::RegionId;
+
+/// A failure detected by the region runtime.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RtError {
+    /// `deleteregion` on a region whose reference count is non-zero
+    /// (external pointers into it still exist).
+    DeleteWithLiveRefs {
+        /// The region being deleted.
+        region: RegionId,
+        /// Its reference count at the time of the call.
+        rc: i64,
+    },
+    /// `deleteregion` on a region that still has live subregions; the paper
+    /// requires subregions to be deleted before their parent.
+    DeleteWithSubregions {
+        /// The region being deleted.
+        region: RegionId,
+    },
+    /// Operating on a region that was already deleted.
+    RegionDead {
+        /// The stale region.
+        region: RegionId,
+    },
+    /// Deleting or reparenting the traditional region, which always exists.
+    TraditionalImmortal,
+    /// A Figure 3(b) annotation check failed; in RC this aborts the
+    /// program.
+    CheckFailed {
+        /// Which annotation was violated.
+        kind: PtrKind,
+        /// The object containing the assigned field.
+        obj: Addr,
+        /// Word offset of the field.
+        field: usize,
+        /// The offending value.
+        val: Addr,
+    },
+    /// `free` of an address that is not a live malloc allocation.
+    InvalidFree {
+        /// The bad address.
+        addr: Addr,
+    },
+    /// Access through a pointer into memory that is not live.
+    WildPointer {
+        /// The bad address.
+        addr: Addr,
+    },
+    /// The configured page budget was exhausted.
+    OutOfMemory,
+}
+
+impl std::fmt::Display for RtError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RtError::DeleteWithLiveRefs { region, rc } => write!(
+                f,
+                "deleteregion of {region:?} with {rc} live external reference(s)"
+            ),
+            RtError::DeleteWithSubregions { region } => {
+                write!(f, "deleteregion of {region:?} with live subregions")
+            }
+            RtError::RegionDead { region } => {
+                write!(f, "use of deleted region {region:?}")
+            }
+            RtError::TraditionalImmortal => {
+                write!(f, "the traditional region cannot be deleted")
+            }
+            RtError::CheckFailed { kind, obj, field, val } => write!(
+                f,
+                "{kind:?} annotation check failed storing {val} into field {field} of {obj}"
+            ),
+            RtError::InvalidFree { addr } => write!(f, "invalid free of {addr}"),
+            RtError::WildPointer { addr } => write!(f, "wild pointer access at {addr}"),
+            RtError::OutOfMemory => write!(f, "heap page budget exhausted"),
+        }
+    }
+}
+
+impl std::error::Error for RtError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty() {
+        let errs = [
+            RtError::DeleteWithLiveRefs { region: RegionId(3), rc: 2 },
+            RtError::DeleteWithSubregions { region: RegionId(1) },
+            RtError::RegionDead { region: RegionId(1) },
+            RtError::TraditionalImmortal,
+            RtError::CheckFailed {
+                kind: PtrKind::SameRegion,
+                obj: Addr::from_parts(1, 0),
+                field: 2,
+                val: Addr::from_parts(2, 0),
+            },
+            RtError::InvalidFree { addr: Addr::NULL },
+            RtError::WildPointer { addr: Addr::NULL },
+            RtError::OutOfMemory,
+        ];
+        for e in errs {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,638 @@
+//! The heap: regions, objects, and the Figure 2 region API.
+//!
+//! [`Heap`] owns the page store, the region table, the type table, the
+//! statistics and the virtual clock. It implements the paper's region API —
+//! `newregion`, `newsubregion`, `deleteregion`, `ralloc`, `rarrayalloc`,
+//! `regionof` — plus the write barriers of Figure 3 (in
+//! [`crate::rcops`]), the malloc/free baseline (in [`crate::malloc`]), and
+//! the conservative-GC baseline (in [`crate::gc`]).
+
+use crate::addr::Addr;
+use crate::cost::{Clock, CostModel};
+use crate::error::RtError;
+use crate::gc::GcState;
+use crate::layout::{TypeId, TypeLayout, TypeTable};
+use crate::malloc::MallocState;
+use crate::page::{PageOwner, PageStore};
+use crate::region::{renumber, renumber_gapped, RegionData, RegionId, TRADITIONAL};
+use crate::stats::Stats;
+
+/// How the region hierarchy is numbered for the `parentptr` interval
+/// check.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum NumberingScheme {
+    /// The paper's implementation: "updates this numbering every time a
+    /// region is created" — O(live regions) per creation.
+    #[default]
+    RenumberOnCreate,
+    /// The "more efficient scheme" the paper anticipates: regions carve
+    /// gapped intervals out of their parent's, making creation O(1), with
+    /// a full (gapped) renumbering only when an interval is exhausted.
+    GapBased,
+}
+
+/// What `deleteregion` does when the region still has external references
+/// (paper §3: "different notions of memory safety can be realised in the
+/// RC framework").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DeletePolicy {
+    /// "deleteregion abort\[s\] the program when there remain references to
+    /// the region" — the paper's default, and ours.
+    #[default]
+    Abort,
+    /// "implicit region deletion: ... the system deallocates any regions
+    /// whose reference count has dropped to zero. This last option
+    /// provides memory safety semantics similar to traditional garbage
+    /// collection." `deleteregion` *dooms* the region; it is reclaimed as
+    /// soon as its external count reaches zero and its subregions are
+    /// gone.
+    Deferred,
+}
+
+/// Construction options for a [`Heap`].
+#[derive(Debug, Clone)]
+pub struct HeapConfig {
+    /// Maximum number of 8 KB pages (0 = unlimited).
+    pub page_budget: usize,
+    /// Whether reference counting is enabled (the paper's "norc"
+    /// configuration disables it, making `deleteregion` unsafe but free).
+    pub rc_enabled: bool,
+    /// The instruction cost model.
+    pub costs: CostModel,
+    /// GC heap-growth threshold in words (collection is suggested when this
+    /// many words have been allocated since the last collection).
+    pub gc_threshold_words: u64,
+    /// What `deleteregion` does when references remain.
+    pub delete_policy: DeletePolicy,
+    /// Hierarchy numbering scheme (ablation knob).
+    pub numbering: NumberingScheme,
+}
+
+impl Default for HeapConfig {
+    fn default() -> Self {
+        HeapConfig {
+            page_budget: 0,
+            rc_enabled: true,
+            costs: CostModel::paper(),
+            gc_threshold_words: 4 * 1024,
+            delete_policy: DeletePolicy::Abort,
+            numbering: NumberingScheme::RenumberOnCreate,
+        }
+    }
+}
+
+/// The simulated heap and region runtime.
+#[derive(Debug)]
+pub struct Heap {
+    pub(crate) store: PageStore,
+    pub(crate) regions: Vec<RegionData>,
+    pub(crate) types: TypeTable,
+    pub(crate) rc_enabled: bool,
+    pub(crate) delete_policy: DeletePolicy,
+    pub(crate) numbering: NumberingScheme,
+    pub(crate) malloc: MallocState,
+    pub(crate) gc: GcState,
+    /// Dynamic-event counters (public: the harness reads them).
+    pub stats: Stats,
+    /// The virtual clock (public: the harness reads it).
+    pub clock: Clock,
+    /// Cost constants (public so ablations can tweak before running).
+    pub costs: CostModel,
+}
+
+impl Heap {
+    /// Creates a heap with a live traditional region (region 0).
+    pub fn new(config: HeapConfig) -> Heap {
+        let mut regions = Vec::new();
+        let mut traditional = RegionData::new(None);
+        traditional.id = 0;
+        traditional.nextid = if config.numbering == NumberingScheme::GapBased {
+            u64::MAX / 2
+        } else {
+            1
+        };
+        traditional.child_cursor = 1;
+        regions.push(traditional);
+        Heap {
+            store: PageStore::new(config.page_budget),
+            regions,
+            types: TypeTable::new(),
+            rc_enabled: config.rc_enabled,
+            delete_policy: config.delete_policy,
+            numbering: config.numbering,
+            malloc: MallocState::new(),
+            gc: GcState::new(config.gc_threshold_words),
+            stats: Stats::new(),
+            clock: Clock::new(),
+            costs: config.costs,
+        }
+    }
+
+    /// A heap with default configuration.
+    pub fn with_defaults() -> Heap {
+        Heap::new(HeapConfig::default())
+    }
+
+    /// Registers an object type.
+    pub fn register_type(&mut self, layout: TypeLayout) -> TypeId {
+        self.types.register(layout)
+    }
+
+    /// Looks up a registered layout.
+    pub fn type_layout(&self, id: TypeId) -> &TypeLayout {
+        self.types.get(id)
+    }
+
+    /// Whether reference counting is enabled.
+    pub fn rc_enabled(&self) -> bool {
+        self.rc_enabled
+    }
+
+    fn region(&self, r: RegionId) -> &RegionData {
+        &self.regions[r.0 as usize]
+    }
+
+    fn region_mut(&mut self, r: RegionId) -> &mut RegionData {
+        &mut self.regions[r.0 as usize]
+    }
+
+    pub(crate) fn check_live_region(&self, r: RegionId) -> Result<(), RtError> {
+        if !self.region(r).alive {
+            Err(RtError::RegionDead { region: r })
+        } else {
+            Ok(())
+        }
+    }
+
+    /// `newregion()`: creates a top-level region (a child of the traditional
+    /// region, which roots the hierarchy).
+    pub fn new_region(&mut self) -> RegionId {
+        self.new_subregion(TRADITIONAL)
+            .expect("traditional region is always live")
+    }
+
+    /// `newsubregion(parent)`: creates a subregion of `parent`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RtError::RegionDead`] if `parent` was deleted.
+    pub fn new_subregion(&mut self, parent: RegionId) -> Result<RegionId, RtError> {
+        self.check_live_region(parent)?;
+        let id = RegionId(self.regions.len() as u32);
+        self.regions.push(RegionData::new(Some(parent)));
+        self.region_mut(parent).children.push(id);
+        match self.numbering {
+            NumberingScheme::RenumberOnCreate => {
+                // The paper's implementation renumbers the whole hierarchy
+                // on every region creation.
+                let visited = renumber(&mut self.regions);
+                self.clock.charge(
+                    self.costs.region_create + visited * self.costs.renumber_per_region,
+                );
+            }
+            NumberingScheme::GapBased => {
+                let p = &self.regions[parent.0 as usize];
+                let available = p.nextid.saturating_sub(p.child_cursor);
+                if available >= 4 {
+                    // O(1): carve half the parent's remaining space.
+                    let lo = p.child_cursor;
+                    let width = (available / 2).max(2);
+                    let hi = lo + width;
+                    let child = &mut self.regions[id.0 as usize];
+                    child.id = lo;
+                    child.nextid = hi;
+                    child.child_cursor = lo + 1;
+                    self.regions[parent.0 as usize].child_cursor = hi;
+                    self.clock.charge(self.costs.region_create);
+                } else {
+                    // Interval exhausted: fall back to a full gapped
+                    // renumbering.
+                    let visited = renumber_gapped(&mut self.regions);
+                    self.stats.renumber_fallbacks += 1;
+                    self.clock.charge(
+                        self.costs.region_create
+                            + visited * self.costs.renumber_per_region,
+                    );
+                }
+            }
+        }
+        self.stats.regions_created += 1;
+        Ok(id)
+    }
+
+    /// `deleteregion(r)`: deletes a region and all objects in it.
+    ///
+    /// When reference counting is enabled the call fails if external
+    /// references remain or if live subregions exist; on success the
+    /// region's references *into other regions* are removed by scanning the
+    /// objects of its `normal` allocator (the "region unscan" of Table 2).
+    ///
+    /// # Errors
+    ///
+    /// - [`RtError::TraditionalImmortal`] for the traditional region.
+    /// - [`RtError::RegionDead`] if already deleted.
+    /// - [`RtError::DeleteWithSubregions`] if live subregions remain.
+    /// - [`RtError::DeleteWithLiveRefs`] if the reference count is non-zero
+    ///   (only when reference counting is enabled).
+    pub fn delete_region(&mut self, r: RegionId) -> Result<(), RtError> {
+        if r == TRADITIONAL {
+            return Err(RtError::TraditionalImmortal);
+        }
+        self.check_live_region(r)?;
+        let blocked_by_children = !self.region(r).children.is_empty();
+        let blocked_by_refs = self.rc_enabled && self.region(r).rc != 0;
+        if blocked_by_children || blocked_by_refs {
+            match self.delete_policy {
+                DeletePolicy::Abort => {
+                    if blocked_by_children {
+                        return Err(RtError::DeleteWithSubregions { region: r });
+                    }
+                    return Err(RtError::DeleteWithLiveRefs {
+                        region: r,
+                        rc: self.region(r).rc,
+                    });
+                }
+                DeletePolicy::Deferred => {
+                    // Doom the region; it is reclaimed when the count
+                    // drops to zero and the last subregion dies.
+                    self.regions[r.0 as usize].doomed = true;
+                    self.stats.regions_deferred += 1;
+                    return Ok(());
+                }
+            }
+        }
+        self.reclaim(r);
+        Ok(())
+    }
+
+    /// Actually frees a region (preconditions: live, no children, no
+    /// external references) and cascades to any doomed regions this
+    /// release unblocks.
+    fn reclaim(&mut self, r: RegionId) {
+        let mut worklist = vec![r];
+        while let Some(r) = worklist.pop() {
+            if self.rc_enabled {
+                self.unscan(r);
+            }
+            // Release pages and account for freed memory.
+            let region = &mut self.regions[r.0 as usize];
+            let mut freed = region.normal.release_all(&mut self.store);
+            freed += region.pointerfree.release_all(&mut self.store);
+            region.alive = false;
+            region.doomed = false;
+            let parent = region.parent.take();
+            if let Some(p) = parent {
+                let kids = &mut self.regions[p.0 as usize].children;
+                kids.retain(|&c| c != r);
+                if self.reclaimable(p) {
+                    worklist.push(p);
+                }
+            }
+            self.stats.sub_live(freed);
+            self.stats.regions_deleted += 1;
+            // The unscan may have released counts on other doomed regions.
+            for i in 0..self.regions.len() {
+                let cand = RegionId(i as u32);
+                if self.reclaimable(cand) && !worklist.contains(&cand) {
+                    worklist.push(cand);
+                }
+            }
+        }
+    }
+
+    fn reclaimable(&self, r: RegionId) -> bool {
+        let region = &self.regions[r.0 as usize];
+        region.alive && region.doomed && region.children.is_empty() && region.rc == 0
+    }
+
+    /// Reclaims any doomed regions whose counts have reached zero; called
+    /// after operations that decrement counts. No-op under
+    /// [`DeletePolicy::Abort`].
+    pub(crate) fn sweep_doomed(&mut self) {
+        if self.delete_policy != DeletePolicy::Deferred {
+            return;
+        }
+        for i in 0..self.regions.len() {
+            let r = RegionId(i as u32);
+            if self.reclaimable(r) {
+                self.reclaim(r);
+            }
+        }
+    }
+
+    /// Removes the deleted region's counted references into other regions
+    /// by scanning its `normal` pages; `pointerfree` pages "need not be
+    /// scanned as they do not contain pointers to other regions".
+    fn unscan(&mut self, r: RegionId) {
+        let mut decrements: Vec<RegionId> = Vec::new();
+        let mut scanned_words: u64 = 0;
+        {
+            let region = &self.regions[r.0 as usize];
+            for rec in region.normal.objs() {
+                let layout = self.types.get(rec.ty);
+                let size = layout.size_words();
+                scanned_words += (size as u64) * rec.count as u64;
+                for elem in 0..rec.count as usize {
+                    let base = rec.addr.offset(elem * size);
+                    for off in layout.counted_ptr_offsets() {
+                        let val = Addr::from_raw(self.store.read(base.offset(off)));
+                        if !val.is_null() {
+                            let tgt = self.region_of(val);
+                            if tgt != r {
+                                decrements.push(tgt);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        for tgt in decrements {
+            self.regions[tgt.0 as usize].rc -= 1;
+        }
+        self.stats.unscan_words += scanned_words;
+        let cycles = scanned_words * self.costs.unscan_per_word;
+        self.stats.unscan_cycles += cycles;
+        self.clock.charge(cycles);
+    }
+
+    /// `ralloc(r, type)`: allocates one object of `ty` in region `r`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RtError::RegionDead`] for a deleted region or
+    /// [`RtError::OutOfMemory`] if the page budget is exhausted.
+    pub fn ralloc(&mut self, r: RegionId, ty: TypeId) -> Result<Addr, RtError> {
+        self.rarray_alloc(r, ty, 1)
+    }
+
+    /// `rarrayalloc(r, n, type)`: allocates an array of `n` objects.
+    ///
+    /// # Errors
+    ///
+    /// As [`Heap::ralloc`].
+    pub fn rarray_alloc(&mut self, r: RegionId, ty: TypeId, n: u32) -> Result<Addr, RtError> {
+        self.check_live_region(r)?;
+        debug_assert!(n >= 1);
+        let layout = self.types.get(ty);
+        let words = layout.size_words() * n as usize;
+        let pointerfree = !layout.has_counted_ptrs();
+        let region = &mut self.regions[r.0 as usize];
+        let alloc = if pointerfree { &mut region.pointerfree } else { &mut region.normal };
+        let out = alloc.alloc(&mut self.store, PageOwner::Region(r), words, ty, n)?;
+        let cycles = self.costs.region_alloc
+            + out.new_pages as u64 * self.costs.page_fetch
+            + out.recycled_pages as u64 * self.costs.page_recycle;
+        self.stats.alloc_cycles += cycles;
+        self.clock.charge(cycles);
+        self.stats.objects_allocated += 1;
+        self.stats.words_allocated += words as u64;
+        self.stats.add_live(words as u64);
+        Ok(out.addr)
+    }
+
+    /// `regionof(x)`: the region owning the page `x` points into. Pages of
+    /// the malloc and GC heaps report the traditional region, exactly as in
+    /// the paper ("traditional C pointers are viewed as pointers to a
+    /// distinguished traditional region").
+    ///
+    /// # Panics
+    ///
+    /// Panics on the null pointer or a pointer into freed memory; callers
+    /// on fallible paths use [`Heap::try_region_of`].
+    #[inline]
+    pub fn region_of(&self, a: Addr) -> RegionId {
+        self.try_region_of(a)
+            .unwrap_or_else(|| panic!("regionof({a}) of non-heap pointer"))
+    }
+
+    /// As [`Heap::region_of`] but returns `None` for null or freed memory.
+    #[inline]
+    pub fn try_region_of(&self, a: Addr) -> Option<RegionId> {
+        if a.is_null() {
+            return None;
+        }
+        match self.store.owner_of(a) {
+            PageOwner::Region(r) => Some(r),
+            PageOwner::Gc => Some(TRADITIONAL),
+            PageOwner::Free => None,
+        }
+    }
+
+    /// Reads the word at field offset `field` of the object at `a`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RtError::WildPointer`] if the address is null or not in
+    /// live memory.
+    #[inline]
+    pub fn read_word(&self, a: Addr, field: usize) -> Result<u64, RtError> {
+        let slot = a.offset(field);
+        if !self.store.is_live(slot) {
+            return Err(RtError::WildPointer { addr: slot });
+        }
+        Ok(self.store.read(slot))
+    }
+
+    /// Writes a non-pointer word; never touches reference counts.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RtError::WildPointer`] for a bad address.
+    #[inline]
+    pub fn write_int(&mut self, a: Addr, field: usize, val: u64) -> Result<(), RtError> {
+        let slot = a.offset(field);
+        if !self.store.is_live(slot) {
+            return Err(RtError::WildPointer { addr: slot });
+        }
+        self.store.write(slot, val);
+        self.clock.charge(self.costs.store_plain);
+        Ok(())
+    }
+
+    /// Pins a region on behalf of a live local variable around a call to a
+    /// `deletes` function ("RC increments the reference count of all regions
+    /// referred to by live local variables and decrements these reference
+    /// counts on return", §3.3.2). Each pin must be matched by
+    /// [`Heap::unpin_region`].
+    pub fn pin_region(&mut self, r: RegionId) {
+        if !self.rc_enabled || r == TRADITIONAL {
+            return;
+        }
+        let costs_pin = self.costs.local_pin_pair;
+        let region = self.region_mut(r);
+        if !region.alive {
+            return; // stale handle in a dead local; nothing to protect
+        }
+        region.rc += 1;
+        region.pins += 1;
+        self.stats.local_pins += 1;
+        self.stats.rc_cycles += costs_pin;
+        self.clock.charge(costs_pin);
+    }
+
+    /// Releases a pin taken by [`Heap::pin_region`].
+    pub fn unpin_region(&mut self, r: RegionId) {
+        if !self.rc_enabled || r == TRADITIONAL {
+            return;
+        }
+        let region = self.region_mut(r);
+        if !region.alive {
+            return;
+        }
+        region.rc -= 1;
+        region.pins -= 1;
+        self.sweep_doomed();
+    }
+
+    /// The reference count of a region (for tests and the auditor).
+    pub fn region_rc(&self, r: RegionId) -> i64 {
+        self.region(r).rc
+    }
+
+    /// Whether a region is live.
+    pub fn region_alive(&self, r: RegionId) -> bool {
+        self.region(r).alive
+    }
+
+    /// The parent of a region (None for the traditional region).
+    pub fn region_parent(&self, r: RegionId) -> Option<RegionId> {
+        self.region(r).parent
+    }
+
+    /// Number of regions ever created (including the traditional region).
+    pub fn region_count(&self) -> usize {
+        self.regions.len()
+    }
+
+    /// Words currently in use by live regions' allocators.
+    pub fn region_live_words(&self) -> u64 {
+        self.regions
+            .iter()
+            .filter(|r| r.alive)
+            .map(|r| r.normal.used_words() + r.pointerfree.used_words())
+            .sum()
+    }
+
+    /// Resets the statistics and clock (the heap contents are untouched);
+    /// used by harnesses that want to measure a steady-state phase.
+    pub fn reset_metrics(&mut self) {
+        self.stats = Stats::new();
+        self.clock.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layout::{PtrKind, SlotKind};
+
+    fn list_type(heap: &mut Heap, kind: PtrKind) -> TypeId {
+        heap.register_type(TypeLayout::new(
+            "node",
+            vec![SlotKind::Ptr(kind), SlotKind::Data],
+        ))
+    }
+
+    #[test]
+    fn alloc_and_regionof() {
+        let mut h = Heap::with_defaults();
+        let ty = list_type(&mut h, PtrKind::Counted);
+        let r = h.new_region();
+        let a = h.ralloc(r, ty).unwrap();
+        assert_eq!(h.region_of(a), r);
+        assert!(!a.is_null());
+    }
+
+    #[test]
+    fn pointerfree_and_normal_segregation() {
+        let mut h = Heap::with_defaults();
+        let counted = list_type(&mut h, PtrKind::Counted);
+        let annotated = list_type(&mut h, PtrKind::SameRegion);
+        let r = h.new_region();
+        let a = h.ralloc(r, counted).unwrap();
+        let b = h.ralloc(r, annotated).unwrap();
+        // Different allocators → different pages.
+        assert_ne!(a.page(), b.page());
+        let rd = &h.regions[r.0 as usize];
+        assert_eq!(rd.normal.objs().len(), 1);
+        assert_eq!(rd.pointerfree.objs().len(), 1);
+    }
+
+    #[test]
+    fn delete_empty_region() {
+        let mut h = Heap::with_defaults();
+        let r = h.new_region();
+        assert!(h.region_alive(r));
+        h.delete_region(r).unwrap();
+        assert!(!h.region_alive(r));
+        assert_eq!(h.delete_region(r), Err(RtError::RegionDead { region: r }));
+    }
+
+    #[test]
+    fn traditional_cannot_be_deleted() {
+        let mut h = Heap::with_defaults();
+        assert_eq!(h.delete_region(TRADITIONAL), Err(RtError::TraditionalImmortal));
+    }
+
+    #[test]
+    fn subregions_must_go_first() {
+        let mut h = Heap::with_defaults();
+        let r = h.new_region();
+        let s = h.new_subregion(r).unwrap();
+        assert_eq!(h.delete_region(r), Err(RtError::DeleteWithSubregions { region: r }));
+        h.delete_region(s).unwrap();
+        h.delete_region(r).unwrap();
+    }
+
+    #[test]
+    fn alloc_into_dead_region_fails() {
+        let mut h = Heap::with_defaults();
+        let ty = list_type(&mut h, PtrKind::Counted);
+        let r = h.new_region();
+        h.delete_region(r).unwrap();
+        assert_eq!(h.ralloc(r, ty), Err(RtError::RegionDead { region: r }));
+        assert!(h.new_subregion(r).is_err());
+    }
+
+    #[test]
+    fn live_words_tracks_alloc_and_delete() {
+        let mut h = Heap::with_defaults();
+        let ty = list_type(&mut h, PtrKind::Counted);
+        let r = h.new_region();
+        h.rarray_alloc(r, ty, 10).unwrap();
+        assert_eq!(h.stats.live_words, 20);
+        assert_eq!(h.region_live_words(), 20);
+        h.delete_region(r).unwrap();
+        assert_eq!(h.stats.live_words, 0);
+    }
+
+    #[test]
+    fn pin_blocks_delete() {
+        let mut h = Heap::with_defaults();
+        let r = h.new_region();
+        h.pin_region(r);
+        assert!(matches!(h.delete_region(r), Err(RtError::DeleteWithLiveRefs { .. })));
+        h.unpin_region(r);
+        h.delete_region(r).unwrap();
+    }
+
+    #[test]
+    fn read_write_int_round_trip() {
+        let mut h = Heap::with_defaults();
+        let ty = list_type(&mut h, PtrKind::Counted);
+        let r = h.new_region();
+        let a = h.ralloc(r, ty).unwrap();
+        h.write_int(a, 1, 99).unwrap();
+        assert_eq!(h.read_word(a, 1).unwrap(), 99);
+    }
+
+    #[test]
+    fn wild_pointer_detected() {
+        let h = Heap::with_defaults();
+        assert!(matches!(
+            h.read_word(Addr::from_parts(500, 0), 0),
+            Err(RtError::WildPointer { .. })
+        ));
+        assert!(matches!(h.read_word(Addr::NULL, 0), Err(RtError::WildPointer { .. })));
+    }
+}

@@ -1,0 +1,201 @@
+//! The page store and the page → owner map.
+//!
+//! Each 8 KB page belongs to exactly one owner, "and the library maintains a
+//! map from pages to regions. This allows efficient implementation of the
+//! `regionof` function and of reference counting" (paper §3.3.1).
+
+use crate::addr::{Addr, WORDS_PER_PAGE};
+use crate::error::RtError;
+use crate::region::RegionId;
+
+/// Who owns a page.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PageOwner {
+    /// Not currently allocated to anyone.
+    Free,
+    /// Owned by a region's allocators (the traditional region's pages use
+    /// this too, including the malloc heap, which the paper folds into the
+    /// "traditional region").
+    Region(RegionId),
+    /// Owned by the conservative-GC baseline's heap.
+    Gc,
+}
+
+/// The backing store: page data plus the page → owner map.
+#[derive(Debug)]
+pub struct PageStore {
+    pages: Vec<Box<[u64]>>,
+    owners: Vec<PageOwner>,
+    free: Vec<u32>,
+    /// Maximum number of pages that may ever be allocated (0 = unlimited).
+    page_budget: usize,
+}
+
+impl PageStore {
+    /// Creates a store. Page 0 is reserved so that address 0 is never a
+    /// valid object address.
+    pub fn new(page_budget: usize) -> PageStore {
+        PageStore {
+            pages: vec![vec![0u64; WORDS_PER_PAGE].into_boxed_slice()],
+            owners: vec![PageOwner::Free],
+            free: Vec::new(),
+            page_budget,
+        }
+    }
+
+    /// Total pages ever created (including the reserved page 0).
+    pub fn page_count(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Acquires one page for `owner`, recycling a free page if possible.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RtError::OutOfMemory`] if the page budget is exhausted.
+    pub fn acquire(&mut self, owner: PageOwner) -> Result<u32, RtError> {
+        Ok(self.acquire2(owner)?.0)
+    }
+
+    /// As [`PageStore::acquire`], also reporting whether the page was
+    /// recycled from the free pool (cheap) rather than fetched fresh
+    /// (expensive) — the distinction the cost model charges.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RtError::OutOfMemory`] if the page budget is exhausted.
+    pub fn acquire2(&mut self, owner: PageOwner) -> Result<(u32, bool), RtError> {
+        debug_assert!(owner != PageOwner::Free);
+        if let Some(p) = self.free.pop() {
+            self.owners[p as usize] = owner;
+            self.pages[p as usize].fill(0);
+            return Ok((p, true));
+        }
+        Ok((self.grow(owner)?, false))
+    }
+
+    /// Acquires `n` *contiguous* fresh pages (for objects larger than one
+    /// page); contiguity is guaranteed by always growing the store.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RtError::OutOfMemory`] if the page budget is exhausted.
+    pub fn acquire_span(&mut self, owner: PageOwner, n: usize) -> Result<u32, RtError> {
+        debug_assert!(n >= 1);
+        let first = self.grow(owner)?;
+        for _ in 1..n {
+            self.grow(owner)?;
+        }
+        Ok(first)
+    }
+
+    fn grow(&mut self, owner: PageOwner) -> Result<u32, RtError> {
+        if self.page_budget != 0 && self.pages.len() >= self.page_budget {
+            return Err(RtError::OutOfMemory);
+        }
+        let idx = self.pages.len() as u32;
+        self.pages.push(vec![0u64; WORDS_PER_PAGE].into_boxed_slice());
+        self.owners.push(owner);
+        Ok(idx)
+    }
+
+    /// Returns a page to the free pool.
+    pub fn release(&mut self, page: u32) {
+        debug_assert!(self.owners[page as usize] != PageOwner::Free, "double release");
+        self.owners[page as usize] = PageOwner::Free;
+        self.free.push(page);
+    }
+
+    /// The owner of the page containing `addr` (the `regionof` primitive is
+    /// built on this).
+    #[inline]
+    pub fn owner_of(&self, addr: Addr) -> PageOwner {
+        self.owners
+            .get(addr.page() as usize)
+            .copied()
+            .unwrap_or(PageOwner::Free)
+    }
+
+    /// The owner of a page by index.
+    #[inline]
+    pub fn owner(&self, page: u32) -> PageOwner {
+        self.owners[page as usize]
+    }
+
+    /// Reads the word at `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the page does not exist (a wild pointer, which callers
+    /// validate first).
+    #[inline]
+    pub fn read(&self, addr: Addr) -> u64 {
+        self.pages[addr.page() as usize][addr.word() as usize]
+    }
+
+    /// Writes the word at `addr`.
+    #[inline]
+    pub fn write(&mut self, addr: Addr, val: u64) {
+        self.pages[addr.page() as usize][addr.word() as usize] = val;
+    }
+
+    /// Whether `addr` names a word in a live (non-free) page.
+    #[inline]
+    pub fn is_live(&self, addr: Addr) -> bool {
+        !addr.is_null() && self.owner_of(addr) != PageOwner::Free
+    }
+
+    /// All words of one page (for scanning).
+    pub fn page_words(&self, page: u32) -> &[u64] {
+        &self.pages[page as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn page_zero_reserved_and_free() {
+        let s = PageStore::new(0);
+        assert_eq!(s.page_count(), 1);
+        assert_eq!(s.owner(0), PageOwner::Free);
+    }
+
+    #[test]
+    fn acquire_release_recycles() {
+        let mut s = PageStore::new(0);
+        let r = RegionId(1);
+        let p1 = s.acquire(PageOwner::Region(r)).unwrap();
+        s.write(Addr::from_parts(p1, 5), 42);
+        s.release(p1);
+        let p2 = s.acquire(PageOwner::Gc).unwrap();
+        assert_eq!(p1, p2, "free pages are recycled");
+        assert_eq!(s.read(Addr::from_parts(p2, 5)), 0, "recycled pages are zeroed");
+    }
+
+    #[test]
+    fn budget_enforced() {
+        let mut s = PageStore::new(3); // page 0 + two usable
+        assert!(s.acquire(PageOwner::Gc).is_ok());
+        assert!(s.acquire(PageOwner::Gc).is_ok());
+        assert_eq!(s.acquire(PageOwner::Gc), Err(RtError::OutOfMemory));
+    }
+
+    #[test]
+    fn span_is_contiguous() {
+        let mut s = PageStore::new(0);
+        let first = s.acquire_span(PageOwner::Region(RegionId(1)), 3).unwrap();
+        for i in 0..3 {
+            assert_eq!(s.owner(first + i), PageOwner::Region(RegionId(1)));
+        }
+    }
+
+    #[test]
+    fn owner_of_out_of_range_is_free() {
+        let s = PageStore::new(0);
+        assert_eq!(s.owner_of(Addr::from_parts(999, 0)), PageOwner::Free);
+        assert!(!s.is_live(Addr::from_parts(999, 0)));
+        assert!(!s.is_live(Addr::NULL));
+    }
+}

@@ -1,0 +1,196 @@
+//! Operation counters.
+//!
+//! Everything the paper's evaluation section reports is derived from counts
+//! of dynamic events: pointer assignments by category (Figure 9), reference
+//! count work (Table 2), allocation volume (Table 1), and check executions
+//! (Figure 8). [`Stats`] is the single accumulation point; the interpreter
+//! and the runtime both write to it.
+
+use crate::cost::Cycles;
+
+/// Category of a dynamic heap pointer assignment, for Figure 9's breakdown.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AssignCategory {
+    /// Statically verified annotated assignment: no runtime work.
+    Safe,
+    /// Annotated assignment that executed a runtime check.
+    Checked,
+    /// Unannotated assignment that did reference-count work.
+    Counted,
+}
+
+/// Dynamic event counters for one execution.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct Stats {
+    /// Heap pointer assignments that needed no runtime work (statically
+    /// safe annotated stores).
+    pub assigns_safe: u64,
+    /// Heap pointer assignments that ran an annotation check.
+    pub assigns_checked: u64,
+    /// Heap pointer assignments that did reference-count work.
+    pub assigns_counted: u64,
+    /// Pointer assignments to local variables (not heap stores; reported
+    /// separately because Figure 9 excludes them).
+    pub assigns_local: u64,
+    /// Heap pointer assignments executed with all dynamic work disabled
+    /// (the "nc" and "norc" configurations); kept out of Figure 9's
+    /// categories, which describe the checked configurations.
+    pub assigns_raw: u64,
+    /// Reference-count updates that actually changed a count (both
+    /// `regionof`s differed).
+    pub rc_updates_full: u64,
+    /// Reference-count updates that took the early exit.
+    pub rc_updates_same: u64,
+    /// `sameregion` checks executed.
+    pub checks_sameregion: u64,
+    /// `traditional` checks executed.
+    pub checks_traditional: u64,
+    /// `parentptr` checks executed.
+    pub checks_parentptr: u64,
+    /// Objects allocated (all allocators).
+    pub objects_allocated: u64,
+    /// Words allocated (all allocators), for Table 1's "mem alloc".
+    pub words_allocated: u64,
+    /// Peak live words, for Table 1's "max use".
+    pub peak_live_words: u64,
+    /// Currently live words (maintained by alloc/free/delete).
+    pub live_words: u64,
+    /// Regions created.
+    pub regions_created: u64,
+    /// Regions deleted.
+    pub regions_deleted: u64,
+    /// `deleteregion` calls deferred because references remained (only
+    /// under [`crate::heap::DeletePolicy::Deferred`]).
+    pub regions_deferred: u64,
+    /// Full renumberings forced by interval exhaustion (gap-based
+    /// numbering only).
+    pub renumber_fallbacks: u64,
+    /// Words visited by the delete-time unscan.
+    pub unscan_words: u64,
+    /// Locals pinned around `deletes` calls.
+    pub local_pins: u64,
+    /// malloc calls.
+    pub malloc_calls: u64,
+    /// free calls.
+    pub free_calls: u64,
+    /// GC collections run.
+    pub gc_collections: u64,
+    /// Words examined by GC marking.
+    pub gc_marked_words: u64,
+    /// Objects reclaimed by GC sweeps.
+    pub gc_swept_objects: u64,
+    /// Virtual time spent purely on reference counting (count updates +
+    /// local pinning), for Table 2's overhead column.
+    pub rc_cycles: Cycles,
+    /// Virtual time spent on annotation checks.
+    pub check_cycles: Cycles,
+    /// Virtual time spent on the delete-time unscan (Table 2's "region
+    /// unscan" column).
+    pub unscan_cycles: Cycles,
+    /// Virtual time spent in the allocators.
+    pub alloc_cycles: Cycles,
+    /// Virtual time spent in GC.
+    pub gc_cycles: Cycles,
+}
+
+impl Stats {
+    /// Fresh zeroed counters.
+    pub fn new() -> Stats {
+        Stats::default()
+    }
+
+    /// Records a heap pointer assignment of the given category.
+    #[inline]
+    pub fn record_assign(&mut self, cat: AssignCategory) {
+        match cat {
+            AssignCategory::Safe => self.assigns_safe += 1,
+            AssignCategory::Checked => self.assigns_checked += 1,
+            AssignCategory::Counted => self.assigns_counted += 1,
+        }
+    }
+
+    /// Total heap pointer assignments (Figure 9's denominator).
+    pub fn heap_assigns(&self) -> u64 {
+        self.assigns_safe + self.assigns_checked + self.assigns_counted
+    }
+
+    /// Fraction of heap assignments in a category, in percent (0 if no
+    /// assignments happened).
+    pub fn assign_pct(&self, cat: AssignCategory) -> f64 {
+        let total = self.heap_assigns();
+        if total == 0 {
+            return 0.0;
+        }
+        let n = match cat {
+            AssignCategory::Safe => self.assigns_safe,
+            AssignCategory::Checked => self.assigns_checked,
+            AssignCategory::Counted => self.assigns_counted,
+        };
+        100.0 * n as f64 / total as f64
+    }
+
+    /// Adjusts the live-word gauge and the peak.
+    #[inline]
+    pub fn add_live(&mut self, words: u64) {
+        self.live_words += words;
+        if self.live_words > self.peak_live_words {
+            self.peak_live_words = self.live_words;
+        }
+    }
+
+    /// Removes from the live-word gauge (saturating: baselines that free
+    /// conservatively may double-report).
+    #[inline]
+    pub fn sub_live(&mut self, words: u64) {
+        self.live_words = self.live_words.saturating_sub(words);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn assign_percentages_sum_to_100() {
+        let mut s = Stats::new();
+        for _ in 0..5 {
+            s.record_assign(AssignCategory::Safe);
+        }
+        for _ in 0..3 {
+            s.record_assign(AssignCategory::Checked);
+        }
+        for _ in 0..2 {
+            s.record_assign(AssignCategory::Counted);
+        }
+        let total = s.assign_pct(AssignCategory::Safe)
+            + s.assign_pct(AssignCategory::Checked)
+            + s.assign_pct(AssignCategory::Counted);
+        assert!((total - 100.0).abs() < 1e-9);
+        assert_eq!(s.heap_assigns(), 10);
+    }
+
+    #[test]
+    fn empty_stats_report_zero_pct() {
+        let s = Stats::new();
+        assert_eq!(s.assign_pct(AssignCategory::Safe), 0.0);
+    }
+
+    #[test]
+    fn live_gauge_tracks_peak() {
+        let mut s = Stats::new();
+        s.add_live(10);
+        s.add_live(5);
+        s.sub_live(12);
+        s.add_live(4);
+        assert_eq!(s.peak_live_words, 15);
+        assert_eq!(s.live_words, 7);
+    }
+
+    #[test]
+    fn sub_live_saturates() {
+        let mut s = Stats::new();
+        s.add_live(3);
+        s.sub_live(10);
+        assert_eq!(s.live_words, 0);
+    }
+}

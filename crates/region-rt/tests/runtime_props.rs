@@ -1,0 +1,290 @@
+//! Property tests for the region runtime.
+//!
+//! A reference-counting runtime has one make-or-break invariant — region
+//! rc == external counted pointers in — and a handful of structural ones
+//! (DFS numbering ⇔ real ancestry, allocator non-overlap). These tests
+//! drive the runtime with random operation sequences and check the
+//! invariants against simple models.
+
+use proptest::prelude::*;
+use region_rt::{
+    Addr, Heap, HeapConfig, NumberingScheme, PtrKind, RegionId, RtError, SlotKind, TypeLayout,
+    WriteMode, TRADITIONAL,
+};
+
+/// Random hierarchy script: each step creates a region under a previously
+/// created one (by index) or deletes the i-th live region if it has no
+/// children.
+#[derive(Debug, Clone)]
+enum TreeOp {
+    Create(usize),
+    Delete(usize),
+}
+
+fn arb_tree_ops() -> impl Strategy<Value = Vec<TreeOp>> {
+    proptest::collection::vec(
+        prop_oneof![
+            (0..64usize).prop_map(TreeOp::Create),
+            (0..64usize).prop_map(TreeOp::Delete),
+        ],
+        1..60,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The DFS `id`/`nextid` ancestry test agrees with real parent-chain
+    /// ancestry after arbitrary create/delete interleavings — under both
+    /// numbering schemes.
+    #[test]
+    fn dfs_numbering_matches_parent_chains(
+        ops in arb_tree_ops(),
+        gap_based in proptest::bool::ANY,
+    ) {
+        let mut h = Heap::new(HeapConfig {
+            numbering: if gap_based {
+                NumberingScheme::GapBased
+            } else {
+                NumberingScheme::RenumberOnCreate
+            },
+            ..Default::default()
+        });
+        // Model: parent map (None = deleted), root = TRADITIONAL.
+        let mut regions: Vec<RegionId> = vec![TRADITIONAL];
+        let mut parent: Vec<Option<usize>> = vec![Some(0)]; // self-parent root
+        let mut alive: Vec<bool> = vec![true];
+
+        for op in ops {
+            match op {
+                TreeOp::Create(i) => {
+                    let idx = i % regions.len();
+                    if !alive[idx] {
+                        continue;
+                    }
+                    let r = h.new_subregion(regions[idx]).unwrap();
+                    regions.push(r);
+                    parent.push(Some(idx));
+                    alive.push(true);
+                }
+                TreeOp::Delete(i) => {
+                    let idx = i % regions.len();
+                    if idx == 0 || !alive[idx] {
+                        continue;
+                    }
+                    let has_children = (0..regions.len())
+                        .any(|c| alive[c] && parent[c] == Some(idx));
+                    let res = h.delete_region(regions[idx]);
+                    if has_children {
+                        let refused =
+                            matches!(res, Err(RtError::DeleteWithSubregions { .. }));
+                        prop_assert!(refused);
+                    } else {
+                        prop_assert!(res.is_ok());
+                        alive[idx] = false;
+                    }
+                }
+            }
+        }
+
+        // Model ancestry: walk parent chain.
+        let is_anc_model = |a: usize, d: usize| {
+            let mut x = d;
+            loop {
+                if x == a {
+                    return true;
+                }
+                if x == 0 {
+                    return false;
+                }
+                x = parent[x].expect("non-root has a parent");
+            }
+        };
+        // Runtime ancestry via a parentptr-style check: allocate an object
+        // in each live region and test writes.
+        let ty = h.register_type(TypeLayout::new(
+            "n",
+            vec![SlotKind::Ptr(PtrKind::ParentPtr)],
+        ));
+        let addrs: Vec<Option<Addr>> = regions
+            .iter()
+            .zip(&alive)
+            .map(|(&r, &ok)| ok.then(|| h.ralloc(r, ty).unwrap()))
+            .collect();
+        for d in 0..regions.len() {
+            for a in 0..regions.len() {
+                let (Some(obj), Some(tgt)) = (addrs[d], addrs[a]) else { continue };
+                let res = h.write_ptr(obj, 0, tgt, WriteMode::Check(PtrKind::ParentPtr));
+                prop_assert_eq!(
+                    res.is_ok(),
+                    is_anc_model(a, d),
+                    "parentptr({} -> {}) disagrees with the model",
+                    d,
+                    a
+                );
+                // Reset the slot for the next probe.
+                h.write_ptr(obj, 0, Addr::NULL, WriteMode::Raw).unwrap();
+            }
+        }
+    }
+}
+
+/// Random object-graph mutation script over a few regions.
+#[derive(Debug, Clone)]
+enum GraphOp {
+    Alloc(usize),
+    /// Write object a's slot s to point at object b (counted).
+    Link(usize, usize, usize),
+    /// Null out object a's slot s.
+    Unlink(usize, usize),
+    /// Try to delete region i (must agree with the model).
+    TryDelete(usize),
+}
+
+fn arb_graph_ops() -> impl Strategy<Value = Vec<GraphOp>> {
+    proptest::collection::vec(
+        prop_oneof![
+            (0..4usize).prop_map(GraphOp::Alloc),
+            (0..64usize, 0..64usize, 0..2usize).prop_map(|(a, b, s)| GraphOp::Link(a, b, s)),
+            (0..64usize, 0..2usize).prop_map(|(a, s)| GraphOp::Unlink(a, s)),
+            (0..4usize).prop_map(GraphOp::TryDelete),
+        ],
+        1..80,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// After any barrier-mediated mutation sequence: the auditor agrees
+    /// with the maintained counts, and `deleteregion` succeeds exactly
+    /// when the model says no external pointers remain.
+    #[test]
+    fn refcount_invariant_holds(ops in arb_graph_ops()) {
+        let mut h = Heap::with_defaults();
+        let ty = h.register_type(TypeLayout::new(
+            "n",
+            vec![SlotKind::Ptr(PtrKind::Counted), SlotKind::Ptr(PtrKind::Counted)],
+        ));
+        let regions: Vec<RegionId> = (0..4).map(|_| h.new_region()).collect();
+        let mut region_alive = [true; 4];
+        // Model: objects with (region, [slot targets]).
+        let mut objs: Vec<(usize, [Option<usize>; 2])> = Vec::new();
+        let mut obj_alive: Vec<bool> = Vec::new();
+        let mut addrs: Vec<Addr> = Vec::new();
+
+        for op in ops {
+            match op {
+                GraphOp::Alloc(r) => {
+                    if region_alive[r] {
+                        addrs.push(h.ralloc(regions[r], ty).unwrap());
+                        objs.push((r, [None, None]));
+                        obj_alive.push(true);
+                    }
+                }
+                GraphOp::Link(a, b, s) => {
+                    if objs.is_empty() {
+                        continue;
+                    }
+                    let a = a % objs.len();
+                    let b = b % objs.len();
+                    if !obj_alive[a] || !obj_alive[b] {
+                        continue;
+                    }
+                    h.write_ptr(addrs[a], s, addrs[b], WriteMode::Counted).unwrap();
+                    objs[a].1[s] = Some(b);
+                }
+                GraphOp::Unlink(a, s) => {
+                    if objs.is_empty() {
+                        continue;
+                    }
+                    let a = a % objs.len();
+                    if !obj_alive[a] {
+                        continue;
+                    }
+                    h.write_ptr(addrs[a], s, Addr::NULL, WriteMode::Counted).unwrap();
+                    objs[a].1[s] = None;
+                }
+                GraphOp::TryDelete(r) => {
+                    if !region_alive[r] {
+                        continue;
+                    }
+                    // Model: external counted pointers into r.
+                    let external = objs
+                        .iter()
+                        .enumerate()
+                        .filter(|(i, (src, _))| obj_alive[*i] && *src != r)
+                        .flat_map(|(_, (_, slots))| slots.iter().flatten())
+                        .filter(|&&tgt| obj_alive[tgt] && objs[tgt].0 == r)
+                        .count();
+                    let res = h.delete_region(regions[r]);
+                    if external == 0 {
+                        prop_assert!(res.is_ok(), "model says deletable: {res:?}");
+                        region_alive[r] = false;
+                        for (i, (src, slots)) in objs.iter_mut().enumerate() {
+                            if *src == r {
+                                obj_alive[i] = false;
+                                *slots = [None, None];
+                            }
+                        }
+                        // Dead objects' outgoing links are gone (unscan).
+                        for (i, (_, slots)) in objs.iter_mut().enumerate() {
+                            let _ = i;
+                            for s in slots.iter_mut() {
+                                if let Some(t) = *s {
+                                    if !obj_alive[t] {
+                                        *s = None;
+                                    }
+                                }
+                            }
+                        }
+                    } else {
+                        let refused = matches!(res, Err(RtError::DeleteWithLiveRefs { .. }));
+                        prop_assert!(
+                            refused,
+                            "model says {} external refs, runtime deleted",
+                            external
+                        );
+                    }
+                }
+            }
+            h.audit().unwrap();
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// malloc never hands out overlapping live objects, and free makes
+    /// slots reusable.
+    #[test]
+    fn malloc_objects_do_not_overlap(
+        sizes in proptest::collection::vec(1..300usize, 1..40),
+        frees in proptest::collection::vec(any::<prop::sample::Index>(), 0..20),
+    ) {
+        let mut h = Heap::new(HeapConfig::default());
+        let mut live: Vec<(Addr, usize)> = Vec::new();
+        for s in sizes {
+            let ty = h.register_type(TypeLayout::data(format!("d{s}"), s));
+            let a = h.m_alloc(ty, 1).unwrap();
+            // Overlap check against all live objects.
+            for &(b, bs) in &live {
+                let (a0, a1) = (a.raw(), a.raw() + s as u64);
+                let (b0, b1) = (b.raw(), b.raw() + bs as u64);
+                prop_assert!(a1 <= b0 || b1 <= a0, "objects overlap");
+            }
+            live.push((a, s));
+        }
+        for idx in frees {
+            if live.is_empty() {
+                break;
+            }
+            let i = idx.index(live.len());
+            let (a, _) = live.swap_remove(i);
+            h.m_free(a).unwrap();
+            // Double free must fail.
+            prop_assert!(h.m_free(a).is_err());
+        }
+    }
+}

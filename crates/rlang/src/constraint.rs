@@ -1,0 +1,507 @@
+//! Constraint sets: the finite lattice driving the §4.3 inference.
+//!
+//! "The set of facts we consider in our analysis ... We call each of these
+//! facts a constraint. A constraint set c corresponds to the boolean
+//! expression ⋀_{δ∈c} δ. ... Constraint sets form a finite-height lattice
+//! under set inclusion" — meet (used at control-flow joins) is set
+//! intersection, which safely approximates disjunction.
+//!
+//! A [`ConstraintSet`] is kept *saturated*: closed under a sound set of
+//! inference rules (equality congruence, ≤-transitivity, null-or-equal
+//! strengthening, ⊤ propagation). Saturation is what makes the two
+//! central operations precise:
+//!
+//! - [`ConstraintSet::entails`] — does the set imply a fact? (check
+//!   elimination asks exactly this);
+//! - [`ConstraintSet::kill_rho`] — forget everything about one abstract
+//!   region while *keeping* its indirect consequences (the paper's
+//!   "removed by using a new property δ″, implied by δ, that does not have
+//!   ρ amongst its free variables").
+//!
+//! A set that discovers a contradiction (e.g. `σ = ⊤` and `σ ≠ ⊤`)
+//! describes an unreachable program point and entails everything.
+
+use std::collections::BTreeSet;
+
+use crate::types::{Fact, RegionExpr, RhoId};
+
+/// A saturated conjunction of [`Fact`]s.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ConstraintSet {
+    facts: BTreeSet<Fact>,
+    contradictory: bool,
+}
+
+impl ConstraintSet {
+    /// The empty (trivially true) set — the lattice bottom, carrying no
+    /// information.
+    pub fn empty() -> ConstraintSet {
+        ConstraintSet::default()
+    }
+
+    /// The contradictory set — the lattice top, entailing every fact. Used
+    /// as the optimistic starting point of the greatest-fixed-point
+    /// iteration and as the state of unreachable code.
+    pub fn contradiction() -> ConstraintSet {
+        ConstraintSet { facts: BTreeSet::new(), contradictory: true }
+    }
+
+    /// A set from an iterator of facts.
+    pub fn from_facts(facts: impl IntoIterator<Item = Fact>) -> ConstraintSet {
+        let mut s = ConstraintSet::empty();
+        for f in facts {
+            s.add(f);
+        }
+        s
+    }
+
+    /// Whether the set has discovered a contradiction (unreachable point).
+    pub fn is_contradictory(&self) -> bool {
+        self.contradictory
+    }
+
+    /// The facts currently held (empty if contradictory).
+    pub fn facts(&self) -> impl Iterator<Item = Fact> + '_ {
+        self.facts.iter().copied()
+    }
+
+    /// Number of facts (0 for a contradictory set).
+    pub fn len(&self) -> usize {
+        self.facts.len()
+    }
+
+    /// Whether no facts are known.
+    pub fn is_empty(&self) -> bool {
+        self.facts.is_empty() && !self.contradictory
+    }
+
+    /// Adds a fact (and saturates).
+    pub fn add(&mut self, fact: Fact) {
+        if self.contradictory {
+            return;
+        }
+        if let Some(f) = fact.normalise() {
+            if self.facts.insert(f) {
+                self.saturate();
+            }
+        }
+    }
+
+    /// Conjoins another set.
+    pub fn add_all(&mut self, other: impl IntoIterator<Item = Fact>) {
+        if self.contradictory {
+            return;
+        }
+        let mut changed = false;
+        for fact in other {
+            if let Some(f) = fact.normalise() {
+                changed |= self.facts.insert(f);
+            }
+        }
+        if changed {
+            self.saturate();
+        }
+    }
+
+    fn set_contradictory(&mut self) {
+        self.contradictory = true;
+        self.facts.clear();
+    }
+
+    /// Closes the set under the saturation rules. All rules are sound for
+    /// the heap model of Figure 4 (regions ordered by the subregion
+    /// relation, ⊤ above everything, constants denoting distinct live
+    /// regions).
+    fn saturate(&mut self) {
+        loop {
+            if self.contradictory {
+                return;
+            }
+            let mut new: Vec<Fact> = Vec::new();
+            let facts: Vec<Fact> = self.facts.iter().copied().collect();
+
+            for &f in &facts {
+                match f {
+                    // σ = ⊤ for a region constant: impossible.
+                    Fact::IsTop(RegionExpr::Const(_)) => return self.set_contradictory(),
+                    // Distinct constants are distinct regions.
+                    Fact::Eq(RegionExpr::Const(a), RegionExpr::Const(b)) if a != b => {
+                        return self.set_contradictory()
+                    }
+                    _ => {}
+                }
+            }
+
+            // The universe of mentioned expressions (weakening rules
+            // materialise facts over it; it never grows, so saturation
+            // terminates).
+            let universe: BTreeSet<RegionExpr> = facts.iter().flat_map(|f| f.exprs()).collect();
+
+            for &f in &facts {
+                // Unary weakenings. These keep the set closed downward so
+                // that the syntactic intersection in `meet` loses nothing a
+                // common weaker fact could save.
+                match f {
+                    Fact::Eq(a, b) => {
+                        // Equal ⇒ null-or-equal (both ways) and mutually ≤.
+                        new.extend(Fact::EqOrNull(a, b).normalise());
+                        new.extend(Fact::EqOrNull(b, a).normalise());
+                        new.extend(Fact::Sub(a, b).normalise());
+                        new.extend(Fact::Sub(b, a).normalise());
+                    }
+                    Fact::IsTop(a) => {
+                        for &b in &universe {
+                            // σ = ⊤ ⇒ (σ = ⊤ ∨ σ = σ₂) for any σ₂.
+                            new.extend(Fact::EqOrNull(a, b).normalise());
+                            // σ = ⊤ ⇒ σ₂ ≤ σ for any σ₂ (everything ≤ ⊤).
+                            new.extend(Fact::Sub(b, a).normalise());
+                        }
+                    }
+                    _ => {}
+                }
+                // Constants are never ⊤.
+                for e in f.exprs() {
+                    if matches!(e, RegionExpr::Const(_)) {
+                        new.extend(Fact::NotTop(e).normalise());
+                    }
+                }
+            }
+
+            for &f in &facts {
+                for &g in &facts {
+                    // Direct contradiction.
+                    if let (Fact::IsTop(a), Fact::NotTop(b)) = (f, g) {
+                        if a == b {
+                            return self.set_contradictory();
+                        }
+                    }
+                    // Equality congruence: rewrite g by f's equality, in
+                    // both directions.
+                    if let Fact::Eq(a, b) = f {
+                        new.extend(rewrite(g, a, b));
+                        new.extend(rewrite(g, b, a));
+                    }
+                    // null-or-equal + non-null ⇒ equal.
+                    if let (Fact::EqOrNull(a, b), Fact::NotTop(c)) = (f, g) {
+                        if a == c {
+                            new.extend(Fact::Eq(a, b).normalise());
+                        }
+                    }
+                    // null-or-equal + the other side null ⇒ null.
+                    if let (Fact::EqOrNull(a, b), Fact::IsTop(c)) = (f, g) {
+                        if b == c {
+                            new.extend(Fact::IsTop(a).normalise());
+                        }
+                    }
+                    if let (Fact::Sub(a, b), Fact::Sub(c, d)) = (f, g) {
+                        // ≤ transitivity.
+                        if b == c {
+                            new.extend(Fact::Sub(a, d).normalise());
+                        }
+                        // ≤ antisymmetry.
+                        if a == d && b == c {
+                            new.extend(Fact::Eq(a, b).normalise());
+                        }
+                    }
+                    // σ₁ = ⊤ and σ₁ ≤ σ₂ ⇒ σ₂ = ⊤ (only ⊤ is above ⊤).
+                    if let (Fact::IsTop(a), Fact::Sub(c, d)) = (f, g) {
+                        if a == c {
+                            new.extend(Fact::IsTop(d).normalise());
+                        }
+                    }
+                    // σ₂ ≠ ⊤ and σ₁ ≤ σ₂ ⇒ σ₁ ≠ ⊤ (a real region's
+                    // descendants are real).
+                    if let (Fact::NotTop(b), Fact::Sub(c, d)) = (f, g) {
+                        if b == d {
+                            new.extend(Fact::NotTop(c).normalise());
+                        }
+                    }
+                }
+            }
+
+            let before = self.facts.len();
+            self.facts.extend(new);
+            if self.facts.len() == before {
+                return;
+            }
+        }
+    }
+
+    /// Does this set imply `fact`?
+    pub fn entails(&self, fact: Fact) -> bool {
+        if self.contradictory {
+            return true;
+        }
+        let Some(f) = fact.normalise() else { return true };
+        if self.facts.contains(&f) {
+            return true;
+        }
+        match f {
+            Fact::NotTop(RegionExpr::Const(_)) => true,
+            Fact::NotTop(a) => {
+                // a = c for a constant c implies a ≠ ⊤.
+                self.facts.iter().any(|&g| match g {
+                    Fact::Eq(x, y) => {
+                        (x == a && matches!(y, RegionExpr::Const(_)))
+                            || (y == a && matches!(x, RegionExpr::Const(_)))
+                    }
+                    _ => false,
+                })
+            }
+            Fact::Eq(a, b) => {
+                // Both null: equal (both are ⊤).
+                self.entails_stored(Fact::IsTop(a)) && self.entails_stored(Fact::IsTop(b))
+            }
+            Fact::Sub(a, b) => {
+                // Equal regions are mutually ≤; a = ⊤ ⇒ b = ⊤ case is
+                // covered by ⊤ ≤ ⊤ when both are top.
+                self.entails(Fact::Eq(a, b)) || self.entails_stored(Fact::IsTop(b))
+            }
+            Fact::EqOrNull(a, b) => {
+                self.entails_stored(Fact::IsTop(a)) || self.entails(Fact::Eq(a, b))
+            }
+            Fact::IsTop(_) => false,
+        }
+    }
+
+    fn entails_stored(&self, fact: Fact) -> bool {
+        fact.normalise().map(|f| self.facts.contains(&f)).unwrap_or(true)
+    }
+
+    /// Does this set imply every fact of `other`?
+    pub fn entails_all(&self, other: &ConstraintSet) -> bool {
+        if self.contradictory {
+            return true;
+        }
+        if other.contradictory {
+            return false;
+        }
+        other.facts().all(|f| self.entails(f))
+    }
+
+    /// The meet (control-flow join): facts true on *both* paths. "We
+    /// conservatively approximate the type checking rules for if and while
+    /// by constraint set intersection."
+    pub fn meet(&self, other: &ConstraintSet) -> ConstraintSet {
+        if self.contradictory {
+            return other.clone();
+        }
+        if other.contradictory {
+            return self.clone();
+        }
+        // Saturated ∩ saturated needs a final saturation only for the
+        // contradiction flags, but run it for safety.
+        let mut out = ConstraintSet {
+            facts: self.facts.intersection(&other.facts).copied().collect(),
+            contradictory: false,
+        };
+        out.saturate();
+        out
+    }
+
+    /// Forgets everything about `rho`, keeping implied consequences that do
+    /// not mention it (the set is already saturated, so indirect facts such
+    /// as `ρ₁ = ρ₂` derived via `rho` survive).
+    pub fn kill_rho(&mut self, rho: RhoId) {
+        if self.contradictory {
+            // Rebinding inside dead code: stay contradictory.
+            return;
+        }
+        self.facts.retain(|f| !f.mentions(rho));
+    }
+
+    /// Restricts to facts mentioning only abstract regions accepted by
+    /// `keep` (constants and ⊤ always pass). Used to project a state onto
+    /// a function's formal region parameters.
+    pub fn restrict(&self, keep: impl Fn(RhoId) -> bool) -> ConstraintSet {
+        if self.contradictory {
+            return self.clone();
+        }
+        ConstraintSet {
+            facts: self.facts.iter().copied().filter(|f| f.all_rhos(&keep)).collect(),
+            contradictory: false,
+        }
+    }
+
+    /// Applies a substitution of region expressions for the first
+    /// `subst.len()` abstract regions to every fact.
+    pub fn subst(&self, subst: &[RegionExpr]) -> ConstraintSet {
+        if self.contradictory {
+            return self.clone();
+        }
+        ConstraintSet::from_facts(self.facts.iter().filter_map(|f| f.subst(subst)))
+    }
+}
+
+impl std::fmt::Display for ConstraintSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.contradictory {
+            return write!(f, "⊥");
+        }
+        if self.facts.is_empty() {
+            return write!(f, "true");
+        }
+        let mut first = true;
+        for fact in &self.facts {
+            if !first {
+                write!(f, " ∧ ")?;
+            }
+            write!(f, "{fact}")?;
+            first = false;
+        }
+        Ok(())
+    }
+}
+
+/// Rewrites one occurrence side of `g` replacing expression `from` with
+/// `to` (equality congruence helper).
+fn rewrite(g: Fact, from: RegionExpr, to: RegionExpr) -> Option<Fact> {
+    let r = |e: RegionExpr| if e == from { to } else { e };
+    let out = match g {
+        Fact::IsTop(a) => Fact::IsTop(r(a)),
+        Fact::NotTop(a) => Fact::NotTop(r(a)),
+        Fact::Sub(a, b) => Fact::Sub(r(a), r(b)),
+        Fact::EqOrNull(a, b) => Fact::EqOrNull(r(a), r(b)),
+        Fact::Eq(a, b) => Fact::Eq(r(a), r(b)),
+    };
+    out.normalise()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::{ConstId, TRADITIONAL_CONST};
+
+    fn rho(i: u32) -> RegionExpr {
+        RegionExpr::Abstract(RhoId(i))
+    }
+    const RT: RegionExpr = RegionExpr::Const(TRADITIONAL_CONST);
+
+    #[test]
+    fn equality_is_transitive() {
+        let s = ConstraintSet::from_facts([Fact::Eq(rho(0), rho(1)), Fact::Eq(rho(1), rho(2))]);
+        assert!(s.entails(Fact::Eq(rho(0), rho(2))));
+        assert!(s.entails(Fact::EqOrNull(rho(0), rho(2))));
+    }
+
+    #[test]
+    fn eq_or_null_strengthens_with_not_top() {
+        let s = ConstraintSet::from_facts([
+            Fact::EqOrNull(rho(0), rho(1)),
+            Fact::NotTop(rho(0)),
+        ]);
+        assert!(s.entails(Fact::Eq(rho(0), rho(1))));
+    }
+
+    #[test]
+    fn eq_or_null_alone_does_not_give_eq() {
+        let s = ConstraintSet::from_facts([Fact::EqOrNull(rho(0), rho(1))]);
+        assert!(!s.entails(Fact::Eq(rho(0), rho(1))));
+        assert!(s.entails(Fact::EqOrNull(rho(0), rho(1))));
+    }
+
+    #[test]
+    fn sub_is_transitive_and_antisymmetric() {
+        let s = ConstraintSet::from_facts([Fact::Sub(rho(0), rho(1)), Fact::Sub(rho(1), rho(2))]);
+        assert!(s.entails(Fact::Sub(rho(0), rho(2))));
+        let s2 = ConstraintSet::from_facts([Fact::Sub(rho(0), rho(1)), Fact::Sub(rho(1), rho(0))]);
+        assert!(s2.entails(Fact::Eq(rho(0), rho(1))));
+    }
+
+    #[test]
+    fn null_propagates_up_sub_chains() {
+        let s = ConstraintSet::from_facts([Fact::IsTop(rho(0)), Fact::Sub(rho(0), rho(1))]);
+        assert!(s.entails(Fact::IsTop(rho(1))));
+        let s2 = ConstraintSet::from_facts([Fact::NotTop(rho(1)), Fact::Sub(rho(0), rho(1))]);
+        assert!(s2.entails(Fact::NotTop(rho(0))));
+    }
+
+    #[test]
+    fn contradictions_entail_everything() {
+        let s = ConstraintSet::from_facts([Fact::IsTop(rho(0)), Fact::NotTop(rho(0))]);
+        assert!(s.is_contradictory());
+        assert!(s.entails(Fact::Eq(rho(5), rho(6))));
+    }
+
+    #[test]
+    fn constants_are_never_null_and_distinct() {
+        let s = ConstraintSet::empty();
+        assert!(s.entails(Fact::NotTop(RT)));
+        let bad = ConstraintSet::from_facts([Fact::Eq(RT, RegionExpr::Const(ConstId(1)))]);
+        assert!(bad.is_contradictory());
+        let bad2 = ConstraintSet::from_facts([Fact::IsTop(RT)]);
+        assert!(bad2.is_contradictory());
+    }
+
+    #[test]
+    fn eq_to_constant_gives_not_top() {
+        let s = ConstraintSet::from_facts([Fact::Eq(rho(0), RT)]);
+        assert!(s.entails(Fact::NotTop(rho(0))));
+    }
+
+    #[test]
+    fn meet_keeps_common_facts_and_consequences() {
+        // Path 1: ρ0 = ρ1 directly. Path 2: ρ0 = ρ2 and ρ2 = ρ1.
+        let a = ConstraintSet::from_facts([Fact::Eq(rho(0), rho(1))]);
+        let b = ConstraintSet::from_facts([Fact::Eq(rho(0), rho(2)), Fact::Eq(rho(2), rho(1))]);
+        let m = a.meet(&b);
+        assert!(m.entails(Fact::Eq(rho(0), rho(1))), "saturation saves the join");
+        assert!(!m.entails(Fact::Eq(rho(0), rho(2))));
+    }
+
+    #[test]
+    fn meet_with_contradiction_is_identity() {
+        let bot = ConstraintSet::from_facts([Fact::IsTop(rho(0)), Fact::NotTop(rho(0))]);
+        let a = ConstraintSet::from_facts([Fact::Eq(rho(0), rho(1))]);
+        assert_eq!(bot.meet(&a), a);
+        assert_eq!(a.meet(&bot), a);
+    }
+
+    #[test]
+    fn kill_preserves_indirect_consequences() {
+        let mut s =
+            ConstraintSet::from_facts([Fact::Eq(rho(0), rho(9)), Fact::Eq(rho(9), rho(1))]);
+        s.kill_rho(RhoId(9));
+        assert!(s.entails(Fact::Eq(rho(0), rho(1))));
+        assert!(!s.facts().any(|f| f.mentions(RhoId(9))));
+    }
+
+    #[test]
+    fn restrict_projects_onto_params() {
+        let s = ConstraintSet::from_facts([
+            Fact::Eq(rho(0), rho(1)),
+            Fact::Eq(rho(1), rho(5)),
+            Fact::EqOrNull(rho(5), RT),
+        ]);
+        let r = s.restrict(|RhoId(i)| i < 2);
+        assert!(r.entails(Fact::Eq(rho(0), rho(1))));
+        assert!(!r.facts().any(|f| f.mentions(RhoId(5))));
+    }
+
+    #[test]
+    fn subst_maps_params_to_actuals() {
+        let s = ConstraintSet::from_facts([Fact::EqOrNull(rho(0), rho(1))]);
+        let inst = s.subst(&[rho(7), rho(8)]);
+        assert!(inst.entails(Fact::EqOrNull(rho(7), rho(8))));
+    }
+
+    #[test]
+    fn entails_both_null_means_equal() {
+        let s = ConstraintSet::from_facts([Fact::IsTop(rho(0)), Fact::IsTop(rho(1))]);
+        assert!(s.entails(Fact::Eq(rho(0), rho(1))));
+        assert!(s.entails(Fact::Sub(rho(0), rho(1))));
+    }
+
+    #[test]
+    fn top_target_makes_sub_trivial() {
+        let s = ConstraintSet::from_facts([Fact::IsTop(rho(1))]);
+        assert!(s.entails(Fact::Sub(rho(0), rho(1))), "anything ≤ ⊤");
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(ConstraintSet::empty().to_string(), "true");
+        let s = ConstraintSet::from_facts([Fact::NotTop(rho(0))]);
+        assert!(s.to_string().contains("≠"));
+    }
+}

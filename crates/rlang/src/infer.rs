@@ -1,0 +1,939 @@
+//! The §4.3 constraint inference: a whole-program, flow-sensitive dataflow
+//! analysis that infers function input/output/result constraint sets and
+//! decides which `chk` statements are statically redundant.
+//!
+//! "The operations in the type checking rules are all monotonic when
+//! expressed in terms of constraint sets and there is a least solution ...
+//! it is possible to find the best collection of constraint sets using a
+//! greatest-fixed-point-seeking dataflow analysis of the whole program."
+//!
+//! The implementation mirrors that structure:
+//!
+//! - per function, a forward dataflow over [`ConstraintSet`]s with
+//!   intersection at joins and a local fixpoint for `while`;
+//! - per program, descending (greatest-fixed-point) iteration on the
+//!   function summaries: a function's *input* set is the intersection of
+//!   the facts provable at all of its call sites (empty for exported
+//!   functions, matching "any non-static C function ... has empty input,
+//!   output and result constraint sets"); its *output/result* set is
+//!   whatever its body proves about its region parameters and result;
+//! - finally, a verdict pass records the flow state at every `chk` site:
+//!   "we can safely eliminate any chk statement that asserts a property
+//!   that is implied by its input constraint set."
+
+use std::collections::HashMap;
+
+use crate::constraint::ConstraintSet;
+use crate::program::{Callee, FuncDef, Program, SiteId, Stmt, VarId};
+use crate::types::{Fact, FieldType, RegionExpr, RhoId, VarType};
+
+/// Inferred input/output summaries for one function, in "summary space":
+/// ρᵢ is the i-th parameter's region, ρₙ (n = parameter count) the
+/// result's.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Summary {
+    /// Facts guaranteed at every call site (the function may assume them).
+    pub input: ConstraintSet,
+    /// Facts the body guarantees about parameters and result on return.
+    pub output: ConstraintSet,
+}
+
+/// Result of analysing a program.
+#[derive(Debug, Clone)]
+pub struct Analysis {
+    /// Per-function summaries (indexed by [`crate::FuncId`]).
+    pub summaries: Vec<Summary>,
+    /// Verdict per check site: `true` means the check is statically
+    /// redundant and can be removed.
+    pub site_safe: HashMap<SiteId, bool>,
+    /// Flow state recorded at each check site (for diagnostics).
+    pub site_states: HashMap<SiteId, ConstraintSet>,
+    /// Global fixpoint rounds taken.
+    pub rounds: usize,
+}
+
+impl Analysis {
+    /// Whether the check at `site` was proven redundant (false for unknown
+    /// sites — a site the analysis never saw must keep its check).
+    pub fn is_safe(&self, site: SiteId) -> bool {
+        self.site_safe.get(&site).copied().unwrap_or(false)
+    }
+
+    /// Number of sites proven safe.
+    pub fn safe_count(&self) -> usize {
+        self.site_safe.values().filter(|&&b| b).count()
+    }
+
+    /// Total recorded sites.
+    pub fn site_count(&self) -> usize {
+        self.site_safe.len()
+    }
+}
+
+/// Upper bound on global rounds; reaching it triggers a sound fallback
+/// (empty summaries, one final pass).
+const MAX_ROUNDS: usize = 200;
+
+/// Runs the whole-program inference.
+pub fn analyse(prog: &Program) -> Analysis {
+    let nf = prog.funcs.len();
+    let mut summaries: Vec<Summary> = prog
+        .funcs
+        .iter()
+        .map(|f| Summary {
+            // Greatest fixed point: start optimistically at the
+            // contradictory top and descend; exported functions are pinned
+            // to the empty set.
+            input: if f.exported { ConstraintSet::empty() } else { ConstraintSet::contradiction() },
+            output: ConstraintSet::contradiction(),
+        })
+        .collect();
+
+    let mut rounds = 0;
+    loop {
+        rounds += 1;
+        let mut in_acc: Vec<Option<ConstraintSet>> = vec![None; nf];
+        let mut changed = false;
+
+        let mut new_outputs: Vec<ConstraintSet> = Vec::with_capacity(nf);
+        for (i, f) in prog.funcs.iter().enumerate() {
+            let entry = summaries[i].input.clone();
+            let mut ctx = Ctx {
+                prog,
+                func: f,
+                summaries: &summaries,
+                in_acc: Some(&mut in_acc),
+                verdicts: None,
+                ret_acc: ConstraintSet::contradiction(),
+                violations: None,
+            };
+            let end = ctx.exec(&f.body, entry);
+            // Output summary: the meet over all exits (explicit returns and
+            // void fall-through).
+            let exit = ctx.ret_acc.meet(&end);
+            new_outputs.push(project_output(f, &exit));
+        }
+        for (i, out) in new_outputs.into_iter().enumerate() {
+            if out != summaries[i].output {
+                summaries[i].output = out;
+                changed = true;
+            }
+        }
+        for (i, f) in prog.funcs.iter().enumerate() {
+            if f.exported {
+                continue;
+            }
+            let new_in = in_acc[i].take().unwrap_or_else(ConstraintSet::contradiction);
+            if new_in != summaries[i].input {
+                summaries[i].input = new_in;
+                changed = true;
+            }
+        }
+
+        if !changed {
+            break;
+        }
+        if rounds >= MAX_ROUNDS {
+            // Sound fallback: drop to empty summaries everywhere.
+            for s in &mut summaries {
+                s.input = ConstraintSet::empty();
+                s.output = ConstraintSet::empty();
+            }
+            break;
+        }
+    }
+
+    // Verdict pass with the stable summaries.
+    let mut site_safe = HashMap::new();
+    let mut site_states = HashMap::new();
+    for (i, f) in prog.funcs.iter().enumerate() {
+        let entry = summaries[i].input.clone();
+        let mut ctx = Ctx {
+            prog,
+            func: f,
+            summaries: &summaries,
+            in_acc: None,
+            verdicts: Some((&mut site_safe, &mut site_states)),
+            ret_acc: ConstraintSet::contradiction(),
+            violations: None,
+        };
+        ctx.exec(&f.body, entry);
+    }
+
+    Analysis { summaries, site_safe, site_states, rounds }
+}
+
+/// Validates a program against an inferred (or hand-written) analysis,
+/// playing the role of Figure 6's *checking* judgments: every function's
+/// body, analysed from its input summary, must (a) prove each callee's
+/// input summary at each call site, and (b) prove its own output summary
+/// at every exit. Returns the list of violations (empty = well-typed).
+///
+/// The summaries produced by [`analyse`] always validate — that is the
+/// greatest-fixed-point property — so this is primarily a defence against
+/// hand-edited or stale summaries, and a machine-checkable statement of
+/// the soundness argument.
+pub fn validate(prog: &Program, analysis: &Analysis) -> Vec<String> {
+    let mut violations = Vec::new();
+    for (i, f) in prog.funcs.iter().enumerate() {
+        let entry = analysis.summaries[i].input.clone();
+        let mut ctx = Ctx {
+            prog,
+            func: f,
+            summaries: &analysis.summaries,
+            in_acc: None,
+            verdicts: None,
+            ret_acc: ConstraintSet::contradiction(),
+            violations: Some(&mut violations),
+        };
+        let end = ctx.exec(&f.body, entry);
+        let exit = ctx.ret_acc.meet(&end);
+        let out = project_output(f, &exit);
+        if !out.entails_all(&analysis.summaries[i].output) {
+            violations.push(format!(
+                "function `{}`: body proves {} but the output summary claims {}",
+                f.name, out, analysis.summaries[i].output
+            ));
+        }
+    }
+    violations
+}
+
+/// Projects a function's final flow state onto its summary space:
+/// parameters keep their ρ indices; the result variable's region is
+/// renamed to ρₙ.
+fn project_output(f: &FuncDef, end: &ConstraintSet) -> ConstraintSet {
+    let n = f.params.len() as u32;
+    let result = f.result.filter(|&r| f.var_has_region(r));
+    let keep = |RhoId(i): RhoId| {
+        (i < n && f.var_has_region(VarId(i))) || result.map(|r| r.0 == i).unwrap_or(false)
+    };
+    let restricted = end.restrict(keep);
+    match result {
+        None => restricted,
+        Some(r) => {
+            debug_assert!(r.0 >= n, "results are locals, never parameters");
+            let mut subst: Vec<RegionExpr> =
+                (0..f.var_count() as u32).map(|i| RegionExpr::Abstract(RhoId(i))).collect();
+            subst[r.0 as usize] = RegionExpr::Abstract(RhoId(n));
+            restricted.subst(&subst)
+        }
+    }
+}
+
+/// Projects a caller's flow state onto a callee's formal space: every
+/// candidate fact over the callee's region parameters (and the region
+/// constants) that the caller can prove about the actuals.
+fn project_call_site(
+    prog: &Program,
+    callee: &FuncDef,
+    actual_subst: &[RegionExpr],
+    state: &ConstraintSet,
+) -> ConstraintSet {
+    let mut universe: Vec<RegionExpr> = callee
+        .region_params()
+        .map(|v| RegionExpr::Abstract(v.rho()))
+        .collect();
+    for c in 0..prog.consts.len() as u32 {
+        universe.push(RegionExpr::Const(crate::types::ConstId(c)));
+    }
+    universe.push(RegionExpr::Top);
+
+    let mut out = Vec::new();
+    for &a in &universe {
+        for cand in [Fact::IsTop(a), Fact::NotTop(a)] {
+            if cand.subst(actual_subst).map(|f| state.entails(f)).unwrap_or(true) {
+                out.push(cand);
+            }
+        }
+        for &b in &universe {
+            if a == b {
+                continue;
+            }
+            for cand in [Fact::Eq(a, b), Fact::Sub(a, b), Fact::EqOrNull(a, b)] {
+                if cand.subst(actual_subst).map(|f| state.entails(f)).unwrap_or(true) {
+                    out.push(cand);
+                }
+            }
+        }
+    }
+    ConstraintSet::from_facts(out)
+}
+
+type Verdicts<'a> =
+    (&'a mut HashMap<SiteId, bool>, &'a mut HashMap<SiteId, ConstraintSet>);
+
+/// Per-function execution context.
+struct Ctx<'a> {
+    prog: &'a Program,
+    func: &'a FuncDef,
+    summaries: &'a [Summary],
+    /// When present, call-site facts are accumulated for the callees'
+    /// input summaries.
+    in_acc: Option<&'a mut Vec<Option<ConstraintSet>>>,
+    /// When present, `chk` verdicts are recorded.
+    verdicts: Option<Verdicts<'a>>,
+    /// Meet of the flow states at every `return` executed so far (starts
+    /// contradictory: no returns seen).
+    ret_acc: ConstraintSet,
+    /// When present, the Figure 6 *checking* obligations are verified and
+    /// violations recorded: call sites must entail the callee's input
+    /// summary (fncall rule).
+    violations: Option<&'a mut Vec<String>>,
+}
+
+impl Ctx<'_> {
+    fn rho(&self, v: VarId) -> RegionExpr {
+        RegionExpr::Abstract(v.rho())
+    }
+
+    fn has_region(&self, v: VarId) -> bool {
+        self.func.var_has_region(v)
+    }
+
+    fn exec(&mut self, s: &Stmt, mut d: ConstraintSet) -> ConstraintSet {
+        match s {
+            Stmt::Seq(ss) => {
+                for s in ss {
+                    d = self.exec(s, d);
+                }
+                d
+            }
+            Stmt::If { cond, then_s, else_s } => {
+                let (mut dt, mut de) = (d.clone(), d);
+                if self.has_region(*cond) {
+                    dt.add(Fact::NotTop(self.rho(*cond)));
+                    de.add(Fact::IsTop(self.rho(*cond)));
+                }
+                let dt = self.exec(then_s, dt);
+                let de = self.exec(else_s, de);
+                dt.meet(&de)
+            }
+            Stmt::While { cond, body } => {
+                // Local descending fixpoint on the loop-entry state.
+                let mut entry = d;
+                loop {
+                    let refined = self.refine_true(*cond, entry.clone());
+                    // Inner iterations must not record verdicts — only the
+                    // final stable pass below does.
+                    let saved = self.verdicts.take();
+                    let after = self.exec(body, refined);
+                    self.verdicts = saved;
+                    let next = entry.meet(&after);
+                    if next == entry {
+                        break;
+                    }
+                    entry = next;
+                }
+                if self.verdicts.is_some() {
+                    let refined = self.refine_true(*cond, entry.clone());
+                    self.exec(body, refined);
+                }
+                let mut exit = entry;
+                if self.has_region(*cond) {
+                    exit.add(Fact::IsTop(self.rho(*cond)));
+                }
+                exit
+            }
+            Stmt::Assign { dst, src } => {
+                if self.has_region(*dst) {
+                    debug_assert_ne!(dst, src, "dst is never used elsewhere in the statement");
+                    d.kill_rho(dst.rho());
+                    if self.has_region(*src) {
+                        d.add(Fact::Eq(self.rho(*dst), self.rho(*src)));
+                    }
+                }
+                d
+            }
+            Stmt::AssignNull { dst } => {
+                if self.has_region(*dst) {
+                    d.kill_rho(dst.rho());
+                    d.add(Fact::IsTop(self.rho(*dst)));
+                }
+                d
+            }
+            Stmt::Havoc { dst } => {
+                if self.has_region(*dst) {
+                    d.kill_rho(dst.rho());
+                }
+                d
+            }
+            Stmt::ReadField { dst, obj, field } => {
+                // Dereference: obj is non-null past this point.
+                d.add(Fact::NotTop(self.rho(*obj)));
+                let VarType::Ptr(sid) = self.func.var_type(*obj) else {
+                    panic!("field read through non-pointer variable");
+                };
+                match self.prog.struct_decl(sid).field(*field) {
+                    FieldType::Int => d,
+                    FieldType::Region => {
+                        if self.has_region(*dst) {
+                            d.kill_rho(dst.rho());
+                        }
+                        d
+                    }
+                    FieldType::Ptr { qual, .. } => {
+                        let qual = *qual;
+                        if self.has_region(*dst) {
+                            d.kill_rho(dst.rho());
+                            d.add_all(qual.read_facts(self.rho(*dst), self.rho(*obj)));
+                        }
+                        d
+                    }
+                }
+            }
+            Stmt::WriteField { obj, .. } => {
+                d.add(Fact::NotTop(self.rho(*obj)));
+                d
+            }
+            Stmt::New { dst, region, .. } => {
+                // ralloc: the new object lives in the designated region,
+                // which must be a real (non-⊤) region.
+                d.add(Fact::NotTop(self.rho(*region)));
+                if self.has_region(*dst) {
+                    d.kill_rho(dst.rho());
+                    d.add(Fact::Eq(self.rho(*dst), self.rho(*region)));
+                    d.add(Fact::NotTop(self.rho(*dst)));
+                }
+                d
+            }
+            Stmt::Assume { facts } => {
+                d.add_all(facts.iter().copied());
+                d
+            }
+            Stmt::Return { src } => {
+                // Model `result = src` (when the function has a result),
+                // fold the state into the output accumulator, and make the
+                // fall-through unreachable.
+                if let (Some(res), Some(src)) = (self.func.result, src) {
+                    if self.func.var_has_region(res) {
+                        d.kill_rho(res.rho());
+                        if self.has_region(*src) {
+                            d.add(Fact::Eq(self.rho(res), self.rho(*src)));
+                        }
+                    }
+                }
+                self.ret_acc = self.ret_acc.meet(&d);
+                ConstraintSet::contradiction()
+            }
+            Stmt::Chk { fact, site } => {
+                if let Some((safe, states)) = self.verdicts.as_mut() {
+                    safe.insert(*site, d.entails(*fact));
+                    states.insert(*site, d.clone());
+                }
+                // After a passing check, the property holds.
+                d.add(*fact);
+                d
+            }
+            Stmt::Call { dst, callee, args } => self.exec_call(*dst, *callee, args, d),
+        }
+    }
+
+    fn refine_true(&self, cond: VarId, mut d: ConstraintSet) -> ConstraintSet {
+        if self.has_region(cond) {
+            d.add(Fact::NotTop(self.rho(cond)));
+        }
+        d
+    }
+
+    fn exec_call(
+        &mut self,
+        dst: Option<VarId>,
+        callee: Callee,
+        args: &[VarId],
+        mut d: ConstraintSet,
+    ) -> ConstraintSet {
+        let kill_dst = |d: &mut ConstraintSet, dst: Option<VarId>, func: &FuncDef| {
+            if let Some(v) = dst {
+                if func.var_has_region(v) {
+                    d.kill_rho(v.rho());
+                }
+            }
+        };
+        match callee {
+            Callee::NewRegion => {
+                kill_dst(&mut d, dst, self.func);
+                if let Some(v) = dst {
+                    d.add(Fact::NotTop(self.rho(v)));
+                }
+                d
+            }
+            Callee::NewSubRegion => {
+                let parent = args[0];
+                d.add(Fact::NotTop(self.rho(parent)));
+                kill_dst(&mut d, dst, self.func);
+                if let Some(v) = dst {
+                    d.add(Fact::Sub(self.rho(v), self.rho(parent)));
+                    d.add(Fact::NotTop(self.rho(v)));
+                }
+                d
+            }
+            Callee::DeleteRegion => {
+                d.add(Fact::NotTop(self.rho(args[0])));
+                d
+            }
+            Callee::RegionOf => {
+                let x = args[0];
+                d.add(Fact::NotTop(self.rho(x)));
+                kill_dst(&mut d, dst, self.func);
+                if let Some(v) = dst {
+                    d.add(Fact::Eq(self.rho(v), self.rho(x)));
+                }
+                d
+            }
+            Callee::User(gid) => {
+                let g = self.prog.func(gid);
+                let n = g.params.len();
+                debug_assert_eq!(args.len(), n, "arity mismatch calling {}", g.name);
+                // Build the actual substitution: formal ρᵢ ↦ the actual's
+                // region (⊤ for non-region arguments, about which no
+                // summary fact may speak), and formal ρₙ ↦ the
+                // destination's region.
+                let mut subst: Vec<RegionExpr> = args
+                    .iter()
+                    .map(|&a| {
+                        if self.has_region(a) { self.rho(a) } else { RegionExpr::Top }
+                    })
+                    .collect();
+                let result_expr = match dst {
+                    Some(v) if self.has_region(v) => self.rho(v),
+                    _ => RegionExpr::Top,
+                };
+                subst.push(result_expr);
+
+                // Figure 6 (fncall): the call site must prove the
+                // callee's input property for the actuals.
+                if let Some(violations) = self.violations.as_mut() {
+                    let obligation =
+                        self.summaries[gid.0 as usize].input.subst(&subst[..n]);
+                    if !d.entails_all(&obligation) {
+                        violations.push(format!(
+                            "call to `{}` in `{}`: input summary not entailed                              (need {}, have {})",
+                            g.name, self.func.name, obligation, d
+                        ));
+                    }
+                }
+                // Contribute this call site to the callee's input summary.
+                if !g.exported && self.in_acc.is_some() {
+                    let contrib = project_call_site(self.prog, g, &subst[..n], &d);
+                    if let Some(acc) = self.in_acc.as_mut() {
+                        let slot = &mut acc[gid.0 as usize];
+                        *slot = Some(match slot.take() {
+                            None => contrib,
+                            Some(prev) => prev.meet(&contrib),
+                        });
+                    }
+                }
+
+                kill_dst(&mut d, dst, self.func);
+                // The callee's output summary holds for the actuals.
+                let out = self.summaries[gid.0 as usize].output.subst(&subst);
+                d.add_all(out.facts());
+                d
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::Program;
+    use crate::types::{FieldQual, StructDecl, StructId};
+
+    /// Builds the Figure 1 list-construction loop:
+    ///
+    /// ```c
+    /// region r = newregion();
+    /// struct rlist *rl, *last = NULL;
+    /// while (...) {
+    ///   rl = ralloc(r, struct rlist);
+    ///   rl->data = ralloc(r, struct finfo);   // chk sameregion
+    ///   rl->next = last;                      // chk sameregion
+    ///   last = rl;
+    /// }
+    /// ```
+    fn figure1_program() -> Program {
+        let mut p = Program::new();
+        let rlist = StructId(0);
+        let finfo = StructId(1);
+        p.add_struct(StructDecl {
+            name: "rlist".into(),
+            fields: vec![
+                ("next".into(), FieldType::Ptr { target: rlist, qual: FieldQual::SameRegion }),
+                ("data".into(), FieldType::Ptr { target: finfo, qual: FieldQual::SameRegion }),
+            ],
+        });
+        p.add_struct(StructDecl { name: "finfo".into(), fields: vec![("x".into(), FieldType::Int)] });
+
+        // Vars: 0 = r (region), 1 = rl, 2 = last, 3 = data tmp, 4 = cond.
+        let (r, rl, last, tmp, cond) = (VarId(0), VarId(1), VarId(2), VarId(3), VarId(4));
+        let body = Stmt::Seq(vec![
+            Stmt::Call { dst: Some(r), callee: Callee::NewRegion, args: vec![] },
+            Stmt::AssignNull { dst: last },
+            Stmt::While {
+                cond,
+                body: Box::new(Stmt::Seq(vec![
+                    Stmt::New { dst: rl, ty: StructId(0), region: r },
+                    Stmt::New { dst: tmp, ty: StructId(1), region: r },
+                    Stmt::Chk {
+                        fact: Fact::EqOrNull(
+                            RegionExpr::Abstract(tmp.rho()),
+                            RegionExpr::Abstract(rl.rho()),
+                        ),
+                        site: SiteId(0),
+                    },
+                    Stmt::WriteField { obj: rl, field: 1, src: tmp },
+                    Stmt::Chk {
+                        fact: Fact::EqOrNull(
+                            RegionExpr::Abstract(last.rho()),
+                            RegionExpr::Abstract(rl.rho()),
+                        ),
+                        site: SiteId(1),
+                    },
+                    Stmt::WriteField { obj: rl, field: 0, src: last },
+                    Stmt::Assign { dst: last, src: rl },
+                ])),
+            },
+            Stmt::Call { dst: None, callee: Callee::DeleteRegion, args: vec![r] },
+        ]);
+        p.add_func(FuncDef {
+            name: "main".into(),
+            exported: true,
+            params: vec![],
+            locals: vec![
+                VarType::Region,
+                VarType::Ptr(StructId(0)),
+                VarType::Ptr(StructId(0)),
+                VarType::Ptr(StructId(1)),
+                VarType::Int,
+            ],
+            result: None,
+            body,
+        });
+        p
+    }
+
+    #[test]
+    fn figure1_loop_is_fully_verified() {
+        let p = figure1_program();
+        let a = analyse(&p);
+        assert!(a.is_safe(SiteId(0)), "rl->data = ralloc(r, …): {}", a.site_states[&SiteId(0)]);
+        assert!(a.is_safe(SiteId(1)), "rl->next = last: {}", a.site_states[&SiteId(1)]);
+        assert_eq!(a.safe_count(), 2);
+    }
+
+    #[test]
+    fn array_read_defeats_verification() {
+        // x = ralloc(r); x->next = objects[23];  — §5.2's negative idiom.
+        let mut p = Program::new();
+        let rlist = StructId(0);
+        p.add_struct(StructDecl {
+            name: "rlist".into(),
+            fields: vec![("next".into(), FieldType::Ptr { target: rlist, qual: FieldQual::SameRegion })],
+        });
+        let (r, x, y) = (VarId(0), VarId(1), VarId(2));
+        let body = Stmt::Seq(vec![
+            Stmt::Call { dst: Some(r), callee: Callee::NewRegion, args: vec![] },
+            Stmt::New { dst: x, ty: rlist, region: r },
+            Stmt::Havoc { dst: y }, // objects[23]
+            Stmt::Chk {
+                fact: Fact::EqOrNull(RegionExpr::Abstract(y.rho()), RegionExpr::Abstract(x.rho())),
+                site: SiteId(0),
+            },
+            Stmt::WriteField { obj: x, field: 0, src: y },
+        ]);
+        p.add_func(FuncDef {
+            name: "main".into(),
+            exported: true,
+            params: vec![],
+            locals: vec![VarType::Region, VarType::Ptr(rlist), VarType::Ptr(rlist)],
+            result: None,
+            body,
+        });
+        let a = analyse(&p);
+        assert!(!a.is_safe(SiteId(0)), "array reads yield unknown regions");
+    }
+
+    #[test]
+    fn regionof_idiom_is_verified() {
+        // x = ralloc(r, ...); x->next = ralloc(regionof(x), ...);
+        let mut p = Program::new();
+        let rlist = StructId(0);
+        p.add_struct(StructDecl {
+            name: "rlist".into(),
+            fields: vec![("next".into(), FieldType::Ptr { target: rlist, qual: FieldQual::SameRegion })],
+        });
+        let (r, x, r2, y) = (VarId(0), VarId(1), VarId(2), VarId(3));
+        let body = Stmt::Seq(vec![
+            Stmt::Call { dst: Some(r), callee: Callee::NewRegion, args: vec![] },
+            Stmt::New { dst: x, ty: rlist, region: r },
+            Stmt::Call { dst: Some(r2), callee: Callee::RegionOf, args: vec![x] },
+            Stmt::New { dst: y, ty: rlist, region: r2 },
+            Stmt::Chk {
+                fact: Fact::EqOrNull(RegionExpr::Abstract(y.rho()), RegionExpr::Abstract(x.rho())),
+                site: SiteId(0),
+            },
+            Stmt::WriteField { obj: x, field: 0, src: y },
+        ]);
+        p.add_func(FuncDef {
+            name: "main".into(),
+            exported: true,
+            params: vec![],
+            locals: vec![VarType::Region, VarType::Ptr(rlist), VarType::Region, VarType::Ptr(rlist)],
+            result: None,
+            body,
+        });
+        let a = analyse(&p);
+        assert!(a.is_safe(SiteId(0)));
+    }
+
+    #[test]
+    fn constructor_called_from_unknown_context_keeps_check() {
+        // rlist *new_rlist(region r, rlist *next) { new->next = next; }
+        // called from an exported function with unrelated arguments: the
+        // input summary cannot prove next ∈ r.
+        let mut p = Program::new();
+        let rlist = StructId(0);
+        p.add_struct(StructDecl {
+            name: "rlist".into(),
+            fields: vec![("next".into(), FieldType::Ptr { target: rlist, qual: FieldQual::SameRegion })],
+        });
+        // new_rlist: params r (region), next (ptr); local new, result new.
+        let (pr, pnext, pnew) = (VarId(0), VarId(1), VarId(2));
+        let ctor_body = Stmt::Seq(vec![
+            Stmt::New { dst: pnew, ty: rlist, region: pr },
+            Stmt::Chk {
+                fact: Fact::EqOrNull(
+                    RegionExpr::Abstract(pnext.rho()),
+                    RegionExpr::Abstract(pnew.rho()),
+                ),
+                site: SiteId(0),
+            },
+            Stmt::WriteField { obj: pnew, field: 0, src: pnext },
+        ]);
+        let ctor = p.add_func(FuncDef {
+            name: "new_rlist".into(),
+            exported: false,
+            params: vec![VarType::Region, VarType::Ptr(rlist)],
+            locals: vec![VarType::Ptr(rlist)],
+            result: Some(pnew),
+            body: ctor_body,
+        });
+        // main: two unrelated regions; next comes from the other region.
+        let (r1, r2, a, b) = (VarId(0), VarId(1), VarId(2), VarId(3));
+        let main_body = Stmt::Seq(vec![
+            Stmt::Call { dst: Some(r1), callee: Callee::NewRegion, args: vec![] },
+            Stmt::Call { dst: Some(r2), callee: Callee::NewRegion, args: vec![] },
+            Stmt::New { dst: a, ty: rlist, region: r2 },
+            Stmt::Call { dst: Some(b), callee: Callee::User(ctor), args: vec![r1, a] },
+        ]);
+        p.add_func(FuncDef {
+            name: "main".into(),
+            exported: true,
+            params: vec![],
+            locals: vec![VarType::Region, VarType::Region, VarType::Ptr(rlist), VarType::Ptr(rlist)],
+            result: None,
+            body: main_body,
+        });
+        let a = analyse(&p);
+        assert!(!a.is_safe(SiteId(0)), "mixed-region call sites defeat the constructor idiom");
+    }
+
+    #[test]
+    fn constructor_with_consistent_sites_is_verified() {
+        // Same constructor, but every call site passes next allocated in r
+        // — the interprocedural idiom that *does* verify (as in moss).
+        let mut p = Program::new();
+        let rlist = StructId(0);
+        p.add_struct(StructDecl {
+            name: "rlist".into(),
+            fields: vec![("next".into(), FieldType::Ptr { target: rlist, qual: FieldQual::SameRegion })],
+        });
+        let (pr, pnext, pnew) = (VarId(0), VarId(1), VarId(2));
+        let ctor_body = Stmt::Seq(vec![
+            Stmt::New { dst: pnew, ty: rlist, region: pr },
+            Stmt::Chk {
+                fact: Fact::EqOrNull(
+                    RegionExpr::Abstract(pnext.rho()),
+                    RegionExpr::Abstract(pnew.rho()),
+                ),
+                site: SiteId(0),
+            },
+            Stmt::WriteField { obj: pnew, field: 0, src: pnext },
+        ]);
+        let ctor = p.add_func(FuncDef {
+            name: "new_rlist".into(),
+            exported: false,
+            params: vec![VarType::Region, VarType::Ptr(rlist)],
+            locals: vec![VarType::Ptr(rlist)],
+            result: Some(pnew),
+            body: ctor_body,
+        });
+        let (r1, a, b) = (VarId(0), VarId(1), VarId(2));
+        let main_body = Stmt::Seq(vec![
+            Stmt::Call { dst: Some(r1), callee: Callee::NewRegion, args: vec![] },
+            Stmt::New { dst: a, ty: rlist, region: r1 },
+            Stmt::Call { dst: Some(b), callee: Callee::User(ctor), args: vec![r1, a] },
+            // And chain: next result feeds back in.
+            Stmt::Call { dst: Some(a), callee: Callee::User(ctor), args: vec![r1, b] },
+        ]);
+        p.add_func(FuncDef {
+            name: "main".into(),
+            exported: true,
+            params: vec![],
+            locals: vec![VarType::Region, VarType::Ptr(rlist), VarType::Ptr(rlist)],
+            result: None,
+            body: main_body,
+        });
+        let an = analyse(&p);
+        assert!(
+            an.is_safe(SiteId(0)),
+            "consistent call sites let the input summary prove the check: {}",
+            an.site_states[&SiteId(0)]
+        );
+        // The result summary must say: result lives in the region argument.
+        let s = &an.summaries[ctor.0 as usize];
+        assert!(s.output.entails(Fact::Eq(
+            RegionExpr::Abstract(RhoId(2)), // ρ₂ = result (2 params)
+            RegionExpr::Abstract(RhoId(0)), // ρ₀ = region param
+        )));
+    }
+
+    #[test]
+    fn subregion_parentptr_idiom_is_verified() {
+        // sub = newsubregion(r); o = ralloc(sub); p = ralloc(r);
+        // o->up = p;  — parentptr chk: ρ_o ≤ ρ_p.
+        let mut p = Program::new();
+        let node = StructId(0);
+        p.add_struct(StructDecl {
+            name: "node".into(),
+            fields: vec![("up".into(), FieldType::Ptr { target: node, qual: FieldQual::ParentPtr })],
+        });
+        let (r, sub, o, q) = (VarId(0), VarId(1), VarId(2), VarId(3));
+        let body = Stmt::Seq(vec![
+            Stmt::Call { dst: Some(r), callee: Callee::NewRegion, args: vec![] },
+            Stmt::Call { dst: Some(sub), callee: Callee::NewSubRegion, args: vec![r] },
+            Stmt::New { dst: o, ty: node, region: sub },
+            Stmt::New { dst: q, ty: node, region: r },
+            Stmt::Chk {
+                fact: Fact::Sub(RegionExpr::Abstract(o.rho()), RegionExpr::Abstract(q.rho())),
+                site: SiteId(0),
+            },
+            Stmt::WriteField { obj: o, field: 0, src: q },
+        ]);
+        p.add_func(FuncDef {
+            name: "main".into(),
+            exported: true,
+            params: vec![],
+            locals: vec![VarType::Region, VarType::Region, VarType::Ptr(node), VarType::Ptr(node)],
+            result: None,
+            body,
+        });
+        let a = analyse(&p);
+        assert!(a.is_safe(SiteId(0)), "{}", a.site_states[&SiteId(0)]);
+    }
+
+    #[test]
+    fn if_refinement_knows_nullness() {
+        // y = x->next; if (y) { x->next = y; /* chk provable: y nonnull &
+        // sameregion-read */ }
+        let mut p = Program::new();
+        let rlist = StructId(0);
+        p.add_struct(StructDecl {
+            name: "rlist".into(),
+            fields: vec![("next".into(), FieldType::Ptr { target: rlist, qual: FieldQual::SameRegion })],
+        });
+        let (x, y) = (VarId(0), VarId(1));
+        let body = Stmt::Seq(vec![
+            Stmt::ReadField { dst: y, obj: x, field: 0 },
+            Stmt::If {
+                cond: y,
+                then_s: Box::new(Stmt::Seq(vec![
+                    Stmt::Chk {
+                        fact: Fact::EqOrNull(
+                            RegionExpr::Abstract(y.rho()),
+                            RegionExpr::Abstract(x.rho()),
+                        ),
+                        site: SiteId(0),
+                    },
+                    Stmt::WriteField { obj: x, field: 0, src: y },
+                ])),
+                else_s: Box::new(Stmt::skip()),
+            },
+        ]);
+        p.add_func(FuncDef {
+            name: "touch".into(),
+            exported: true,
+            params: vec![VarType::Ptr(rlist)],
+            locals: vec![VarType::Ptr(rlist)],
+            result: None,
+            body,
+        });
+        let a = analyse(&p);
+        assert!(a.is_safe(SiteId(0)));
+    }
+
+    #[test]
+    fn heap_read_idiom_is_verified() {
+        // x = ralloc(regionof(y)); x->next = y->next;  (§5.2 positive)
+        let mut p = Program::new();
+        let rlist = StructId(0);
+        p.add_struct(StructDecl {
+            name: "rlist".into(),
+            fields: vec![("next".into(), FieldType::Ptr { target: rlist, qual: FieldQual::SameRegion })],
+        });
+        let (y, r, x, t) = (VarId(0), VarId(1), VarId(2), VarId(3));
+        let body = Stmt::Seq(vec![
+            Stmt::Call { dst: Some(r), callee: Callee::RegionOf, args: vec![y] },
+            Stmt::New { dst: x, ty: rlist, region: r },
+            Stmt::ReadField { dst: t, obj: y, field: 0 },
+            Stmt::Chk {
+                fact: Fact::EqOrNull(RegionExpr::Abstract(t.rho()), RegionExpr::Abstract(x.rho())),
+                site: SiteId(0),
+            },
+            Stmt::WriteField { obj: x, field: 0, src: t },
+        ]);
+        p.add_func(FuncDef {
+            name: "copy_head".into(),
+            exported: true,
+            params: vec![VarType::Ptr(rlist)],
+            locals: vec![VarType::Region, VarType::Ptr(rlist), VarType::Ptr(rlist)],
+            result: None,
+            body,
+        });
+        let a = analyse(&p);
+        assert!(a.is_safe(SiteId(0)), "{}", a.site_states[&SiteId(0)]);
+    }
+
+    #[test]
+    fn analysis_terminates_on_recursion() {
+        // f calls itself; summaries must converge.
+        let mut p = Program::new();
+        let rlist = StructId(0);
+        p.add_struct(StructDecl {
+            name: "rlist".into(),
+            fields: vec![("next".into(), FieldType::Ptr { target: rlist, qual: FieldQual::SameRegion })],
+        });
+        let (x, y) = (VarId(0), VarId(1));
+        let fid = crate::program::FuncId(0);
+        let body = Stmt::Seq(vec![
+            Stmt::ReadField { dst: y, obj: x, field: 0 },
+            Stmt::If {
+                cond: y,
+                then_s: Box::new(Stmt::Call { dst: None, callee: Callee::User(fid), args: vec![y] }),
+                else_s: Box::new(Stmt::skip()),
+            },
+        ]);
+        p.add_func(FuncDef {
+            name: "walk".into(),
+            exported: true,
+            params: vec![VarType::Ptr(rlist)],
+            locals: vec![VarType::Ptr(rlist)],
+            result: None,
+            body,
+        });
+        let a = analyse(&p);
+        assert!(a.rounds < MAX_ROUNDS);
+    }
+}

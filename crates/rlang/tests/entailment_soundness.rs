@@ -1,0 +1,223 @@
+//! Property tests for the constraint engine.
+//!
+//! The §4.3 inference is only correct if [`ConstraintSet::entails`] is
+//! *sound* with respect to the heap model of Figure 4: whenever the engine
+//! claims `δ ⊨ f`, every concrete valuation of region expressions into a
+//! region forest (plus ⊤ for null) that satisfies δ must satisfy `f`.
+//! These tests check that by brute force over random small models, and
+//! check the lattice laws the dataflow analysis relies on.
+
+use proptest::prelude::*;
+use rlang::constraint::ConstraintSet;
+use rlang::types::{ConstId, Fact, RegionExpr, RhoId};
+
+/// A concrete model: a forest of `n` regions (parent pointers, region 0 is
+/// the root, representing the traditional region) and a valuation mapping
+/// each abstract region to either a region index or ⊤ (None).
+#[derive(Debug, Clone)]
+struct Model {
+    parent: Vec<Option<usize>>,
+    /// Valuation for abstract regions ρ0..ρk.
+    val: Vec<Option<usize>>,
+}
+
+impl Model {
+    /// `a ≤ b` in the forest (with `x ≤ ⊤` for all x, `⊤ ≤ ⊤`).
+    fn le(&self, a: Option<usize>, b: Option<usize>) -> bool {
+        match (a, b) {
+            (_, None) => true,
+            (None, Some(_)) => false,
+            (Some(mut x), Some(y)) => loop {
+                if x == y {
+                    return true;
+                }
+                match self.parent[x] {
+                    Some(p) => x = p,
+                    None => return false,
+                }
+            },
+        }
+    }
+
+    fn eval_expr(&self, e: RegionExpr) -> Option<usize> {
+        match e {
+            RegionExpr::Top => None,
+            // The single region constant R_T is region 0, the forest root.
+            RegionExpr::Const(ConstId(_)) => Some(0),
+            RegionExpr::Abstract(RhoId(i)) => self.val[i as usize % self.val.len()],
+        }
+    }
+
+    fn satisfies(&self, f: Fact) -> bool {
+        match f {
+            Fact::IsTop(a) => self.eval_expr(a).is_none(),
+            Fact::NotTop(a) => self.eval_expr(a).is_some(),
+            Fact::Sub(a, b) => self.le(self.eval_expr(a), self.eval_expr(b)),
+            Fact::Eq(a, b) => self.eval_expr(a) == self.eval_expr(b),
+            Fact::EqOrNull(a, b) => {
+                let va = self.eval_expr(a);
+                va.is_none() || va == self.eval_expr(b)
+            }
+        }
+    }
+
+    fn satisfies_all(&self, s: &ConstraintSet) -> bool {
+        !s.is_contradictory() && s.facts().all(|f| self.satisfies(f))
+    }
+}
+
+const N_RHOS: u32 = 4;
+const N_REGIONS: usize = 4;
+
+fn arb_expr() -> impl Strategy<Value = RegionExpr> {
+    prop_oneof![
+        (0..N_RHOS).prop_map(|i| RegionExpr::Abstract(RhoId(i))),
+        Just(RegionExpr::Top),
+        Just(RegionExpr::Const(ConstId(0))),
+    ]
+}
+
+fn arb_fact() -> impl Strategy<Value = Fact> {
+    (arb_expr(), arb_expr(), 0..5u8).prop_map(|(a, b, k)| match k {
+        0 => Fact::IsTop(a),
+        1 => Fact::NotTop(a),
+        2 => Fact::Sub(a, b),
+        3 => Fact::Eq(a, b),
+        _ => Fact::EqOrNull(a, b),
+    })
+}
+
+fn arb_model() -> impl Strategy<Value = Model> {
+    // parent[i] < i keeps it a forest rooted at 0; region 0 is the root.
+    let parents = (0..N_REGIONS)
+        .map(|i| {
+            if i == 0 {
+                Just(None).boxed()
+            } else {
+                prop_oneof![Just(None), (0..i).prop_map(Some)].boxed()
+            }
+        })
+        .collect::<Vec<_>>();
+    let vals = proptest::collection::vec(
+        prop_oneof![Just(None), (0..N_REGIONS).prop_map(Some)],
+        N_RHOS as usize,
+    );
+    (parents, vals).prop_map(|(mut parent, val)| {
+        // Everything not rooted at 0 gets re-rooted under 0 so the
+        // traditional region is the global root, as in the runtime.
+        for p in parent.iter_mut().skip(1) {
+            if p.is_none() {
+                *p = Some(0);
+            }
+        }
+        Model { parent, val }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Soundness: a syntactic entailment claim must hold in every model
+    /// of the fact set.
+    #[test]
+    fn entailment_is_sound(
+        facts in proptest::collection::vec(arb_fact(), 0..6),
+        query in arb_fact(),
+        model in arb_model(),
+    ) {
+        let s = ConstraintSet::from_facts(facts);
+        if s.entails(query) && model.satisfies_all(&s) {
+            prop_assert!(
+                model.satisfies(query),
+                "claimed {s} ⊨ {query}, but the model refutes it"
+            );
+        }
+    }
+
+    /// Saturation only adds consequences: every fact in the saturated set
+    /// holds in every model of the set.
+    #[test]
+    fn saturation_is_sound(
+        facts in proptest::collection::vec(arb_fact(), 0..6),
+        model in arb_model(),
+    ) {
+        let s = ConstraintSet::from_facts(facts.clone());
+        if model.satisfies_all(&s) {
+            // The model satisfies the saturated set; in particular the
+            // original facts imply every derived one on this model.
+            for f in s.facts() {
+                prop_assert!(model.satisfies(f));
+            }
+        }
+        // And if the set went contradictory, no model can satisfy all the
+        // *original* facts.
+        if s.is_contradictory() {
+            let orig_ok = facts.iter().all(|&f| model.satisfies(f));
+            prop_assert!(!orig_ok, "contradictory set has a model");
+        }
+    }
+
+    /// The meet is a lower bound of both operands (the dataflow join is
+    /// conservative): everything the meet claims, both inputs claimed.
+    #[test]
+    fn meet_is_lower_bound(
+        a in proptest::collection::vec(arb_fact(), 0..5),
+        b in proptest::collection::vec(arb_fact(), 0..5),
+    ) {
+        let sa = ConstraintSet::from_facts(a);
+        let sb = ConstraintSet::from_facts(b);
+        let m = sa.meet(&sb);
+        prop_assert!(sa.entails_all(&m), "meet not below left operand");
+        prop_assert!(sb.entails_all(&m), "meet not below right operand");
+    }
+
+    /// Meet is idempotent and commutative.
+    #[test]
+    fn meet_laws(
+        a in proptest::collection::vec(arb_fact(), 0..5),
+        b in proptest::collection::vec(arb_fact(), 0..5),
+    ) {
+        let sa = ConstraintSet::from_facts(a);
+        let sb = ConstraintSet::from_facts(b);
+        prop_assert_eq!(sa.meet(&sa), sa.clone());
+        let ab = sa.meet(&sb);
+        let ba = sb.meet(&sa);
+        prop_assert!(ab.entails_all(&ba) && ba.entails_all(&ab));
+    }
+
+    /// Killing a region keeps only facts that do not mention it, and never
+    /// invents knowledge: the original set entails everything that
+    /// survives.
+    #[test]
+    fn kill_is_sound(
+        facts in proptest::collection::vec(arb_fact(), 0..6),
+        rho in 0..N_RHOS,
+    ) {
+        let s = ConstraintSet::from_facts(facts);
+        let mut killed = s.clone();
+        killed.kill_rho(RhoId(rho));
+        if !killed.is_contradictory() {
+            for f in killed.facts() {
+                prop_assert!(!f.mentions(RhoId(rho)));
+                prop_assert!(s.entails(f), "kill invented {f}");
+            }
+        }
+    }
+
+    /// Substitution commutes with entailment: if δ ⊨ f then δσ ⊨ fσ.
+    #[test]
+    fn subst_preserves_entailment(
+        facts in proptest::collection::vec(arb_fact(), 0..5),
+        query in arb_fact(),
+        target in arb_expr(),
+    ) {
+        let s = ConstraintSet::from_facts(facts);
+        if s.entails(query) {
+            let subst = vec![target; N_RHOS as usize];
+            let s2 = s.subst(&subst);
+            if let Some(q2) = query.subst(&subst) {
+                prop_assert!(s2.entails(q2), "substitution broke entailment");
+            }
+        }
+    }
+}

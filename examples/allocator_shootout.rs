@@ -1,0 +1,49 @@
+//! Reruns one paper benchmark under all five Figure 7 configurations and
+//! all four Figure 8 check regimes, printing the comparison the paper's
+//! bar charts show.
+//!
+//! ```text
+//! cargo run --release --example allocator_shootout [workload] [scale]
+//! ```
+//!
+//! Workloads: cfrac grobner mudlle lcc moss tile rc apache (default lcc).
+
+use rc_regions::lang::{run, RunConfig};
+use rc_regions::workloads::driver::prepare_workload;
+use rc_regions::workloads::{by_name, Scale};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let name = args.get(1).map(String::as_str).unwrap_or("lcc");
+    let scale = Scale(args.get(2).and_then(|s| s.parse().ok()).unwrap_or(4));
+    let w = by_name(name).unwrap_or_else(|| {
+        eprintln!("unknown workload `{name}`; try: cfrac grobner mudlle lcc moss tile rc apache");
+        std::process::exit(1);
+    });
+
+    println!("== {} (scale {}) — Figure 7: allocator comparison ==", w.name, scale.0);
+    let compiled = prepare_workload(&w, scale);
+    let mut lea_cycles = 0u64;
+    for (cfg_name, cfg) in RunConfig::figure7() {
+        let r = run(&compiled, &cfg);
+        if cfg_name == "lea" {
+            lea_cycles = r.cycles;
+        }
+        let rel = if lea_cycles > 0 { r.cycles as f64 / lea_cycles as f64 } else { 1.0 };
+        let bar = "#".repeat((rel * 30.0) as usize);
+        println!("{cfg_name:>5}  {:>12} cycles  {bar}", r.cycles);
+    }
+
+    println!("\n== Figure 8: check regimes under RC ==");
+    for (cfg_name, cfg) in RunConfig::figure8() {
+        let r = run(&compiled, &cfg);
+        let dynamic = r.stats.rc_cycles + r.stats.check_cycles + r.stats.unscan_cycles;
+        let pct = 100.0 * dynamic as f64 / r.cycles as f64;
+        println!(
+            "{cfg_name:>5}  {:>12} cycles  refcount+check overhead {pct:>5.1}%  \
+             (checks run: {})",
+            r.cycles,
+            r.stats.checks_sameregion + r.stats.checks_parentptr + r.stats.checks_traditional,
+        );
+    }
+}

@@ -1,0 +1,113 @@
+//! A web-server-shaped workload: regions per connection, subregions per
+//! request, `parentptr` back-links — and a demonstration that RC catches
+//! the dangling-pointer bug that arenas would silently allow.
+//!
+//! ```text
+//! cargo run --example webserver
+//! ```
+
+use rc_regions::lang::{prepare, run, Outcome, RunConfig};
+use rc_regions::rt::RtError;
+
+const SERVER: &str = r#"
+    struct hdr { int key; int val; struct hdr *sameregion next; };
+    struct req {
+        int id;
+        struct hdr *sameregion hdrs;
+        struct req *parentptr parent;
+    };
+    struct req *session_cache[4];
+
+    static int serve(region connr, int id) deletes {
+        region reqr = newsubregion(connr);
+        struct req *r = ralloc(reqr, struct req);
+        r->id = id;
+        int i;
+        for (i = 0; i < 5; i = i + 1) {
+            struct hdr *h = ralloc(regionof(r), struct hdr);
+            h->key = i;
+            h->val = id * 10 + i;
+            h->next = r->hdrs;
+            r->hdrs = h;
+        }
+        // An internal redirect: subrequest in a subregion, pointing UP.
+        region sub = newsubregion(reqr);
+        struct req *s = ralloc(sub, struct req);
+        s->id = id * 100;
+        s->parent = r;        // parentptr: sub ≤ reqr, statically verified
+        int sum = s->parent->id;
+        struct hdr *h = r->hdrs;
+        while (h != null) { sum = sum + h->val; h = h->next; }
+        s = null;
+        h = null;
+        deleteregion(sub);
+        r = null;
+        deleteregion(reqr);
+        return sum;
+    }
+
+    int main() deletes {
+        int total = 0;
+        int c;
+        for (c = 0; c < 50; c = c + 1) {
+            region connr = newregion();
+            total = (total + serve(connr, c)) % 1000000;
+            total = (total + serve(connr, c + 1)) % 1000000;
+            deleteregion(connr);
+        }
+        return total;
+    }
+"#;
+
+/// The bug: a request object is parked in a global session cache, then
+/// its region is deleted. Classic arenas would leave a dangling pointer;
+/// RC refuses the deletion.
+const SERVER_WITH_BUG: &str = r#"
+    struct req { int id; };
+    struct req *session_cache[4];
+
+    int main() deletes {
+        region reqr = newregion();
+        struct req *r = ralloc(reqr, struct req);
+        r->id = 7;
+        session_cache[0] = r;     // counted: the cache now pins the region
+        r = null;
+        deleteregion(reqr);       // ← RC aborts here instead of dangling
+        return session_cache[0]->id;
+    }
+"#;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("== Serving 100 requests across 50 connections ==");
+    let ok = prepare(SERVER)?;
+    let r = run(&ok, &RunConfig::rc_inf());
+    println!("outcome: {:?}", r.outcome);
+    println!(
+        "regions: {} created, {} deleted (per-connection + per-request + per-subrequest)",
+        r.stats.regions_created, r.stats.regions_deleted
+    );
+    println!("parentptr checks executed: {}", r.stats.checks_parentptr);
+    assert!(matches!(r.outcome, Outcome::Exit(_)));
+
+    println!("\n== The dangling-cache bug ==");
+    let bug = prepare(SERVER_WITH_BUG)?;
+    let r = run(&bug, &RunConfig::rc_inf());
+    match r.outcome {
+        Outcome::Aborted(RtError::DeleteWithLiveRefs { rc, .. }) => {
+            println!("RC refused the deletion: {rc} live external reference(s).");
+            println!("An unsafe arena library would have freed the page and");
+            println!("left session_cache[0] dangling.");
+        }
+        other => panic!("expected a refused deletion, got {other:?}"),
+    }
+
+    // Under the unsafe `norc` configuration the deletion goes through and
+    // the later cache read touches freed memory (our simulated heap
+    // detects the wild pointer; real hardware would corrupt silently).
+    let unsafe_run = run(&bug, &RunConfig::norc());
+    println!(
+        "\nUnder norc (reference counting disabled) the same program: {:?}",
+        unsafe_run.outcome
+    );
+    Ok(())
+}

@@ -1,0 +1,76 @@
+#![warn(missing_docs)]
+
+//! # rc-regions — language support for regions, reproduced
+//!
+//! Umbrella crate for a from-scratch Rust reproduction of David Gay and
+//! Alex Aiken, *Language Support for Regions* (PLDI 2001): the **RC**
+//! dialect of C with reference-counted regions.
+//!
+//! The system is organised as four library crates, re-exported here:
+//!
+//! - [`rt`] (`region-rt`) — the region runtime: page-based region
+//!   allocation, per-region external reference counts, the subregion
+//!   hierarchy, the Figure 3 write barriers, and the paper's two baselines
+//!   (malloc/free and a conservative mark–sweep GC);
+//! - [`lang`] (`rc-lang`) — the RC language: lexer, parser, type checker
+//!   with the `sameregion` / `parentptr` / `traditional` / `deletes`
+//!   qualifiers, the §4.3 translation into rlang, and an interpreter
+//!   instrumented exactly like the paper's compiled programs;
+//! - [`types`] (`rlang`) — the region type system with existentially
+//!   quantified abstract regions and the constraint inference that
+//!   eliminates provably-redundant runtime checks;
+//! - [`workloads`] (`rc-workloads`) — miniatures of the paper's eight
+//!   benchmarks (cfrac, gröbner, mudlle, lcc, moss, tile, rc, apache).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use rc_regions::lang::{prepare, run, Outcome, RunConfig};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let program = r#"
+//!     struct rlist { struct rlist *sameregion next; int v; };
+//!     int main() deletes {
+//!         region r = newregion();
+//!         struct rlist *last = null;
+//!         int i;
+//!         for (i = 0; i < 100; i = i + 1) {
+//!             struct rlist *n = ralloc(r, struct rlist);
+//!             n->v = i;
+//!             n->next = last;
+//!             last = n;
+//!         }
+//!         int total = 0;
+//!         while (last != null) { total = total + last->v; last = last->next; }
+//!         deleteregion(r);
+//!         return total;
+//!     }
+//! "#;
+//! let compiled = prepare(program)?;
+//! let result = run(&compiled, &RunConfig::rc_inf());
+//! assert_eq!(result.outcome, Outcome::Exit(4950));
+//! // The sameregion checks in the loop were eliminated statically:
+//! assert_eq!(result.stats.checks_sameregion, 0);
+//! # Ok(())
+//! # }
+//! ```
+
+/// The region runtime substrate (`region-rt`).
+pub mod rt {
+    pub use region_rt::*;
+}
+
+/// The RC language front end and interpreter (`rc-lang`).
+pub mod lang {
+    pub use rc_lang::*;
+}
+
+/// The rlang region type system (`rlang`).
+pub mod types {
+    pub use rlang::*;
+}
+
+/// The eight paper benchmarks (`rc-workloads`).
+pub mod workloads {
+    pub use rc_workloads::*;
+}

@@ -1,0 +1,274 @@
+//! End-to-end integration tests: RC source → parse → sema → rlang
+//! inference → interpretation on the region runtime, across all
+//! configurations, with the heap auditor as an independent referee.
+
+use rc_regions::lang::{prepare, run, run_audited, CheckMode, Outcome, RunConfig};
+use rc_regions::rt::RtError;
+
+/// Runs a source under every configuration; all must exit with the same
+/// code and pass the audit. Returns that code.
+fn everywhere(src: &str) -> i64 {
+    let c = prepare(src).unwrap_or_else(|e| panic!("compile error: {e}"));
+    let mut exit = None;
+    for (name, cfg) in RunConfig::figure7().into_iter().chain(RunConfig::figure8()) {
+        let r = run_audited(&c, &cfg);
+        if let Some(Err(e)) = &r.audit {
+            panic!("{name}: audit failed: {e}");
+        }
+        let code = match r.outcome {
+            Outcome::Exit(n) => n,
+            other => panic!("{name}: {other:?}"),
+        };
+        if let Some(prev) = exit {
+            assert_eq!(prev, code, "{name} diverged");
+        }
+        exit = Some(code);
+    }
+    exit.expect("at least one configuration ran")
+}
+
+#[test]
+fn sorting_with_region_lists() {
+    // Insertion sort over a sameregion linked list — a data structure
+    // born, used and freed with its region.
+    let src = r#"
+        struct cell { int v; struct cell *sameregion next; };
+        static struct cell *insert(region r, struct cell *head, int v) {
+            if (head == null || head->v >= v) {
+                struct cell *n = ralloc(r, struct cell);
+                n->v = v;
+                n->next = head;
+                return n;
+            }
+            struct cell *p = head;
+            while (p->next != null && p->next->v < v) {
+                p = p->next;
+            }
+            struct cell *n = ralloc(regionof(p), struct cell);
+            n->v = v;
+            n->next = p->next;
+            p->next = n;
+            return head;
+        }
+        int main() deletes {
+            region r = newregion();
+            struct cell *list = null;
+            int seed = 7;
+            int i;
+            for (i = 0; i < 100; i = i + 1) {
+                seed = (seed * 75 + 74) % 65537;
+                list = insert(r, list, seed % 1000);
+            }
+            // Verify sortedness and checksum.
+            int prev = -1;
+            int sum = 0;
+            struct cell *p = list;
+            while (p != null) {
+                assert(p->v >= prev);
+                prev = p->v;
+                sum = (sum + p->v) % 100000;
+                p = p->next;
+            }
+            list = null;
+            p = null;
+            deleteregion(r);
+            return sum;
+        }
+    "#;
+    let code = everywhere(src);
+    assert!(code > 0);
+}
+
+#[test]
+fn binary_tree_in_one_region() {
+    let src = r#"
+        struct tree { int key; struct tree *sameregion l; struct tree *sameregion r; };
+        static struct tree *add(region rg, struct tree *t, int key) {
+            if (t == null) {
+                struct tree *n = ralloc(rg, struct tree);
+                n->key = key;
+                return n;
+            }
+            if (key < t->key) { t->l = add(rg, t->l, key); }
+            else { t->r = add(rg, t->r, key); }
+            return t;
+        }
+        static int count(struct tree *t) {
+            if (t == null) { return 0; }
+            return 1 + count(t->l) + count(t->r);
+        }
+        int main() deletes {
+            region rg = newregion();
+            struct tree *root = null;
+            int seed = 12345;
+            int i;
+            for (i = 0; i < 200; i = i + 1) {
+                seed = (seed * 1103515245 + 12345) % 2147483647;
+                if (seed < 0) { seed = -seed; }
+                root = add(rg, root, seed % 10000);
+            }
+            int n = count(root);
+            root = null;
+            deleteregion(rg);
+            return n;
+        }
+    "#;
+    assert_eq!(everywhere(src), 200);
+}
+
+#[test]
+fn producer_consumer_regions() {
+    // Data migrates between generations of regions — the copying pattern
+    // region systems use instead of GC.
+    let src = r#"
+        struct item { int v; struct item *sameregion next; };
+        static struct item *copy_list(region dst, struct item *src) {
+            struct item *out = null;
+            struct item *p = src;
+            while (p != null) {
+                struct item *n = ralloc(dst, struct item);
+                n->v = p->v + 1;
+                n->next = out;
+                out = n;
+                p = p->next;
+            }
+            return out;
+        }
+        int main() deletes {
+            region cur = newregion();
+            struct item *list = null;
+            int i;
+            for (i = 0; i < 20; i = i + 1) {
+                struct item *n = ralloc(cur, struct item);
+                n->v = i;
+                n->next = list;
+                list = n;
+            }
+            int gen;
+            for (gen = 0; gen < 10; gen = gen + 1) {
+                region next = newregion();
+                struct item *copied = copy_list(next, list);
+                list = null;
+                deleteregion(cur);
+                cur = next;
+                list = copied;
+                copied = null;
+            }
+            int sum = 0;
+            struct item *p = list;
+            while (p != null) { sum = sum + p->v; p = p->next; }
+            list = null;
+            p = null;
+            deleteregion(cur);
+            return sum;
+        }
+    "#;
+    // Each of the 20 items was incremented once per generation.
+    assert_eq!(everywhere(src), (0..20).sum::<i64>() + 20 * 10);
+}
+
+#[test]
+fn deep_subregion_towers() {
+    let src = r#"
+        struct frame { int depth; struct frame *parentptr up; };
+        static int descend(region parent, struct frame *above, int depth) deletes {
+            if (depth == 0) { return 0; }
+            region r = newsubregion(parent);
+            struct frame *f = ralloc(r, struct frame);
+            f->depth = depth;
+            f->up = above;
+            int below = descend(r, f, depth - 1);
+            int mine = f->depth;
+            f = null;
+            deleteregion(r);
+            return mine + below;
+        }
+        int main() deletes {
+            region root = newregion();
+            int total = descend(root, null, 50);
+            deleteregion(root);
+            return total;
+        }
+    "#;
+    assert_eq!(everywhere(src), (1..=50).sum::<i64>());
+}
+
+#[test]
+fn audit_after_every_workload() {
+    for w in rc_regions::workloads::all() {
+        let c = prepare(&(w.source)(rc_regions::workloads::Scale::TINY)).unwrap();
+        let r = run_audited(&c, &RunConfig::rc_inf());
+        assert!(r.outcome.is_exit(), "{}: {:?}", w.name, r.outcome);
+        assert!(matches!(r.audit, Some(Ok(()))), "{}: audit failed", w.name);
+    }
+}
+
+#[test]
+fn safety_violations_are_caught_not_silent() {
+    // Store into a deleted region's sibling: the sameregion check fires
+    // under qs, is eliminated as provably-unneeded nowhere, and the
+    // refcount blocks premature deletion.
+    let src = r#"
+        struct t { struct t *sameregion next; };
+        struct t *stash[2];
+        int main() deletes {
+            region a = newregion();
+            region b = newregion();
+            stash[0] = ralloc(a, struct t);
+            stash[1] = ralloc(b, struct t);
+            struct t *x = stash[0];
+            struct t *y = stash[1];
+            x->next = y;  // cross-region sameregion store
+            return 0;
+        }
+    "#;
+    let c = prepare(src).unwrap();
+    let qs = run(&c, &RunConfig::rc(CheckMode::Qs));
+    assert!(
+        matches!(qs.outcome, Outcome::Aborted(RtError::CheckFailed { .. })),
+        "{:?}",
+        qs.outcome
+    );
+    // The inference must NOT have claimed this site safe.
+    let inf = run(&c, &RunConfig::rc(CheckMode::Inf));
+    assert!(
+        matches!(inf.outcome, Outcome::Aborted(RtError::CheckFailed { .. })),
+        "inf must keep the (actually failing) check: {:?}",
+        inf.outcome
+    );
+}
+
+#[test]
+fn inference_never_unsafely_eliminates() {
+    // A check the analysis eliminates must be one that can never fail:
+    // run all workloads under qs (all checks execute) — zero check
+    // failures means every eliminated check was indeed redundant.
+    for w in rc_regions::workloads::all() {
+        let c = prepare(&(w.source)(rc_regions::workloads::Scale::TINY)).unwrap();
+        let qs = run(&c, &RunConfig::rc(CheckMode::Qs));
+        assert!(qs.outcome.is_exit(), "{}: qs run failed: {:?}", w.name, qs.outcome);
+    }
+}
+
+#[test]
+fn figure2_api_surface() {
+    // Direct use of the Figure 2 API from Rust, no RC source involved.
+    use rc_regions::rt::{Heap, PtrKind, SlotKind, TypeLayout, WriteMode};
+    let mut heap = Heap::with_defaults();
+    let ty = heap.register_type(TypeLayout::new(
+        "pair",
+        vec![SlotKind::Ptr(PtrKind::Counted), SlotKind::Data],
+    ));
+    let r = heap.new_region();
+    let sub = heap.new_subregion(r).unwrap();
+    let a = heap.ralloc(r, ty).unwrap();
+    let arr = heap.rarray_alloc(sub, ty, 10).unwrap();
+    assert_eq!(heap.region_of(a), r);
+    assert_eq!(heap.region_of(arr), sub);
+    heap.write_ptr(a, 0, arr, WriteMode::Counted).unwrap();
+    assert!(heap.delete_region(sub).is_err(), "a → arr pins sub");
+    heap.write_ptr(a, 0, rc_regions::rt::Addr::NULL, WriteMode::Counted).unwrap();
+    heap.delete_region(sub).unwrap();
+    heap.delete_region(r).unwrap();
+    heap.audit().unwrap();
+}
