@@ -4,36 +4,35 @@
 //! (Quantifies how much of RC's win is the cheap check versus the
 //! statically eliminated check — the design choice DESIGN.md calls out.)
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rc_bench::microbench::Bench;
 use rc_lang::interp::run;
 use rc_lang::{CheckMode, RunConfig};
 use rc_workloads::driver::prepare_workload;
 use rc_workloads::Scale;
 use std::hint::black_box;
+use std::rc::Rc;
 
-fn bench_fig8(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig8");
+fn bench_fig8(c: &Bench) {
+    let g = c.group("fig8");
     for wname in ["lcc", "mudlle", "moss"] {
         let w = rc_workloads::by_name(wname).expect("known workload");
-        let compiled = prepare_workload(&w, Scale::TINY);
+        let compiled = Rc::new(prepare_workload(&w, Scale::TINY));
         for (cfg_name, cfg) in RunConfig::figure8() {
-            g.bench_with_input(BenchmarkId::new(wname, cfg_name), &cfg, |bench, cfg| {
-                bench.iter(|| {
-                    let r = run(black_box(&compiled), cfg);
-                    assert!(r.outcome.is_exit());
-                    black_box(r.cycles)
-                });
+            let compiled = Rc::clone(&compiled);
+            g.bench(&format!("{wname}/{cfg_name}"), move || {
+                let r = run(black_box(&compiled), &cfg);
+                assert!(r.outcome.is_exit());
+                black_box(r.cycles);
             });
         }
     }
-    g.finish();
 }
 
 /// Ablation: checks priced like count updates.
-fn bench_expensive_checks_ablation(c: &mut Criterion) {
-    let mut g = c.benchmark_group("ablation_expensive_checks");
+fn bench_expensive_checks_ablation(c: &Bench) {
+    let g = c.group("ablation_expensive_checks");
     let w = rc_workloads::by_name("mudlle").expect("known workload");
-    let compiled = prepare_workload(&w, Scale::TINY);
+    let compiled = Rc::new(prepare_workload(&w, Scale::TINY));
 
     let mut expensive = RunConfig::rc(CheckMode::Qs);
     expensive.costs.check_sameregion = expensive.costs.rc_update_full;
@@ -50,20 +49,17 @@ fn bench_expensive_checks_ablation(c: &mut Criterion) {
         ("checks_cost_23_qs", expensive),
         ("checks_cost_23_inf", inf_expensive),
     ] {
-        g.bench_function(name, |bench| {
-            bench.iter(|| {
-                let r = run(black_box(&compiled), &cfg);
-                assert!(r.outcome.is_exit());
-                black_box(r.cycles)
-            });
+        let compiled = Rc::clone(&compiled);
+        g.bench(name, move || {
+            let r = run(black_box(&compiled), &cfg);
+            assert!(r.outcome.is_exit());
+            black_box(r.cycles);
         });
     }
-    g.finish();
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_fig8, bench_expensive_checks_ablation
+fn main() {
+    let bench = Bench::from_args().sample_size(10);
+    bench_fig8(&bench);
+    bench_expensive_checks_ablation(&bench);
 }
-criterion_main!(benches);

@@ -7,7 +7,12 @@
 //! 3. **Check pricing** — Figure 3(b) checks at paper cost vs priced like
 //!    full count updates (how much of the win is the cheap check?).
 //!
-//! Usage: `cargo run --release -p rc-bench --bin ablations [--scale N]`.
+//! Usage: `cargo run --release -p rc-bench --bin ablations
+//! [--scale N] [--profile] [--trace <path>]`.
+//!
+//! `--profile` additionally traces the baseline RC(inf) run of each
+//! workload and prints its hot check/alloc sites; `--trace <path>`
+//! exports the traced runs' raw events as JSON Lines.
 
 use rc_lang::interp::{run, Outcome};
 use rc_lang::{CheckMode, DeleteSemantics, RunConfig};
@@ -22,11 +27,24 @@ fn cycles(c: &rc_lang::Compiled, cfg: &RunConfig) -> u64 {
 
 fn main() {
     let scale = rc_bench::scale_from_args();
+    let trace_path = rc_bench::value_from_args("--trace");
+    let profile = rc_bench::flag_from_args("--profile") || trace_path.is_some();
+    let mut trace_out = String::new();
+    let mut profiles = String::new();
     println!("workload   renumber    gap-based   Δ%    deferred-Δ%  checks@23-Δ%");
     for w in rc_workloads::all() {
         let c = prepare_workload(&w, scale);
 
-        let base = cycles(&c, &RunConfig::rc_inf());
+        let base = if profile {
+            let r = run(&c, &RunConfig::rc_inf().traced());
+            assert!(matches!(r.outcome, Outcome::Exit(_)), "{:?}", r.outcome);
+            let t = r.tracer.as_ref().expect("traced");
+            trace_out.push_str(&t.events_jsonl(w.name));
+            profiles.push_str(&format!("--- {} ---\n{}", w.name, t.profile().text_report(w.name)));
+            r.cycles
+        } else {
+            cycles(&c, &RunConfig::rc_inf())
+        };
 
         let mut gap = RunConfig::rc_inf();
         gap.numbering = NumberingScheme::GapBased;
@@ -54,4 +72,11 @@ fn main() {
         );
     }
     println!("\nΔ% columns are relative to the default RC(inf) configuration.");
+    if profile {
+        println!("\n=== telemetry profiles (RC inf, traced baseline runs) ===\n{profiles}");
+    }
+    if let Some(path) = trace_path {
+        std::fs::write(&path, trace_out).expect("write trace jsonl");
+        eprintln!("wrote raw event trace to {path}");
+    }
 }

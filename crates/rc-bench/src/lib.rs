@@ -15,8 +15,13 @@
 //! | Figure 9 (assignment categories)    | `cargo run -p rc-bench --bin fig9` |
 //! | All of the above → EXPERIMENTS.md   | `cargo run -p rc-bench --bin experiments` |
 //!
-//! Criterion wall-clock benchmarks live in `benches/`.
+//! Wall-clock benchmarks live in `benches/` (run with `cargo bench -p
+//! rc-bench`), on the dependency-free harness in [`microbench`]. Passing
+//! `--profile` to `experiments` or `ablations` adds a telemetry section
+//! (per-site hot spots, region flamegraph); `--trace <path>` exports the
+//! raw event stream as JSON Lines. See `docs/OBSERVABILITY.md`.
 
+pub mod microbench;
 pub mod report;
 
 use rc_workloads::Scale;
@@ -33,4 +38,15 @@ pub fn scale_from_args() -> Scale {
         }
     }
     Scale::SMALL
+}
+
+/// Whether a bare `--flag` is present in argv.
+pub fn flag_from_args(name: &str) -> bool {
+    std::env::args().any(|a| a == name)
+}
+
+/// The value following `--option` in argv, if any.
+pub fn value_from_args(name: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1).cloned())
 }

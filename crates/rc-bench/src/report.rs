@@ -6,6 +6,11 @@
 //! substrate is an interpreter, not a 2001 SPARC), so the meaningful
 //! comparisons — who wins, relative overheads, crossovers — are reported
 //! as ratios and percentages alongside the paper's own values.
+//!
+//! Rows serialize through the dependency-free [`Json`] writer (the build
+//! environment is offline, so no serde): every row type implements
+//! [`Row`], from which both the aligned text tables and the JSON dumps
+//! are derived.
 
 use std::collections::BTreeMap;
 
@@ -13,10 +18,34 @@ use rc_lang::interp::{run, Outcome, RunResult};
 use rc_lang::RunConfig;
 use rc_workloads::driver::{prepare_workload, static_stats};
 use rc_workloads::{paper, Scale, Workload};
-use serde::Serialize;
+use region_rt::{Json, Tracer};
+
+/// A table row rendered as ordered `(column, value)` pairs; the single
+/// source for both the text tables and the JSON export.
+pub trait Row {
+    /// The row's columns, in display order.
+    fn fields(&self) -> Vec<(&'static str, Json)>;
+}
+
+/// Serializes rows as a JSON array of objects.
+pub fn rows_json<T: Row>(rows: &[T]) -> Json {
+    Json::A(rows.iter().map(|r| Json::obj(r.fields())).collect())
+}
+
+fn opt_f(v: Option<f64>) -> Json {
+    v.map_or(Json::Null, Json::F)
+}
+
+fn map_u(m: &BTreeMap<String, u64>) -> Json {
+    Json::O(m.iter().map(|(k, &v)| (k.clone(), Json::U(v))).collect())
+}
+
+fn map_f(m: &BTreeMap<String, f64>) -> Json {
+    Json::O(m.iter().map(|(k, &v)| (k.clone(), Json::F(v))).collect())
+}
 
 /// Table 1: benchmark characteristics.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Table1Row {
     /// Benchmark name.
     pub name: String,
@@ -32,6 +61,20 @@ pub struct Table1Row {
     pub paper_lines: u32,
     /// Paper: number of allocations.
     pub paper_allocs: u64,
+}
+
+impl Row for Table1Row {
+    fn fields(&self) -> Vec<(&'static str, Json)> {
+        vec![
+            ("name", Json::s(&*self.name)),
+            ("lines", Json::U(self.lines as u64)),
+            ("allocs", Json::U(self.allocs)),
+            ("mem_alloc_kb", Json::U(self.mem_alloc_kb)),
+            ("max_use_kb", Json::U(self.max_use_kb)),
+            ("paper_lines", Json::U(self.paper_lines as u64)),
+            ("paper_allocs", Json::U(self.paper_allocs)),
+        ]
+    }
 }
 
 /// Runs a workload once under a config, panicking on a non-exit.
@@ -66,7 +109,7 @@ pub fn table1(scale: Scale) -> Vec<Table1Row> {
 }
 
 /// Table 2: reference-counting overhead.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Table2Row {
     /// Benchmark name.
     pub name: String,
@@ -82,6 +125,19 @@ pub struct Table2Row {
     pub paper_rc_pct: Option<f64>,
     /// Paper's C@ overhead %, where reported.
     pub paper_cat_pct: Option<f64>,
+}
+
+impl Row for Table2Row {
+    fn fields(&self) -> Vec<(&'static str, Json)> {
+        vec![
+            ("name", Json::s(&*self.name)),
+            ("rc_overhead_pct", Json::F(self.rc_overhead_pct)),
+            ("cat_overhead_pct", Json::F(self.cat_overhead_pct)),
+            ("unscan_pct", Json::F(self.unscan_pct)),
+            ("paper_rc_pct", opt_f(self.paper_rc_pct)),
+            ("paper_cat_pct", opt_f(self.paper_cat_pct)),
+        ]
+    }
 }
 
 /// Generates Table 2.
@@ -108,7 +164,7 @@ pub fn table2(scale: Scale) -> Vec<Table2Row> {
 }
 
 /// Table 3: annotation statistics and static verification rates.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Table3Row {
     /// Benchmark name.
     pub name: String,
@@ -124,6 +180,20 @@ pub struct Table3Row {
     pub paper_safe_pct: f64,
     /// Paper's keyword count.
     pub paper_keywords: u32,
+}
+
+impl Row for Table3Row {
+    fn fields(&self) -> Vec<(&'static str, Json)> {
+        vec![
+            ("name", Json::s(&*self.name)),
+            ("keywords", Json::U(self.keywords as u64)),
+            ("sites", Json::U(self.sites as u64)),
+            ("safe_sites", Json::U(self.safe_sites as u64)),
+            ("safe_pct", Json::F(self.safe_pct)),
+            ("paper_safe_pct", Json::F(self.paper_safe_pct)),
+            ("paper_keywords", Json::U(self.paper_keywords as u64)),
+        ]
+    }
 }
 
 /// Generates Table 3.
@@ -147,7 +217,7 @@ pub fn table3(scale: Scale) -> Vec<Table3Row> {
 }
 
 /// Figure 7: execution time per benchmark under the five configurations.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Fig7Row {
     /// Benchmark name.
     pub name: String,
@@ -155,6 +225,16 @@ pub struct Fig7Row {
     pub cycles: BTreeMap<String, u64>,
     /// Time relative to "lea" (the malloc/free baseline), per config.
     pub rel_to_lea: BTreeMap<String, f64>,
+}
+
+impl Row for Fig7Row {
+    fn fields(&self) -> Vec<(&'static str, Json)> {
+        vec![
+            ("name", Json::s(&*self.name)),
+            ("cycles", map_u(&self.cycles)),
+            ("rel_to_lea", map_f(&self.rel_to_lea)),
+        ]
+    }
 }
 
 /// Generates Figure 7.
@@ -178,7 +258,7 @@ pub fn fig7(scale: Scale) -> Vec<Fig7Row> {
 }
 
 /// Figure 8: execution time under nq / qs / inf / nc.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Fig8Row {
     /// Benchmark name.
     pub name: String,
@@ -187,6 +267,16 @@ pub struct Fig8Row {
     /// Reference-counting + check overhead as % of execution time, per
     /// regime (the quantity behind "27% instead of 11%").
     pub overhead_pct: BTreeMap<String, f64>,
+}
+
+impl Row for Fig8Row {
+    fn fields(&self) -> Vec<(&'static str, Json)> {
+        vec![
+            ("name", Json::s(&*self.name)),
+            ("cycles", map_u(&self.cycles)),
+            ("overhead_pct", map_f(&self.overhead_pct)),
+        ]
+    }
 }
 
 /// Generates Figure 8.
@@ -212,7 +302,7 @@ pub fn fig8(scale: Scale) -> Vec<Fig8Row> {
 }
 
 /// Figure 9: runtime pointer-assignment categories.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Fig9Row {
     /// Benchmark name.
     pub name: String,
@@ -228,6 +318,19 @@ pub struct Fig9Row {
     pub local_assigns: u64,
     /// Total heap pointer assignments.
     pub heap_assigns: u64,
+}
+
+impl Row for Fig9Row {
+    fn fields(&self) -> Vec<(&'static str, Json)> {
+        vec![
+            ("name", Json::s(&*self.name)),
+            ("safe_pct", Json::F(self.safe_pct)),
+            ("checked_pct", Json::F(self.checked_pct)),
+            ("counted_pct", Json::F(self.counted_pct)),
+            ("local_assigns", Json::U(self.local_assigns)),
+            ("heap_assigns", Json::U(self.heap_assigns)),
+        ]
+    }
 }
 
 /// Generates Figure 9 (measured under the RC "inf" configuration, like
@@ -250,42 +353,163 @@ pub fn fig9(scale: Scale) -> Vec<Fig9Row> {
         .collect()
 }
 
-/// Formats a sequence of serialisable rows as an aligned text table.
-pub fn text_table<T: Serialize>(rows: &[T]) -> String {
-    let vals: Vec<serde_json::Value> =
-        rows.iter().map(|r| serde_json::to_value(r).expect("serialisable")).collect();
-    let Some(first) = vals.first() else { return String::new() };
-    let headers: Vec<String> = first
-        .as_object()
-        .map(|o| o.keys().cloned().collect())
-        .unwrap_or_default();
-    fn fmt_val(v: &serde_json::Value) -> String {
+// ---- telemetry ---------------------------------------------------------
+
+/// One workload's telemetry summary (traced run under the qs regime, so
+/// the annotation checks actually execute and attribute to sites).
+#[derive(Debug, Clone)]
+pub struct TelemetryRow {
+    /// Benchmark name.
+    pub name: String,
+    /// Annotation checks executed.
+    pub checks: u64,
+    /// Reference-count updates (full + early-exit).
+    pub rc_updates: u64,
+    /// Objects allocated.
+    pub allocs: u64,
+    /// Regions created.
+    pub regions: u64,
+    /// Top check sites as `name:line` → check count, hottest first.
+    pub top_check_sites: Vec<(String, u64)>,
+}
+
+impl Row for TelemetryRow {
+    fn fields(&self) -> Vec<(&'static str, Json)> {
+        vec![
+            ("name", Json::s(&*self.name)),
+            ("checks", Json::U(self.checks)),
+            ("rc_updates", Json::U(self.rc_updates)),
+            ("allocs", Json::U(self.allocs)),
+            ("regions", Json::U(self.regions)),
+            (
+                "top_check_sites",
+                Json::O(
+                    self.top_check_sites
+                        .iter()
+                        .map(|(k, v)| (k.clone(), Json::U(*v)))
+                        .collect(),
+                ),
+            ),
+        ]
+    }
+}
+
+/// Everything the telemetry pass produces: the per-workload summary rows,
+/// the raw tracers (for JSONL export), and a region flamegraph of the
+/// nested-region demo.
+#[derive(Debug)]
+pub struct TelemetryReport {
+    /// One summary row per workload.
+    pub rows: Vec<TelemetryRow>,
+    /// `(workload, tracer)` pairs: ring of recent raw events plus the
+    /// exact folded profile for each traced run.
+    pub tracers: Vec<(String, Box<Tracer>)>,
+    /// Text flamegraph of [`NESTED_DEMO`]'s subregion hierarchy.
+    pub flamegraph: String,
+}
+
+impl TelemetryReport {
+    /// All raw events as JSON Lines, each tagged with its workload.
+    pub fn events_jsonl(&self) -> String {
+        let mut out = String::new();
+        for (name, t) in &self.tracers {
+            out.push_str(&t.events_jsonl(name));
+        }
+        out
+    }
+
+    /// All folded profiles as JSON Lines (one profile object per run).
+    pub fn profiles_jsonl(&self) -> String {
+        let mut out = String::new();
+        for (name, t) in &self.tracers {
+            out.push_str(&t.profile().to_json(name).render());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// A small nested-region program whose flamegraph shows three levels of
+/// subregions under the root.
+pub const NESTED_DEMO: &str = "\
+struct t { int x; };
+int main() deletes {
+    region outer = newregion();
+    region mid = newsubregion(outer);
+    region inner = newsubregion(mid);
+    struct t *a = ralloc(outer, struct t);
+    struct t *b = ralloc(mid, struct t);
+    struct t *c = ralloc(inner, struct t);
+    c->x = 1; b->x = 2; a->x = 3;
+    a = null; b = null; c = null;
+    deleteregion(inner);
+    deleteregion(mid);
+    deleteregion(outer);
+    return 0;
+}
+";
+
+/// Runs the telemetry pass: every workload once under qs with full event
+/// tracing, plus the nested-region demo for the flamegraph.
+pub fn telemetry(scale: Scale) -> TelemetryReport {
+    let cfg = RunConfig::rc(rc_lang::CheckMode::Qs).traced();
+    let mut rows = Vec::new();
+    let mut tracers = Vec::new();
+    for w in rc_workloads::all() {
+        let r = must_run(&w, scale, &cfg);
+        let t = r.tracer.expect("tracing was enabled");
+        let p = t.profile();
+        let top_check_sites = p
+            .hot_check_sites(5)
+            .iter()
+            .map(|s| (format!("{}:{}", w.name, s.line), s.checks_total()))
+            .collect();
+        rows.push(TelemetryRow {
+            name: w.name.to_string(),
+            checks: p.totals.checks_total(),
+            rc_updates: p.totals.rc_updates_total(),
+            allocs: p.totals.allocs,
+            regions: p.totals.regions_created,
+            top_check_sites,
+        });
+        tracers.push((w.name.to_string(), t));
+    }
+
+    let demo = rc_lang::interp::prepare(NESTED_DEMO).expect("demo compiles");
+    let r = run(&demo, &RunConfig::rc_inf().traced());
+    assert!(r.outcome.is_exit(), "nested demo must exit: {:?}", r.outcome);
+    let flamegraph = r.profile().expect("traced").flamegraph();
+
+    TelemetryReport { rows, tracers, flamegraph }
+}
+
+// ---- rendering ---------------------------------------------------------
+
+/// Formats a sequence of rows as an aligned text table.
+pub fn text_table<T: Row>(rows: &[T]) -> String {
+    let Some(first) = rows.first() else { return String::new() };
+    let headers: Vec<&'static str> = first.fields().into_iter().map(|(k, _)| k).collect();
+    fn fmt_val(v: &Json) -> String {
         match v {
-            serde_json::Value::Number(n) => {
-                if let Some(f) = n.as_f64() {
-                    if n.is_f64() { format!("{f:.1}") } else { n.to_string() }
-                } else {
-                    n.to_string()
-                }
+            Json::Null => "-".to_string(),
+            Json::Bool(b) => b.to_string(),
+            Json::U(n) => n.to_string(),
+            Json::I(n) => n.to_string(),
+            Json::F(f) => format!("{f:.1}"),
+            Json::S(s) => s.clone(),
+            Json::A(items) => {
+                items.iter().map(fmt_val).collect::<Vec<_>>().join(" ")
             }
-            serde_json::Value::String(s) => s.clone(),
-            serde_json::Value::Null => "-".to_string(),
-            serde_json::Value::Object(m) => m
+            Json::O(fields) => fields
                 .iter()
                 .map(|(k, v)| format!("{k}={}", fmt_val(v)))
                 .collect::<Vec<_>>()
                 .join(" "),
-            other => other.to_string(),
         }
     }
-    let mut grid: Vec<Vec<String>> = vec![headers.clone()];
-    for v in &vals {
-        grid.push(
-            headers
-                .iter()
-                .map(|h| fmt_val(v.get(h).unwrap_or(&serde_json::Value::Null)))
-                .collect(),
-        );
+    let mut grid: Vec<Vec<String>> = vec![headers.iter().map(|h| h.to_string()).collect()];
+    for r in rows {
+        grid.push(r.fields().iter().map(|(_, v)| fmt_val(v)).collect());
     }
     let widths: Vec<usize> = (0..headers.len())
         .map(|i| grid.iter().map(|row| row[i].len()).max().unwrap_or(0))
@@ -310,10 +534,14 @@ mod tests {
 
     #[test]
     fn text_table_formats() {
-        #[derive(Serialize)]
         struct R {
             name: String,
             x: u64,
+        }
+        impl Row for R {
+            fn fields(&self) -> Vec<(&'static str, Json)> {
+                vec![("name", Json::s(&*self.name)), ("x", Json::U(self.x))]
+            }
         }
         let t = text_table(&[
             R { name: "aa".into(), x: 1 },
@@ -322,5 +550,22 @@ mod tests {
         assert!(t.contains("name"));
         assert!(t.contains("123"));
         assert_eq!(t.lines().count(), 3);
+    }
+
+    #[test]
+    fn rows_render_as_json() {
+        let row = Table1Row {
+            name: "lcc".into(),
+            lines: 10,
+            allocs: 5,
+            mem_alloc_kb: 1,
+            max_use_kb: 1,
+            paper_lines: 12_430,
+            paper_allocs: 671_103,
+        };
+        let json = rows_json(&[row]).render();
+        assert!(json.starts_with('['));
+        assert!(json.contains(r#""name":"lcc""#));
+        assert!(json.contains(r#""allocs":5"#));
     }
 }

@@ -75,6 +75,13 @@ pub struct RunConfig {
     pub delete_semantics: DeleteSemantics,
     /// Hierarchy numbering scheme (ablation knob).
     pub numbering: NumberingScheme,
+    /// Telemetry event mask (see [`region_rt::mask`]); 0 = tracing off,
+    /// which costs a single predictable branch per instrumented
+    /// operation.
+    pub trace_mask: u32,
+    /// Capacity of the telemetry ring buffer (recent raw events kept;
+    /// folded profile totals stay exact regardless).
+    pub trace_capacity: usize,
 }
 
 impl RunConfig {
@@ -87,7 +94,15 @@ impl RunConfig {
             costs: CostModel::paper(),
             delete_semantics: DeleteSemantics::Abort,
             numbering: NumberingScheme::RenumberOnCreate,
+            trace_mask: 0,
+            trace_capacity: region_rt::DEFAULT_RING_CAPACITY,
         }
+    }
+
+    /// The same configuration with full event tracing enabled.
+    pub fn traced(mut self) -> RunConfig {
+        self.trace_mask = region_rt::mask::ALL;
+        self
     }
 
     /// RC with the given check regime.

@@ -290,6 +290,8 @@ pub enum HExpr {
         region: Box<HExpr>,
         /// Struct.
         s: StructRef,
+        /// Source line, for telemetry attribution.
+        line: u32,
     },
     /// `rarrayalloc(r, n, struct T)`.
     RallocStructArray {
@@ -299,6 +301,8 @@ pub enum HExpr {
         count: Box<HExpr>,
         /// Struct.
         s: StructRef,
+        /// Source line, for telemetry attribution.
+        line: u32,
     },
     /// `rarrayalloc(r, n, int)`.
     RallocIntArray {
@@ -306,6 +310,8 @@ pub enum HExpr {
         region: Box<HExpr>,
         /// Element count.
         count: Box<HExpr>,
+        /// Source line, for telemetry attribution.
+        line: u32,
     },
     /// `newregion()`.
     NewRegion,
@@ -335,6 +341,9 @@ pub struct Module {
     pub main: FuncRef,
     /// Total number of assignment sites minted by the parser.
     pub n_sites: u32,
+    /// Source line of each assignment site (indexed by
+    /// [`rlang::SiteId`]), for telemetry attribution; 0 = unknown.
+    pub site_lines: Vec<u32>,
 }
 
 impl Module {

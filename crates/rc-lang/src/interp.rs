@@ -80,6 +80,16 @@ pub struct RunResult {
     pub steps: u64,
     /// Result of the final heap audit (`None` when auditing was off).
     pub audit: Option<Result<(), region_rt::AuditError>>,
+    /// The telemetry tracer, when [`RunConfig::trace_mask`] was nonzero:
+    /// recent raw events plus the folded [`region_rt::Profile`].
+    pub tracer: Option<Box<region_rt::Tracer>>,
+}
+
+impl RunResult {
+    /// The folded telemetry profile, when tracing was enabled.
+    pub fn profile(&self) -> Option<&region_rt::Profile> {
+        self.tracer.as_ref().map(|t| t.profile())
+    }
 }
 
 /// Executes a compiled module under a configuration.
@@ -114,6 +124,9 @@ fn run_on_this_stack(c: &Compiled, config: &RunConfig, audit: bool) -> RunResult
     let mut interp = Interp::new(c, config);
     let outcome = interp.run_main();
     let audit = audit.then(|| interp.heap.audit());
+    if let Some(res) = &audit {
+        interp.heap.record_audit_run(res.is_ok());
+    }
     let base_extra = if config.backend == Backend::CAt {
         interp.base_ops * (config.costs.cat_base_factor_pct.saturating_sub(100)) / 100
     } else {
@@ -125,6 +138,7 @@ fn run_on_this_stack(c: &Compiled, config: &RunConfig, audit: bool) -> RunResult
         stats: interp.heap.stats.clone(),
         steps: interp.steps,
         audit,
+        tracer: interp.heap.take_tracer(),
     }
 }
 
@@ -225,6 +239,9 @@ struct Interp<'c> {
     frames: Vec<Frame>,
     steps: u64,
     base_ops: u64,
+    /// Cached `config.trace_mask != 0`, so site attribution costs one
+    /// local branch on the hot paths when telemetry is off.
+    tracing: bool,
 }
 
 impl<'c> Interp<'c> {
@@ -241,8 +258,10 @@ impl<'c> Interp<'c> {
             gc_threshold_words: config.gc_threshold_words,
             delete_policy,
             numbering: config.numbering,
-            ..Default::default()
         });
+        if config.trace_mask != 0 {
+            heap.enable_tracing(config.trace_mask, config.trace_capacity);
+        }
 
         // Annotations are ignored in the layouts of nq and C@: every
         // pointer is a counted pointer (so fewer objects qualify for the
@@ -348,6 +367,7 @@ impl<'c> Interp<'c> {
             frames: Vec::new(),
             steps: 0,
             base_ops: 0,
+            tracing: config.trace_mask != 0,
         }
     }
 
@@ -616,18 +636,21 @@ impl<'c> Interp<'c> {
                 self.unpin(pins);
                 r
             }
-            HExpr::Ralloc { region, s } => {
+            HExpr::Ralloc { region, s, line } => {
                 let r = self.eval(f, region)?;
+                self.set_site(*line);
                 self.alloc(r, self.layouts[s.0 as usize], 1)
             }
-            HExpr::RallocStructArray { region, count, s } => {
+            HExpr::RallocStructArray { region, count, s, line } => {
                 let r = self.eval(f, region)?;
                 let n = self.eval_int(f, count)?.max(1) as u32;
+                self.set_site(*line);
                 self.alloc(r, self.layouts[s.0 as usize], n)
             }
-            HExpr::RallocIntArray { region, count } => {
+            HExpr::RallocIntArray { region, count, line } => {
                 let r = self.eval(f, region)?;
                 let n = self.eval_int(f, count)?.max(1) as u32;
+                self.set_site(*line);
                 self.alloc(r, self.int_cell, n)
             }
             HExpr::NewRegion => self.new_region(None),
@@ -784,8 +807,22 @@ impl<'c> Interp<'c> {
             _ => {
                 let qual = slot_ty.qual().unwrap_or(Qual::None);
                 let mode = self.write_mode(qual, site);
+                if self.tracing {
+                    let line =
+                        self.c.module.site_lines.get(site.0 as usize).copied().unwrap_or(0);
+                    self.heap.set_trace_site(line);
+                }
                 self.heap.write_ptr(obj, field, val.addr(), mode).map_err(Halt::Abort)
             }
+        }
+    }
+
+    /// Attributes subsequent runtime events to a source line (telemetry
+    /// only; a no-op branch when tracing is off).
+    #[inline]
+    fn set_site(&mut self, line: u32) {
+        if self.tracing {
+            self.heap.set_trace_site(line);
         }
     }
 

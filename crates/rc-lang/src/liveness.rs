@@ -108,7 +108,7 @@ fn visit_expr(e: &HExpr, f: &mut impl FnMut(&HExpr)) {
         HExpr::Call { args, .. } => args.iter().for_each(|a| visit_expr(a, f)),
         HExpr::Ralloc { region, .. } => visit_expr(region, f),
         HExpr::RallocStructArray { region, count, .. }
-        | HExpr::RallocIntArray { region, count } => {
+        | HExpr::RallocIntArray { region, count, .. } => {
             visit_expr(region, f);
             visit_expr(count, f);
         }

@@ -77,6 +77,7 @@ struct Checker {
     func_ids: HashMap<String, FuncRef>,
     sigs: Vec<FuncSig>,
     n_sites: u32,
+    site_lines: Vec<u32>,
 }
 
 impl Checker {
@@ -89,6 +90,7 @@ impl Checker {
             func_ids: HashMap::new(),
             sigs: Vec::new(),
             n_sites: 0,
+            site_lines: Vec::new(),
         };
 
         // Pass 1: struct names (so fields may reference later structs).
@@ -175,6 +177,11 @@ impl Checker {
             funcs,
             main,
             n_sites: self.n_sites,
+            site_lines: {
+                let mut lines = std::mem::take(&mut self.site_lines);
+                lines.resize(self.n_sites as usize, 0);
+                lines
+            },
         })
     }
 
@@ -531,7 +538,7 @@ impl FuncCx<'_> {
                 let hr = self.expect_region(region, *line)?;
                 match self.cx.resolve_type(ty, *line)? {
                     RcType::Ptr { target, .. } => Ok((
-                        HExpr::Ralloc { region: Box::new(hr), s: target },
+                        HExpr::Ralloc { region: Box::new(hr), s: target, line: *line },
                         VTy::Ptr(target),
                     )),
                     _ => Err(err(*line, "ralloc allocates struct types; use rarrayalloc for ints")),
@@ -549,11 +556,16 @@ impl FuncCx<'_> {
                             region: Box::new(hr),
                             count: Box::new(hc),
                             s: target,
+                            line: *line,
                         },
                         VTy::Ptr(target),
                     )),
                     RcType::Int => Ok((
-                        HExpr::RallocIntArray { region: Box::new(hr), count: Box::new(hc) },
+                        HExpr::RallocIntArray {
+                            region: Box::new(hr),
+                            count: Box::new(hc),
+                            line: *line,
+                        },
                         VTy::IntPtr,
                     )),
                     _ => Err(err(*line, "rarrayalloc element must be a struct or int")),
@@ -649,6 +661,10 @@ impl FuncCx<'_> {
         line: u32,
     ) -> Result<(HExpr, VTy), CompileError> {
         self.cx.n_sites = self.cx.n_sites.max(site.0 + 1);
+        if self.cx.site_lines.len() <= site.0 as usize {
+            self.cx.site_lines.resize(site.0 as usize + 1, 0);
+        }
+        self.cx.site_lines[site.0 as usize] = line;
         match lhs {
             Expr::Var(name, _) => {
                 if let Some(v) = self.lookup_var(name) {

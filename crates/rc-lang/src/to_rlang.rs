@@ -390,20 +390,20 @@ impl Tr<'_> {
                 });
                 dst.unwrap_or_else(|| self.temp(VarType::Int))
             }
-            HExpr::Ralloc { region, s } => {
+            HExpr::Ralloc { region, s, .. } => {
                 let tr = self.tr_expr(region, out);
                 let t = self.temp(VarType::Ptr(StructId(s.0)));
                 out.push(RStmt::New { dst: t, ty: StructId(s.0), region: tr });
                 t
             }
-            HExpr::RallocStructArray { region, count, s } => {
+            HExpr::RallocStructArray { region, count, s, .. } => {
                 let tr = self.tr_expr(region, out);
                 self.tr_expr(count, out);
                 let t = self.temp(VarType::Ptr(StructId(s.0)));
                 out.push(RStmt::New { dst: t, ty: StructId(s.0), region: tr });
                 t
             }
-            HExpr::RallocIntArray { region, count } => {
+            HExpr::RallocIntArray { region, count, .. } => {
                 let tr = self.tr_expr(region, out);
                 self.tr_expr(count, out);
                 let t = self.temp(VarType::Ptr(self.int_array));
@@ -710,16 +710,13 @@ mod validation_tests {
     /// machine-checked version of the soundness argument.
     #[test]
     fn translations_are_well_formed_and_validate() {
-        for src in [
-            include_str!("../testdata/figure1.rc"),
-        ] {
-            let m = compile(src).unwrap();
-            let p = translate(&m);
-            rlang::well_formed(&p).unwrap();
-            let a = rlang::analyse(&p);
-            let violations = rlang::validate(&p, &a);
-            assert!(violations.is_empty(), "{violations:?}");
-        }
+        let src = include_str!("../testdata/figure1.rc");
+        let m = compile(src).unwrap();
+        let p = translate(&m);
+        rlang::well_formed(&p).unwrap();
+        let a = rlang::analyse(&p);
+        let violations = rlang::validate(&p, &a);
+        assert!(violations.is_empty(), "{violations:?}");
     }
 }
 

@@ -150,6 +150,15 @@ impl Heap {
         self.stats.objects_allocated += 1;
         self.stats.words_allocated += words as u64;
         self.stats.add_live(words as u64);
+        if self.trace_on(crate::trace::mask::ALLOC) {
+            // GC pages report the traditional region, like malloc's.
+            let ev = crate::trace::Event::Alloc {
+                region: crate::region::TRADITIONAL.0,
+                site: self.trace_site,
+                words: words as u32,
+            };
+            self.trace_emit(ev);
+        }
         Ok(addr)
     }
 
@@ -226,6 +235,13 @@ impl Heap {
         self.stats.gc_collections += 1;
         self.stats.gc_marked_words += marked_words;
         self.stats.gc_swept_objects += reclaimed as u64;
+        if self.trace_on(crate::trace::mask::GC_COLLECTION) {
+            let ev = crate::trace::Event::GcCollection {
+                marked_words,
+                swept_objects: reclaimed as u64,
+            };
+            self.trace_emit(ev);
+        }
         self.stats.sub_live(freed_words.min(self.stats.live_words));
         self.gc.allocated_since_gc = 0;
         reclaimed

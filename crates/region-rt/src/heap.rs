@@ -16,6 +16,7 @@ use crate::malloc::MallocState;
 use crate::page::{PageOwner, PageStore};
 use crate::region::{renumber, renumber_gapped, RegionData, RegionId, TRADITIONAL};
 use crate::stats::Stats;
+use crate::trace::{mask, Event, Tracer};
 
 /// How the region hierarchy is numbered for the `parentptr` interval
 /// check.
@@ -98,6 +99,13 @@ pub struct Heap {
     pub clock: Clock,
     /// Cost constants (public so ablations can tweak before running).
     pub costs: CostModel,
+    /// Enabled telemetry event kinds (a copy of the tracer's mask, kept
+    /// inline so disabled emission sites cost a single branch).
+    pub(crate) trace_mask: u32,
+    /// The attached event recorder, if tracing is enabled.
+    pub(crate) tracer: Option<Box<Tracer>>,
+    /// Current source line for event attribution (0 = unattributed).
+    pub(crate) trace_site: u32,
 }
 
 impl Heap {
@@ -125,6 +133,9 @@ impl Heap {
             stats: Stats::new(),
             clock: Clock::new(),
             costs: config.costs,
+            trace_mask: 0,
+            tracer: None,
+            trace_site: 0,
         }
     }
 
@@ -179,7 +190,9 @@ impl Heap {
     pub fn new_subregion(&mut self, parent: RegionId) -> Result<RegionId, RtError> {
         self.check_live_region(parent)?;
         let id = RegionId(self.regions.len() as u32);
-        self.regions.push(RegionData::new(Some(parent)));
+        let mut data = RegionData::new(Some(parent));
+        data.born_at = self.clock.cycles();
+        self.regions.push(data);
         self.region_mut(parent).children.push(id);
         match self.numbering {
             NumberingScheme::RenumberOnCreate => {
@@ -217,6 +230,17 @@ impl Heap {
             }
         }
         self.stats.regions_created += 1;
+        if self.trace_on(mask::REGION_CREATED | mask::SUBREGION_CREATED) {
+            let at = self.clock.cycles();
+            let ev = if parent == TRADITIONAL {
+                Event::RegionCreated { region: id.0, at }
+            } else {
+                Event::SubregionCreated { region: id.0, parent: parent.0, at }
+            };
+            if self.trace_mask & ev.mask_bit() != 0 {
+                self.trace_emit(ev);
+            }
+        }
         Ok(id)
     }
 
@@ -280,6 +304,7 @@ impl Heap {
             freed += region.pointerfree.release_all(&mut self.store);
             region.alive = false;
             region.doomed = false;
+            let born_at = region.born_at;
             let parent = region.parent.take();
             if let Some(p) = parent {
                 let kids = &mut self.regions[p.0 as usize].children;
@@ -290,6 +315,14 @@ impl Heap {
             }
             self.stats.sub_live(freed);
             self.stats.regions_deleted += 1;
+            if self.trace_on(mask::REGION_DELETED) {
+                let lifetime_cycles = self.clock.cycles().saturating_sub(born_at);
+                self.trace_emit(Event::RegionDeleted {
+                    region: r.0,
+                    live_words: freed,
+                    lifetime_cycles,
+                });
+            }
             // The unscan may have released counts on other doomed regions.
             for i in 0..self.regions.len() {
                 let cand = RegionId(i as u32);
@@ -387,6 +420,10 @@ impl Heap {
         self.stats.objects_allocated += 1;
         self.stats.words_allocated += words as u64;
         self.stats.add_live(words as u64);
+        if self.trace_on(mask::ALLOC) {
+            let ev = Event::Alloc { region: r.0, site: self.trace_site, words: words as u32 };
+            self.trace_emit(ev);
+        }
         Ok(out.addr)
     }
 
@@ -513,11 +550,19 @@ impl Heap {
             .sum()
     }
 
-    /// Resets the statistics and clock (the heap contents are untouched);
+    /// Resets every metric — all [`Stats`] counters including the cycle
+    /// accumulators, the virtual clock, the attribution site, and any
+    /// attached tracer (its mask and ring capacity are preserved; its ring
+    /// and folded profile start over). The heap contents are untouched;
     /// used by harnesses that want to measure a steady-state phase.
     pub fn reset_metrics(&mut self) {
         self.stats = Stats::new();
         self.clock.reset();
+        self.trace_site = 0;
+        if let Some(t) = self.tracer.as_ref() {
+            let (mask, capacity) = (t.mask(), t.capacity());
+            self.tracer = Some(Box::new(Tracer::new(mask, capacity)));
+        }
     }
 }
 
@@ -624,6 +669,50 @@ mod tests {
         let a = h.ralloc(r, ty).unwrap();
         h.write_int(a, 1, 99).unwrap();
         assert_eq!(h.read_word(a, 1).unwrap(), 99);
+    }
+
+    #[test]
+    fn reset_metrics_zeroes_every_counter() {
+        use crate::rcops::WriteMode;
+        let mut h = Heap::with_defaults();
+        h.enable_tracing(crate::trace::mask::ALL, 64);
+        let counted = list_type(&mut h, PtrKind::Counted);
+        let checked = list_type(&mut h, PtrKind::SameRegion);
+        // Exercise every accumulator: regions, allocs, counted and checked
+        // stores, malloc/free, GC, unscan, pins.
+        let r1 = h.new_region();
+        let r2 = h.new_subregion(r1).unwrap();
+        let a = h.ralloc(r1, counted).unwrap();
+        let b = h.ralloc(r2, counted).unwrap();
+        h.write_ptr(a, 0, b, WriteMode::Counted).unwrap();
+        h.write_ptr(a, 0, Addr::NULL, WriteMode::Counted).unwrap();
+        let c = h.ralloc(r1, checked).unwrap();
+        h.write_ptr(c, 0, c, WriteMode::Check(PtrKind::SameRegion)).unwrap();
+        h.write_ptr(c, 0, c, WriteMode::Safe).unwrap();
+        h.write_ptr(c, 0, c, WriteMode::Raw).unwrap();
+        h.write_int(c, 1, 3).unwrap();
+        let m = h.m_alloc(counted, 1).unwrap();
+        h.m_free(m).unwrap();
+        h.gc_alloc(counted, 1).unwrap();
+        h.gc_collect(&[]);
+        h.pin_region(r1);
+        h.unpin_region(r1);
+        h.delete_region(r2).unwrap();
+        h.delete_region(r1).unwrap();
+        assert_ne!(h.stats, Stats::new(), "the workout touched the stats");
+        assert!(h.clock.cycles() > 0);
+        assert!(h.tracer().unwrap().recorded() > 0);
+
+        h.reset_metrics();
+        // Every counter — including the cycle accumulators rc_cycles,
+        // check_cycles, unscan_cycles, alloc_cycles, gc_cycles and the
+        // live/peak gauges — reads as a fresh Stats.
+        assert_eq!(h.stats, Stats::new());
+        assert_eq!(h.clock.cycles(), 0);
+        let t = h.tracer().expect("tracer survives reset");
+        assert_eq!(t.recorded(), 0);
+        assert_eq!(t.profile().totals, crate::profile::ProfileTotals::default());
+        assert_eq!(t.mask(), crate::trace::mask::ALL, "mask preserved");
     }
 
     #[test]

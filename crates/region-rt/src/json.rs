@@ -1,0 +1,202 @@
+//! A minimal JSON document model and serializer.
+//!
+//! The build environment is offline and the workspace carries no external
+//! crates, so the telemetry JSONL export and the bench-harness artifact
+//! dumps share this hand-rolled encoder instead of `serde_json`. It only
+//! serializes (the repo never parses JSON), which keeps it ~100 lines.
+
+use std::fmt::Write as _;
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// An unsigned integer (the common case for counters).
+    U(u64),
+    /// A signed integer.
+    I(i64),
+    /// A float; non-finite values serialize as `null` per RFC 8259.
+    F(f64),
+    /// A string.
+    S(String),
+    /// An array.
+    A(Vec<Json>),
+    /// An object with insertion-ordered keys.
+    O(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Convenience constructor for an object.
+    pub fn obj(fields: Vec<(&str, Json)>) -> Json {
+        Json::O(fields.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+
+    /// Convenience constructor for a string value.
+    pub fn s(v: impl Into<String>) -> Json {
+        Json::S(v.into())
+    }
+
+    /// Serializes to a compact single-line string (JSONL-friendly).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+
+    /// Serializes with two-space indentation.
+    pub fn render_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write_pretty(&mut out, 0);
+        out
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::U(n) => {
+                let _ = write!(out, "{n}");
+            }
+            Json::I(n) => {
+                let _ = write!(out, "{n}");
+            }
+            Json::F(f) => write_f64(out, *f),
+            Json::S(s) => write_str(out, s),
+            Json::A(items) => {
+                out.push('[');
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    v.write(out);
+                }
+                out.push(']');
+            }
+            Json::O(fields) => {
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_str(out, k);
+                    out.push(':');
+                    v.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    fn write_pretty(&self, out: &mut String, indent: usize) {
+        match self {
+            Json::A(items) if !items.is_empty() => {
+                out.push_str("[\n");
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(",\n");
+                    }
+                    push_indent(out, indent + 1);
+                    v.write_pretty(out, indent + 1);
+                }
+                out.push('\n');
+                push_indent(out, indent);
+                out.push(']');
+            }
+            Json::O(fields) if !fields.is_empty() => {
+                out.push_str("{\n");
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(",\n");
+                    }
+                    push_indent(out, indent + 1);
+                    write_str(out, k);
+                    out.push_str(": ");
+                    v.write_pretty(out, indent + 1);
+                }
+                out.push('\n');
+                push_indent(out, indent);
+                out.push('}');
+            }
+            other => other.write(out),
+        }
+    }
+}
+
+fn push_indent(out: &mut String, levels: usize) {
+    for _ in 0..levels {
+        out.push_str("  ");
+    }
+}
+
+fn write_f64(out: &mut String, f: f64) {
+    if f.is_finite() {
+        // Integral floats keep a trailing `.0` so the value round-trips as
+        // a float in typed consumers.
+        if f == f.trunc() && f.abs() < 1e15 {
+            let _ = write!(out, "{f:.1}");
+        } else {
+            let _ = write!(out, "{f}");
+        }
+    } else {
+        out.push_str("null");
+    }
+}
+
+fn write_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_render() {
+        assert_eq!(Json::Null.render(), "null");
+        assert_eq!(Json::Bool(true).render(), "true");
+        assert_eq!(Json::U(42).render(), "42");
+        assert_eq!(Json::I(-7).render(), "-7");
+        assert_eq!(Json::F(1.5).render(), "1.5");
+        assert_eq!(Json::F(3.0).render(), "3.0");
+        assert_eq!(Json::F(f64::NAN).render(), "null");
+    }
+
+    #[test]
+    fn strings_escape() {
+        assert_eq!(Json::s("a\"b\\c\nd").render(), r#""a\"b\\c\nd""#);
+        assert_eq!(Json::s("\u{1}").render(), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn containers_render() {
+        let v = Json::obj(vec![
+            ("xs", Json::A(vec![Json::U(1), Json::U(2)])),
+            ("name", Json::s("t")),
+        ]);
+        assert_eq!(v.render(), r#"{"xs":[1,2],"name":"t"}"#);
+    }
+
+    #[test]
+    fn pretty_is_valid_and_indented() {
+        let v = Json::obj(vec![("a", Json::A(vec![Json::U(1)]))]);
+        let p = v.render_pretty();
+        assert!(p.contains("\n  \"a\": [\n"));
+    }
+}

@@ -31,7 +31,12 @@
 //! - an instruction cost model calibrated to the paper's published numbers
 //!   ([`cost`]) and dynamic-event statistics ([`stats`]);
 //! - a heap auditor that independently verifies the reference-count
-//!   invariant ([`audit`]).
+//!   invariant ([`audit`]);
+//! - a zero-dependency telemetry subsystem: a bounded ring of typed
+//!   dynamic events with per-site attribution ([`trace`]) and folded
+//!   profiles — lifetime histograms, hot-region/hot-site tables, a region
+//!   flamegraph, JSONL export ([`profile`], [`json`]). See
+//!   `docs/OBSERVABILITY.md`.
 //!
 //! ## Example
 //!
@@ -68,12 +73,15 @@ pub mod emu;
 pub mod error;
 pub mod gc;
 pub mod heap;
+pub mod json;
 pub mod layout;
 pub mod malloc;
 pub mod page;
+pub mod profile;
 pub mod rcops;
 pub mod region;
 pub mod stats;
+pub mod trace;
 
 pub use addr::Addr;
 pub use audit::AuditError;
@@ -81,7 +89,10 @@ pub use cost::{Clock, CostModel, Cycles};
 pub use emu::{EmuBackend, EmuRegionId, EmuRegions};
 pub use error::RtError;
 pub use heap::{DeletePolicy, Heap, HeapConfig, NumberingScheme};
+pub use json::Json;
 pub use layout::{PtrKind, SlotKind, TypeId, TypeLayout};
+pub use profile::{Profile, ProfileTotals, RegionProfile, SiteProfile};
 pub use rcops::WriteMode;
 pub use region::{RegionId, TRADITIONAL};
 pub use stats::{AssignCategory, Stats};
+pub use trace::{mask, Event, Tracer, DEFAULT_RING_CAPACITY};

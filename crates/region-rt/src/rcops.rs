@@ -19,6 +19,7 @@ use crate::heap::Heap;
 use crate::layout::PtrKind;
 use crate::region::{is_ancestor, RegionId, TRADITIONAL};
 use crate::stats::AssignCategory;
+use crate::trace::{mask, Event, NO_REGION};
 
 /// How a heap pointer store is instrumented.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -80,8 +81,18 @@ impl Heap {
         let old = Addr::from_raw(self.store.read(slot));
         let ro = self.try_region_of(old);
         let rn = self.try_region_of(val);
+        let full = ro != rn;
+        if self.trace_on(mask::RC_UPDATE) {
+            let ev = Event::RcUpdate {
+                from: rp.0,
+                to: rn.map_or(NO_REGION, |r| r.0),
+                full,
+                site: self.trace_site,
+            };
+            self.trace_emit(ev);
+        }
         let mut decremented = false;
-        if ro != rn {
+        if full {
             if let Some(ro) = ro {
                 if ro != rp {
                     self.regions[ro.0 as usize].rc -= 1;
@@ -144,6 +155,10 @@ impl Heap {
             }
             PtrKind::Counted => unreachable!("counted stores use write_counted"),
         };
+        if self.trace_on(mask::CHECK_RUN) {
+            let ev = Event::CheckRun { kind, site: self.trace_site, passed: ok };
+            self.trace_emit(ev);
+        }
         if !ok {
             return Err(RtError::CheckFailed { kind, obj, field, val });
         }

@@ -48,6 +48,9 @@ pub struct RegionData {
     /// Gap-based scheme only: start of the unassigned space inside this
     /// region's interval, from which new children are carved.
     pub child_cursor: u64,
+    /// Virtual time of creation, for telemetry's region-lifetime
+    /// accounting ([`Event::RegionDeleted`](crate::trace::Event)).
+    pub born_at: u64,
     /// Parent region (None only for the traditional region).
     pub parent: Option<RegionId>,
     /// Live child regions.
@@ -70,6 +73,7 @@ impl RegionData {
             id: 0,
             nextid: 0,
             child_cursor: 0,
+            born_at: 0,
             parent,
             children: Vec::new(),
             normal: BumpAlloc::new(),

@@ -144,6 +144,79 @@ impl Stats {
     pub fn sub_live(&mut self, words: u64) {
         self.live_words = self.live_words.saturating_sub(words);
     }
+
+    /// A one-screen human-readable dump of the counters, skipping groups
+    /// that are all zero. Also available through `{}` formatting.
+    pub fn summary(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "allocation : {} objects, {} words ({} peak live, {} live now)\n",
+            self.objects_allocated, self.words_allocated, self.peak_live_words, self.live_words
+        ));
+        out.push_str(&format!(
+            "regions    : {} created, {} deleted",
+            self.regions_created, self.regions_deleted
+        ));
+        if self.regions_deferred > 0 || self.renumber_fallbacks > 0 {
+            out.push_str(&format!(
+                " ({} deferred, {} renumber fallbacks)",
+                self.regions_deferred, self.renumber_fallbacks
+            ));
+        }
+        out.push('\n');
+        if self.heap_assigns() + self.assigns_local + self.assigns_raw > 0 {
+            out.push_str(&format!(
+                "assigns    : {} safe / {} checked / {} counted heap stores ({} local, {} raw)\n",
+                self.assigns_safe,
+                self.assigns_checked,
+                self.assigns_counted,
+                self.assigns_local,
+                self.assigns_raw
+            ));
+        }
+        if self.rc_updates_full + self.rc_updates_same + self.local_pins > 0 {
+            out.push_str(&format!(
+                "refcounts  : {} full + {} early-exit updates, {} local pins ({} cycles)\n",
+                self.rc_updates_full, self.rc_updates_same, self.local_pins, self.rc_cycles
+            ));
+        }
+        let checks = self.checks_sameregion + self.checks_traditional + self.checks_parentptr;
+        if checks > 0 {
+            out.push_str(&format!(
+                "checks     : {} sameregion / {} parentptr / {} traditional ({} cycles)\n",
+                self.checks_sameregion,
+                self.checks_parentptr,
+                self.checks_traditional,
+                self.check_cycles
+            ));
+        }
+        if self.unscan_words > 0 {
+            out.push_str(&format!(
+                "unscan     : {} words at delete ({} cycles)\n",
+                self.unscan_words, self.unscan_cycles
+            ));
+        }
+        if self.malloc_calls + self.free_calls > 0 {
+            out.push_str(&format!(
+                "malloc     : {} allocs, {} frees\n",
+                self.malloc_calls, self.free_calls
+            ));
+        }
+        if self.gc_collections > 0 {
+            out.push_str(&format!(
+                "gc         : {} collections, {} words marked, {} objects swept ({} cycles)\n",
+                self.gc_collections, self.gc_marked_words, self.gc_swept_objects, self.gc_cycles
+            ));
+        }
+        out.push_str(&format!("alloc time : {} cycles\n", self.alloc_cycles));
+        out
+    }
+}
+
+impl std::fmt::Display for Stats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.summary())
+    }
 }
 
 #[cfg(test)]
@@ -184,6 +257,23 @@ mod tests {
         s.add_live(4);
         assert_eq!(s.peak_live_words, 15);
         assert_eq!(s.live_words, 7);
+    }
+
+    #[test]
+    fn summary_mentions_every_nonzero_group() {
+        let mut s = Stats::new();
+        s.objects_allocated = 7;
+        s.words_allocated = 20;
+        s.rc_updates_full = 3;
+        s.checks_sameregion = 4;
+        s.gc_collections = 1;
+        let text = format!("{s}");
+        for needle in ["7 objects", "3 full", "4 sameregion", "1 collections"] {
+            assert!(text.contains(needle), "summary missing {needle:?}: {text}");
+        }
+        // Zero groups are skipped.
+        assert!(!text.contains("unscan"));
+        assert!(!text.contains("malloc"));
     }
 
     #[test]

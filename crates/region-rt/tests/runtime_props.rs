@@ -5,15 +5,48 @@
 //! (DFS numbering ⇔ real ancestry, allocator non-overlap). These tests
 //! drive the runtime with random operation sequences and check the
 //! invariants against simple models.
+//!
+//! The randomness is a hand-rolled SplitMix64 over fixed seeds (the build
+//! environment is offline, so no proptest): every failure reproduces by
+//! seed, and every run covers exactly the same cases.
 
-use proptest::prelude::*;
 use region_rt::{
     Addr, Heap, HeapConfig, NumberingScheme, PtrKind, RegionId, RtError, SlotKind, TypeLayout,
     WriteMode, TRADITIONAL,
 };
 
+/// SplitMix64: tiny, well-distributed, and deterministic across platforms.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Rng {
+        Rng(seed.wrapping_add(0x9E37_79B9_7F4A_7C15))
+    }
+
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n as u64) as usize
+    }
+
+    /// Uniform in `[lo, hi)`.
+    fn range(&mut self, lo: usize, hi: usize) -> usize {
+        lo + self.below(hi - lo)
+    }
+
+    fn bool(&mut self) -> bool {
+        self.next() & 1 == 1
+    }
+}
+
 /// Random hierarchy script: each step creates a region under a previously
-/// created one (by index) or deletes the i-th live region if it has no
+/// created one (by index) or deletes the i-th region if it has no
 /// children.
 #[derive(Debug, Clone)]
 enum TreeOp {
@@ -21,27 +54,23 @@ enum TreeOp {
     Delete(usize),
 }
 
-fn arb_tree_ops() -> impl Strategy<Value = Vec<TreeOp>> {
-    proptest::collection::vec(
-        prop_oneof![
-            (0..64usize).prop_map(TreeOp::Create),
-            (0..64usize).prop_map(TreeOp::Delete),
-        ],
-        1..60,
-    )
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    /// The DFS `id`/`nextid` ancestry test agrees with real parent-chain
-    /// ancestry after arbitrary create/delete interleavings — under both
-    /// numbering schemes.
-    #[test]
-    fn dfs_numbering_matches_parent_chains(
-        ops in arb_tree_ops(),
-        gap_based in proptest::bool::ANY,
-    ) {
+/// The DFS `id`/`nextid` ancestry test agrees with real parent-chain
+/// ancestry after arbitrary create/delete interleavings — under both
+/// numbering schemes.
+#[test]
+fn dfs_numbering_matches_parent_chains() {
+    for seed in 0..128u64 {
+        let mut rng = Rng::new(seed);
+        let ops: Vec<TreeOp> = (0..rng.range(1, 60))
+            .map(|_| {
+                if rng.bool() {
+                    TreeOp::Create(rng.below(64))
+                } else {
+                    TreeOp::Delete(rng.below(64))
+                }
+            })
+            .collect();
+        let gap_based = rng.bool();
         let mut h = Heap::new(HeapConfig {
             numbering: if gap_based {
                 NumberingScheme::GapBased
@@ -72,15 +101,16 @@ proptest! {
                     if idx == 0 || !alive[idx] {
                         continue;
                     }
-                    let has_children = (0..regions.len())
-                        .any(|c| alive[c] && parent[c] == Some(idx));
+                    let has_children =
+                        (0..regions.len()).any(|c| alive[c] && parent[c] == Some(idx));
                     let res = h.delete_region(regions[idx]);
                     if has_children {
-                        let refused =
-                            matches!(res, Err(RtError::DeleteWithSubregions { .. }));
-                        prop_assert!(refused);
+                        assert!(
+                            matches!(res, Err(RtError::DeleteWithSubregions { .. })),
+                            "seed {seed}: delete with children not refused: {res:?}"
+                        );
                     } else {
-                        prop_assert!(res.is_ok());
+                        assert!(res.is_ok(), "seed {seed}: {res:?}");
                         alive[idx] = false;
                     }
                 }
@@ -102,10 +132,7 @@ proptest! {
         };
         // Runtime ancestry via a parentptr-style check: allocate an object
         // in each live region and test writes.
-        let ty = h.register_type(TypeLayout::new(
-            "n",
-            vec![SlotKind::Ptr(PtrKind::ParentPtr)],
-        ));
+        let ty = h.register_type(TypeLayout::new("n", vec![SlotKind::Ptr(PtrKind::ParentPtr)]));
         let addrs: Vec<Option<Addr>> = regions
             .iter()
             .zip(&alive)
@@ -115,12 +142,10 @@ proptest! {
             for a in 0..regions.len() {
                 let (Some(obj), Some(tgt)) = (addrs[d], addrs[a]) else { continue };
                 let res = h.write_ptr(obj, 0, tgt, WriteMode::Check(PtrKind::ParentPtr));
-                prop_assert_eq!(
+                assert_eq!(
                     res.is_ok(),
                     is_anc_model(a, d),
-                    "parentptr({} -> {}) disagrees with the model",
-                    d,
-                    a
+                    "seed {seed}: parentptr({d} -> {a}) disagrees with the model"
                 );
                 // Reset the slot for the next probe.
                 h.write_ptr(obj, 0, Addr::NULL, WriteMode::Raw).unwrap();
@@ -141,26 +166,21 @@ enum GraphOp {
     TryDelete(usize),
 }
 
-fn arb_graph_ops() -> impl Strategy<Value = Vec<GraphOp>> {
-    proptest::collection::vec(
-        prop_oneof![
-            (0..4usize).prop_map(GraphOp::Alloc),
-            (0..64usize, 0..64usize, 0..2usize).prop_map(|(a, b, s)| GraphOp::Link(a, b, s)),
-            (0..64usize, 0..2usize).prop_map(|(a, s)| GraphOp::Unlink(a, s)),
-            (0..4usize).prop_map(GraphOp::TryDelete),
-        ],
-        1..80,
-    )
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    /// After any barrier-mediated mutation sequence: the auditor agrees
-    /// with the maintained counts, and `deleteregion` succeeds exactly
-    /// when the model says no external pointers remain.
-    #[test]
-    fn refcount_invariant_holds(ops in arb_graph_ops()) {
+/// After any barrier-mediated mutation sequence: the auditor agrees
+/// with the maintained counts, and `deleteregion` succeeds exactly
+/// when the model says no external pointers remain.
+#[test]
+fn refcount_invariant_holds() {
+    for seed in 0..128u64 {
+        let mut rng = Rng::new(0x5EED ^ seed);
+        let ops: Vec<GraphOp> = (0..rng.range(1, 80))
+            .map(|_| match rng.below(4) {
+                0 => GraphOp::Alloc(rng.below(4)),
+                1 => GraphOp::Link(rng.below(64), rng.below(64), rng.below(2)),
+                2 => GraphOp::Unlink(rng.below(64), rng.below(2)),
+                _ => GraphOp::TryDelete(rng.below(4)),
+            })
+            .collect();
         let mut h = Heap::with_defaults();
         let ty = h.register_type(TypeLayout::new(
             "n",
@@ -219,7 +239,7 @@ proptest! {
                         .count();
                     let res = h.delete_region(regions[r]);
                     if external == 0 {
-                        prop_assert!(res.is_ok(), "model says deletable: {res:?}");
+                        assert!(res.is_ok(), "seed {seed}: model says deletable: {res:?}");
                         region_alive[r] = false;
                         for (i, (src, slots)) in objs.iter_mut().enumerate() {
                             if *src == r {
@@ -228,8 +248,7 @@ proptest! {
                             }
                         }
                         // Dead objects' outgoing links are gone (unscan).
-                        for (i, (_, slots)) in objs.iter_mut().enumerate() {
-                            let _ = i;
+                        for (_, slots) in objs.iter_mut() {
                             for s in slots.iter_mut() {
                                 if let Some(t) = *s {
                                     if !obj_alive[t] {
@@ -239,11 +258,9 @@ proptest! {
                             }
                         }
                     } else {
-                        let refused = matches!(res, Err(RtError::DeleteWithLiveRefs { .. }));
-                        prop_assert!(
-                            refused,
-                            "model says {} external refs, runtime deleted",
-                            external
+                        assert!(
+                            matches!(res, Err(RtError::DeleteWithLiveRefs { .. })),
+                            "seed {seed}: model says {external} external refs, runtime deleted"
                         );
                     }
                 }
@@ -253,16 +270,14 @@ proptest! {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// malloc never hands out overlapping live objects, and free makes
-    /// slots reusable.
-    #[test]
-    fn malloc_objects_do_not_overlap(
-        sizes in proptest::collection::vec(1..300usize, 1..40),
-        frees in proptest::collection::vec(any::<prop::sample::Index>(), 0..20),
-    ) {
+/// malloc never hands out overlapping live objects, and free makes
+/// slots reusable.
+#[test]
+fn malloc_objects_do_not_overlap() {
+    for seed in 0..64u64 {
+        let mut rng = Rng::new(0xA110C ^ seed);
+        let sizes: Vec<usize> = (0..rng.range(1, 40)).map(|_| rng.range(1, 300)).collect();
+        let n_frees = rng.below(20);
         let mut h = Heap::new(HeapConfig::default());
         let mut live: Vec<(Addr, usize)> = Vec::new();
         for s in sizes {
@@ -272,19 +287,19 @@ proptest! {
             for &(b, bs) in &live {
                 let (a0, a1) = (a.raw(), a.raw() + s as u64);
                 let (b0, b1) = (b.raw(), b.raw() + bs as u64);
-                prop_assert!(a1 <= b0 || b1 <= a0, "objects overlap");
+                assert!(a1 <= b0 || b1 <= a0, "seed {seed}: objects overlap");
             }
             live.push((a, s));
         }
-        for idx in frees {
+        for _ in 0..n_frees {
             if live.is_empty() {
                 break;
             }
-            let i = idx.index(live.len());
+            let i = rng.below(live.len());
             let (a, _) = live.swap_remove(i);
             h.m_free(a).unwrap();
             // Double free must fail.
-            prop_assert!(h.m_free(a).is_err());
+            assert!(h.m_free(a).is_err(), "seed {seed}: double free succeeded");
         }
     }
 }

@@ -1,0 +1,129 @@
+//! Telemetry integration: the folded profile must agree exactly with the
+//! `Stats` counters for the same run, the ring must stay bounded, and a
+//! zero mask must record nothing.
+
+use region_rt::{
+    mask, Addr, Heap, HeapConfig, PtrKind, SlotKind, TypeLayout, WriteMode,
+};
+
+fn workout(h: &mut Heap) {
+    let counted = h.register_type(TypeLayout::new(
+        "c",
+        vec![SlotKind::Ptr(PtrKind::Counted), SlotKind::Data],
+    ));
+    let annotated = h.register_type(TypeLayout::new(
+        "s",
+        vec![SlotKind::Ptr(PtrKind::SameRegion), SlotKind::Ptr(PtrKind::ParentPtr)],
+    ));
+    let r1 = h.new_region();
+    let r2 = h.new_subregion(r1).unwrap();
+    h.set_trace_site(10);
+    let a = h.ralloc(r1, counted).unwrap();
+    let b = h.ralloc(r2, counted).unwrap();
+    h.set_trace_site(11);
+    h.write_ptr(a, 0, b, WriteMode::Counted).unwrap();
+    h.write_ptr(a, 0, b, WriteMode::Counted).unwrap(); // early exit
+    h.write_ptr(a, 0, Addr::NULL, WriteMode::Counted).unwrap();
+    h.set_trace_site(12);
+    let s1 = h.ralloc(r2, annotated).unwrap();
+    let s2 = h.ralloc(r2, annotated).unwrap();
+    h.write_ptr(s1, 0, s2, WriteMode::Check(PtrKind::SameRegion)).unwrap();
+    let up = h.ralloc(r1, annotated).unwrap();
+    h.write_ptr(s1, 1, up, WriteMode::Check(PtrKind::ParentPtr)).unwrap();
+    h.set_trace_site(0);
+    let m = h.m_alloc(counted, 2).unwrap();
+    h.m_free(m).unwrap();
+    h.gc_alloc(counted, 1).unwrap();
+    h.gc_collect(&[]);
+    h.delete_region(r2).unwrap();
+    h.delete_region(r1).unwrap();
+    let ok = h.audit().is_ok();
+    h.record_audit_run(ok);
+}
+
+#[test]
+fn folded_profile_totals_equal_stats() {
+    let mut h = Heap::with_defaults();
+    // A deliberately tiny ring: totals must stay exact anyway.
+    h.enable_tracing(mask::ALL, 16);
+    workout(&mut h);
+
+    let t = h.tracer().expect("tracing enabled");
+    assert!(t.dropped() > 0, "the tiny ring must have overflowed");
+    let p = t.profile();
+    let s = &h.stats;
+    assert_eq!(p.totals.allocs, s.objects_allocated);
+    assert_eq!(p.totals.alloc_words, s.words_allocated);
+    assert_eq!(p.totals.rc_updates_full, s.rc_updates_full);
+    assert_eq!(p.totals.rc_updates_same, s.rc_updates_same);
+    assert_eq!(p.totals.checks_sameregion, s.checks_sameregion);
+    assert_eq!(p.totals.checks_parentptr, s.checks_parentptr);
+    assert_eq!(p.totals.checks_traditional, s.checks_traditional);
+    assert_eq!(p.totals.regions_created, s.regions_created);
+    assert_eq!(p.totals.regions_deleted, s.regions_deleted);
+    assert_eq!(p.totals.gc_collections, s.gc_collections);
+    assert_eq!(p.totals.audit_runs, 1);
+    assert_eq!(p.totals.audit_failures, 0);
+}
+
+#[test]
+fn site_attribution_reaches_events() {
+    let mut h = Heap::with_defaults();
+    h.enable_tracing(mask::ALL, 4096);
+    workout(&mut h);
+    let p = h.tracer().unwrap().profile();
+    let site10 = p.sites().find(|s| s.line == 10).expect("alloc site 10");
+    assert_eq!(site10.allocs, 2);
+    let site11 = p.sites().find(|s| s.line == 11).expect("rc site 11");
+    assert_eq!(site11.rc_updates, 3);
+    let site12 = p.sites().find(|s| s.line == 12).expect("check site 12");
+    assert_eq!(site12.checks_sameregion, 1);
+    assert_eq!(site12.checks_parentptr, 1);
+    // Unattributed malloc/gc activity lands on line 0.
+    let site0 = p.sites().find(|s| s.line == 0).expect("unattributed site");
+    assert_eq!(site0.allocs, 2);
+}
+
+#[test]
+fn zero_mask_records_nothing_and_selective_masks_filter() {
+    let mut h = Heap::with_defaults();
+    h.enable_tracing(0, 1024);
+    workout(&mut h);
+    assert_eq!(h.tracer().unwrap().recorded(), 0);
+
+    let mut h = Heap::with_defaults();
+    h.enable_tracing(mask::CHECK_RUN, 1024);
+    workout(&mut h);
+    let t = h.take_tracer().unwrap();
+    assert!(t.recorded() > 0);
+    assert!(t.events().all(|e| matches!(e, region_rt::Event::CheckRun { .. })));
+    assert_eq!(t.profile().totals.allocs, 0, "alloc events were masked out");
+}
+
+#[test]
+fn tracing_does_not_change_stats_or_clock() {
+    let mut plain = Heap::with_defaults();
+    workout(&mut plain);
+    let mut traced = Heap::with_defaults();
+    traced.enable_tracing(mask::ALL, 64 * 1024);
+    workout(&mut traced);
+    assert_eq!(plain.stats, traced.stats, "telemetry must be observation-only");
+    assert_eq!(plain.clock.cycles(), traced.clock.cycles());
+}
+
+#[test]
+fn events_jsonl_round_trip_shape() {
+    let mut h = Heap::new(HeapConfig::default());
+    h.enable_tracing(mask::ALL, 4096);
+    workout(&mut h);
+    let t = h.take_tracer().unwrap();
+    let jsonl = t.events_jsonl("workout");
+    assert_eq!(jsonl.lines().count(), t.len());
+    for line in jsonl.lines() {
+        assert!(line.starts_with(r#"{"run":"workout","ev":""#), "bad line: {line}");
+        assert!(line.ends_with('}'));
+    }
+    let profile_line = t.profile().to_json("workout").render();
+    assert!(profile_line.contains(r#""kind":"profile""#));
+    assert!(!profile_line.contains('\n'));
+}

@@ -6,10 +6,34 @@
 //! region forest (plus ⊤ for null) that satisfies δ must satisfy `f`.
 //! These tests check that by brute force over random small models, and
 //! check the lattice laws the dataflow analysis relies on.
+//!
+//! The randomness is a hand-rolled SplitMix64 over fixed seeds (the build
+//! environment is offline, so no proptest): every failure reproduces by
+//! seed, and every run covers exactly the same cases.
 
-use proptest::prelude::*;
 use rlang::constraint::ConstraintSet;
 use rlang::types::{ConstId, Fact, RegionExpr, RhoId};
+
+/// SplitMix64: tiny, well-distributed, and deterministic across platforms.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Rng {
+        Rng(seed.wrapping_add(0x9E37_79B9_7F4A_7C15))
+    }
+
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n as u64) as usize
+    }
+}
 
 /// A concrete model: a forest of `n` regions (parent pointers, region 0 is
 /// the root, representing the traditional region) and a valuation mapping
@@ -69,154 +93,149 @@ impl Model {
 const N_RHOS: u32 = 4;
 const N_REGIONS: usize = 4;
 
-fn arb_expr() -> impl Strategy<Value = RegionExpr> {
-    prop_oneof![
-        (0..N_RHOS).prop_map(|i| RegionExpr::Abstract(RhoId(i))),
-        Just(RegionExpr::Top),
-        Just(RegionExpr::Const(ConstId(0))),
-    ]
+fn rand_expr(rng: &mut Rng) -> RegionExpr {
+    match rng.below(6) {
+        0 => RegionExpr::Top,
+        1 => RegionExpr::Const(ConstId(0)),
+        _ => RegionExpr::Abstract(RhoId(rng.below(N_RHOS as usize) as u32)),
+    }
 }
 
-fn arb_fact() -> impl Strategy<Value = Fact> {
-    (arb_expr(), arb_expr(), 0..5u8).prop_map(|(a, b, k)| match k {
+fn rand_fact(rng: &mut Rng) -> Fact {
+    let a = rand_expr(rng);
+    let b = rand_expr(rng);
+    match rng.below(5) {
         0 => Fact::IsTop(a),
         1 => Fact::NotTop(a),
         2 => Fact::Sub(a, b),
         3 => Fact::Eq(a, b),
         _ => Fact::EqOrNull(a, b),
-    })
+    }
 }
 
-fn arb_model() -> impl Strategy<Value = Model> {
-    // parent[i] < i keeps it a forest rooted at 0; region 0 is the root.
-    let parents = (0..N_REGIONS)
-        .map(|i| {
-            if i == 0 {
-                Just(None).boxed()
-            } else {
-                prop_oneof![Just(None), (0..i).prop_map(Some)].boxed()
-            }
-        })
-        .collect::<Vec<_>>();
-    let vals = proptest::collection::vec(
-        prop_oneof![Just(None), (0..N_REGIONS).prop_map(Some)],
-        N_RHOS as usize,
-    );
-    (parents, vals).prop_map(|(mut parent, val)| {
-        // Everything not rooted at 0 gets re-rooted under 0 so the
-        // traditional region is the global root, as in the runtime.
-        for p in parent.iter_mut().skip(1) {
-            if p.is_none() {
-                *p = Some(0);
-            }
-        }
-        Model { parent, val }
-    })
+fn rand_facts(rng: &mut Rng, max: usize) -> Vec<Fact> {
+    (0..rng.below(max)).map(|_| rand_fact(rng)).collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(512))]
+fn rand_model(rng: &mut Rng) -> Model {
+    // parent[i] < i keeps it a forest; everything re-roots under 0 so the
+    // traditional region is the global root, as in the runtime.
+    let mut parent = vec![None];
+    for i in 1..N_REGIONS {
+        parent.push(Some(if rng.below(3) == 0 { 0 } else { rng.below(i) }));
+    }
+    let val = (0..N_RHOS)
+        .map(|_| if rng.below(5) == 0 { None } else { Some(rng.below(N_REGIONS)) })
+        .collect();
+    Model { parent, val }
+}
 
-    /// Soundness: a syntactic entailment claim must hold in every model
-    /// of the fact set.
-    #[test]
-    fn entailment_is_sound(
-        facts in proptest::collection::vec(arb_fact(), 0..6),
-        query in arb_fact(),
-        model in arb_model(),
-    ) {
+/// Soundness: a syntactic entailment claim must hold in every model of
+/// the fact set.
+#[test]
+fn entailment_is_sound() {
+    for seed in 0..512u64 {
+        let mut rng = Rng::new(seed);
+        let facts = rand_facts(&mut rng, 6);
+        let query = rand_fact(&mut rng);
+        let model = rand_model(&mut rng);
         let s = ConstraintSet::from_facts(facts);
         if s.entails(query) && model.satisfies_all(&s) {
-            prop_assert!(
+            assert!(
                 model.satisfies(query),
-                "claimed {s} ⊨ {query}, but the model refutes it"
+                "seed {seed}: claimed {s} ⊨ {query}, but the model refutes it"
             );
         }
     }
+}
 
-    /// Saturation only adds consequences: every fact in the saturated set
-    /// holds in every model of the set.
-    #[test]
-    fn saturation_is_sound(
-        facts in proptest::collection::vec(arb_fact(), 0..6),
-        model in arb_model(),
-    ) {
+/// Saturation only adds consequences: every fact in the saturated set
+/// holds in every model of the set.
+#[test]
+fn saturation_is_sound() {
+    for seed in 0..512u64 {
+        let mut rng = Rng::new(0x5A7 ^ seed);
+        let facts = rand_facts(&mut rng, 6);
+        let model = rand_model(&mut rng);
         let s = ConstraintSet::from_facts(facts.clone());
         if model.satisfies_all(&s) {
             // The model satisfies the saturated set; in particular the
             // original facts imply every derived one on this model.
             for f in s.facts() {
-                prop_assert!(model.satisfies(f));
+                assert!(model.satisfies(f), "seed {seed}: derived fact {f} fails");
             }
         }
         // And if the set went contradictory, no model can satisfy all the
         // *original* facts.
         if s.is_contradictory() {
             let orig_ok = facts.iter().all(|&f| model.satisfies(f));
-            prop_assert!(!orig_ok, "contradictory set has a model");
+            assert!(!orig_ok, "seed {seed}: contradictory set has a model");
         }
     }
+}
 
-    /// The meet is a lower bound of both operands (the dataflow join is
-    /// conservative): everything the meet claims, both inputs claimed.
-    #[test]
-    fn meet_is_lower_bound(
-        a in proptest::collection::vec(arb_fact(), 0..5),
-        b in proptest::collection::vec(arb_fact(), 0..5),
-    ) {
-        let sa = ConstraintSet::from_facts(a);
-        let sb = ConstraintSet::from_facts(b);
+/// The meet is a lower bound of both operands (the dataflow join is
+/// conservative): everything the meet claims, both inputs claimed.
+#[test]
+fn meet_is_lower_bound() {
+    for seed in 0..512u64 {
+        let mut rng = Rng::new(0x3EE7 ^ seed);
+        let sa = ConstraintSet::from_facts(rand_facts(&mut rng, 5));
+        let sb = ConstraintSet::from_facts(rand_facts(&mut rng, 5));
         let m = sa.meet(&sb);
-        prop_assert!(sa.entails_all(&m), "meet not below left operand");
-        prop_assert!(sb.entails_all(&m), "meet not below right operand");
+        assert!(sa.entails_all(&m), "seed {seed}: meet not below left operand");
+        assert!(sb.entails_all(&m), "seed {seed}: meet not below right operand");
     }
+}
 
-    /// Meet is idempotent and commutative.
-    #[test]
-    fn meet_laws(
-        a in proptest::collection::vec(arb_fact(), 0..5),
-        b in proptest::collection::vec(arb_fact(), 0..5),
-    ) {
-        let sa = ConstraintSet::from_facts(a);
-        let sb = ConstraintSet::from_facts(b);
-        prop_assert_eq!(sa.meet(&sa), sa.clone());
+/// Meet is idempotent and commutative.
+#[test]
+fn meet_laws() {
+    for seed in 0..512u64 {
+        let mut rng = Rng::new(0x1A55 ^ seed);
+        let sa = ConstraintSet::from_facts(rand_facts(&mut rng, 5));
+        let sb = ConstraintSet::from_facts(rand_facts(&mut rng, 5));
+        assert_eq!(sa.meet(&sa), sa.clone(), "seed {seed}");
         let ab = sa.meet(&sb);
         let ba = sb.meet(&sa);
-        prop_assert!(ab.entails_all(&ba) && ba.entails_all(&ab));
+        assert!(ab.entails_all(&ba) && ba.entails_all(&ab), "seed {seed}");
     }
+}
 
-    /// Killing a region keeps only facts that do not mention it, and never
-    /// invents knowledge: the original set entails everything that
-    /// survives.
-    #[test]
-    fn kill_is_sound(
-        facts in proptest::collection::vec(arb_fact(), 0..6),
-        rho in 0..N_RHOS,
-    ) {
+/// Killing a region keeps only facts that do not mention it, and never
+/// invents knowledge: the original set entails everything that survives.
+#[test]
+fn kill_is_sound() {
+    for seed in 0..512u64 {
+        let mut rng = Rng::new(0xC111 ^ seed);
+        let facts = rand_facts(&mut rng, 6);
+        let rho = RhoId(rng.below(N_RHOS as usize) as u32);
         let s = ConstraintSet::from_facts(facts);
         let mut killed = s.clone();
-        killed.kill_rho(RhoId(rho));
+        killed.kill_rho(rho);
         if !killed.is_contradictory() {
             for f in killed.facts() {
-                prop_assert!(!f.mentions(RhoId(rho)));
-                prop_assert!(s.entails(f), "kill invented {f}");
+                assert!(!f.mentions(rho), "seed {seed}: {f} still mentions {rho:?}");
+                assert!(s.entails(f), "seed {seed}: kill invented {f}");
             }
         }
     }
+}
 
-    /// Substitution commutes with entailment: if δ ⊨ f then δσ ⊨ fσ.
-    #[test]
-    fn subst_preserves_entailment(
-        facts in proptest::collection::vec(arb_fact(), 0..5),
-        query in arb_fact(),
-        target in arb_expr(),
-    ) {
+/// Substitution commutes with entailment: if δ ⊨ f then δσ ⊨ fσ.
+#[test]
+fn subst_preserves_entailment() {
+    for seed in 0..512u64 {
+        let mut rng = Rng::new(0x5B57 ^ seed);
+        let facts = rand_facts(&mut rng, 5);
+        let query = rand_fact(&mut rng);
+        let target = rand_expr(&mut rng);
         let s = ConstraintSet::from_facts(facts);
         if s.entails(query) {
             let subst = vec![target; N_RHOS as usize];
             let s2 = s.subst(&subst);
             if let Some(q2) = query.subst(&subst) {
-                prop_assert!(s2.entails(q2), "substitution broke entailment");
+                assert!(s2.entails(q2), "seed {seed}: substitution broke entailment");
             }
         }
     }

@@ -35,6 +35,7 @@ fn main() {
     }
 
     println!("\n== Figure 8: check regimes under RC ==");
+    let mut inf_stats = None;
     for (cfg_name, cfg) in RunConfig::figure8() {
         let r = run(&compiled, &cfg);
         let dynamic = r.stats.rc_cycles + r.stats.check_cycles + r.stats.unscan_cycles;
@@ -45,5 +46,13 @@ fn main() {
             r.cycles,
             r.stats.checks_sameregion + r.stats.checks_parentptr + r.stats.checks_traditional,
         );
+        if cfg_name == "inf" {
+            inf_stats = Some(r.stats);
+        }
+    }
+
+    if let Some(stats) = inf_stats {
+        println!("\n== Runtime counters for the inf run ==");
+        print!("{stats}");
     }
 }

@@ -46,17 +46,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let compiled = prepare(FIGURE_1)?;
 
     println!("== Figure 1 under RC (annotations + static check elimination) ==");
-    let inf = run(&compiled, &RunConfig::rc(CheckMode::Inf));
+    let inf = run(&compiled, &RunConfig::rc(CheckMode::Inf).traced());
     let Outcome::Exit(code) = inf.outcome else {
         panic!("unexpected outcome: {:?}", inf.outcome);
     };
     println!("exit code (sum 0..1000)      : {code}");
-    println!("objects allocated            : {}", inf.stats.objects_allocated);
-    println!("regions created/deleted      : {}/{}", inf.stats.regions_created, inf.stats.regions_deleted);
-    println!("sameregion checks executed   : {}", inf.stats.checks_sameregion);
-    println!("statically safe stores       : {}", inf.stats.assigns_safe);
-    println!("refcount updates             : {}", inf.stats.rc_updates_full + inf.stats.rc_updates_same);
     println!("virtual time (instructions)  : {}", inf.cycles);
+    print!("{}", inf.stats);
+
+    // The run above was traced; fold the event stream into a per-site
+    // profile (see docs/OBSERVABILITY.md).
+    if let Some(profile) = inf.profile() {
+        println!("\n== Telemetry profile of the same run ==");
+        print!("{}", profile.text_report("figure1"));
+    }
 
     println!("\n== Same program with annotations ignored (the paper's `nq`) ==");
     let nq = run(&compiled, &RunConfig::rc(CheckMode::Nq));
