@@ -3,9 +3,10 @@
 //! for a count update, 6–14 for a check) plus allocator comparisons.
 //!
 //! Telemetry overhead check: each write-barrier benchmark also runs with
-//! full event tracing enabled, so the disabled-vs-enabled cost is visible
-//! side by side (disabled tracing is a single branch and must stay in the
-//! noise).
+//! full event tracing enabled (`*_traced`) and with timeline sampling
+//! enabled (`*_sampled`), so the disabled-vs-enabled costs are visible
+//! side by side (disabled tracing and disabled sampling are each a
+//! single branch and must stay in the noise).
 
 use rc_bench::microbench::Bench;
 use region_rt::{mask, Addr, Heap, PtrKind, SlotKind, TypeLayout, WriteMode};
@@ -42,6 +43,14 @@ fn bench_write_barriers(c: &Bench) {
             h.write_ptr(a, 0, Addr::NULL, WriteMode::Counted).unwrap();
         }
     });
+    g.bench("counted_cross_region_sampled", {
+        let (mut h, _, a, b) = setup_two_regions();
+        h.enable_sampling(256, 512);
+        move || {
+            h.write_ptr(a, 0, black_box(b), WriteMode::Counted).unwrap();
+            h.write_ptr(a, 0, Addr::NULL, WriteMode::Counted).unwrap();
+        }
+    });
     // Figure 3(b): sameregion check (within one region).
     g.bench("sameregion_check", {
         let (mut h, ty, a, _) = setup_two_regions();
@@ -57,6 +66,16 @@ fn bench_write_barriers(c: &Bench) {
         let r = h.region_of(a);
         let peer = h.ralloc(r, ty).unwrap();
         h.enable_tracing(mask::ALL, 4096);
+        move || {
+            h.write_ptr(a, 1, black_box(peer), WriteMode::Check(PtrKind::SameRegion))
+                .unwrap();
+        }
+    });
+    g.bench("sameregion_check_sampled", {
+        let (mut h, ty, a, _) = setup_two_regions();
+        let r = h.region_of(a);
+        let peer = h.ralloc(r, ty).unwrap();
+        h.enable_sampling(256, 512);
         move || {
             h.write_ptr(a, 1, black_box(peer), WriteMode::Check(PtrKind::SameRegion))
                 .unwrap();

@@ -1,0 +1,59 @@
+//! Compares two `BENCH_rc.json` trajectory reports and gates on
+//! regressions.
+//!
+//! Usage: `cargo run -p rc-bench --bin bench-diff -- <baseline.json>
+//! <new.json>`.
+//!
+//! Prints a per-metric delta table and exits 0 when every gated metric
+//! stays within threshold (cycles ≤ +5%, peak live words ≤ +10%, no
+//! baseline run missing), 1 on a regression, 2 on usage or input errors
+//! (unreadable files, invalid JSON, schema mismatch).
+
+use std::process::ExitCode;
+
+use rc_bench::trajectory::{self, CYCLE_REGRESSION_PCT, PEAK_REGRESSION_PCT};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().collect();
+    let [_, old_path, new_path] = args.as_slice() else {
+        eprintln!("usage: bench-diff <baseline.json> <new.json>");
+        return ExitCode::from(2);
+    };
+    let old = match std::fs::read_to_string(old_path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("bench-diff: {old_path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let new = match std::fs::read_to_string(new_path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("bench-diff: {new_path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let diff = match trajectory::diff_reports(&old, &new) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("bench-diff: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    println!("bench-diff: {old_path} -> {new_path}");
+    println!(
+        "gates: cycles +{CYCLE_REGRESSION_PCT}%, peak_live_words +{PEAK_REGRESSION_PCT}%\n"
+    );
+    print!("{}", diff.table());
+    if diff.regressed() {
+        let tripped = diff.rows.iter().filter(|r| r.regressed).count();
+        println!(
+            "\nREGRESSION: {tripped} gated metric(s) over threshold, {} run(s) missing",
+            diff.missing.len()
+        );
+        ExitCode::from(1)
+    } else {
+        println!("\nok: no regressions");
+        ExitCode::SUCCESS
+    }
+}

@@ -23,6 +23,7 @@
 
 pub mod microbench;
 pub mod report;
+pub mod trajectory;
 
 use rc_workloads::Scale;
 

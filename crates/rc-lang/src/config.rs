@@ -82,6 +82,12 @@ pub struct RunConfig {
     /// Capacity of the telemetry ring buffer (recent raw events kept;
     /// folded profile totals stay exact regardless).
     pub trace_capacity: usize,
+    /// Timeline sampling interval in runtime events (interpreter steps and
+    /// runtime operations); 0 = sampling off, which costs a single
+    /// predictable branch per instrumented operation.
+    pub sample_interval: u64,
+    /// Maximum retained timeline samples before decimation.
+    pub sample_cap: usize,
 }
 
 impl RunConfig {
@@ -96,12 +102,31 @@ impl RunConfig {
             numbering: NumberingScheme::RenumberOnCreate,
             trace_mask: 0,
             trace_capacity: region_rt::DEFAULT_RING_CAPACITY,
+            sample_interval: 0,
+            sample_cap: region_rt::DEFAULT_TIMELINE_CAP,
         }
     }
 
     /// The same configuration with full event tracing enabled.
     pub fn traced(mut self) -> RunConfig {
         self.trace_mask = region_rt::mask::ALL;
+        self
+    }
+
+    /// The same configuration with timeline sampling enabled at the
+    /// default interval.
+    pub fn sampled(self) -> RunConfig {
+        self.with_sampling(
+            region_rt::DEFAULT_SAMPLE_INTERVAL,
+            region_rt::DEFAULT_TIMELINE_CAP,
+        )
+    }
+
+    /// The same configuration with timeline sampling at a chosen interval
+    /// (in runtime events) and sample cap.
+    pub fn with_sampling(mut self, interval: u64, cap: usize) -> RunConfig {
+        self.sample_interval = interval;
+        self.sample_cap = cap;
         self
     }
 

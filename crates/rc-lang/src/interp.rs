@@ -83,6 +83,10 @@ pub struct RunResult {
     /// The telemetry tracer, when [`RunConfig::trace_mask`] was nonzero:
     /// recent raw events plus the folded [`region_rt::Profile`].
     pub tracer: Option<Box<region_rt::Tracer>>,
+    /// The metrics timeline, when [`RunConfig::sample_interval`] was
+    /// nonzero (and the `telemetry` feature is on): periodic heap
+    /// snapshots plus one final forced sample at end of run.
+    pub timeline: Option<Box<region_rt::Timeline>>,
 }
 
 impl RunResult {
@@ -132,6 +136,9 @@ fn run_on_this_stack(c: &Compiled, config: &RunConfig, audit: bool) -> RunResult
     } else {
         0
     };
+    // One last forced sample so the timeline always covers the run's end
+    // state (no-op when sampling is off).
+    interp.heap.sample_now();
     RunResult {
         outcome,
         cycles: interp.heap.clock.cycles() + base_extra,
@@ -139,6 +146,7 @@ fn run_on_this_stack(c: &Compiled, config: &RunConfig, audit: bool) -> RunResult
         steps: interp.steps,
         audit,
         tracer: interp.heap.take_tracer(),
+        timeline: interp.heap.take_timeline(),
     }
 }
 
@@ -239,9 +247,11 @@ struct Interp<'c> {
     frames: Vec<Frame>,
     steps: u64,
     base_ops: u64,
-    /// Cached `config.trace_mask != 0`, so site attribution costs one
-    /// local branch on the hot paths when telemetry is off.
-    tracing: bool,
+    /// Cached `trace_mask != 0 || sample_interval != 0`, so site
+    /// attribution costs one local branch on the hot paths when both
+    /// tracing and sampling are off. Timeline samples reuse the trace
+    /// site, which is how snapshots align with source `file:line` phases.
+    observing: bool,
 }
 
 impl<'c> Interp<'c> {
@@ -261,6 +271,9 @@ impl<'c> Interp<'c> {
         });
         if config.trace_mask != 0 {
             heap.enable_tracing(config.trace_mask, config.trace_capacity);
+        }
+        if config.sample_interval != 0 {
+            heap.enable_sampling(config.sample_interval, config.sample_cap);
         }
 
         // Annotations are ignored in the layouts of nq and C@: every
@@ -367,7 +380,7 @@ impl<'c> Interp<'c> {
             frames: Vec::new(),
             steps: 0,
             base_ops: 0,
-            tracing: config.trace_mask != 0,
+            observing: config.trace_mask != 0 || config.sample_interval != 0,
         }
     }
 
@@ -387,6 +400,10 @@ impl<'c> Interp<'c> {
         self.steps += 1;
         self.base_ops += 1;
         self.heap.clock.charge(self.config.costs.base_op);
+        // Drive the timeline sampler from the step counter so snapshots
+        // land at regular points in program execution even when the
+        // runtime is idle (one branch when sampling is off).
+        self.heap.sample_tick();
         if self.config.step_limit != 0 && self.steps > self.config.step_limit {
             return Err(Halt::StepLimit);
         }
@@ -807,7 +824,7 @@ impl<'c> Interp<'c> {
             _ => {
                 let qual = slot_ty.qual().unwrap_or(Qual::None);
                 let mode = self.write_mode(qual, site);
-                if self.tracing {
+                if self.observing {
                     let line =
                         self.c.module.site_lines.get(site.0 as usize).copied().unwrap_or(0);
                     self.heap.set_trace_site(line);
@@ -818,10 +835,10 @@ impl<'c> Interp<'c> {
     }
 
     /// Attributes subsequent runtime events to a source line (telemetry
-    /// only; a no-op branch when tracing is off).
+    /// only; a no-op branch when neither tracing nor sampling is on).
     #[inline]
     fn set_site(&mut self, line: u32) {
-        if self.tracing {
+        if self.observing {
             self.heap.set_trace_site(line);
         }
     }

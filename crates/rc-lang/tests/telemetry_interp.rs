@@ -136,3 +136,30 @@ fn masked_tracing_filters_event_kinds() {
     assert!(t.recorded() > 0);
     assert_eq!(r.profile().unwrap().totals.allocs, 0, "alloc events masked out");
 }
+
+#[test]
+fn sampling_does_not_perturb_the_run_and_aligns_sites() {
+    let c = prepare(FIG1).unwrap();
+    let plain = run(&c, &RunConfig::rc(CheckMode::Qs));
+    let sampled = run(&c, &RunConfig::rc(CheckMode::Qs).with_sampling(64, 64));
+    assert_eq!(plain.outcome, sampled.outcome);
+    assert_eq!(plain.stats, sampled.stats, "sampling must be observation-only");
+    assert_eq!(plain.cycles, sampled.cycles);
+    assert!(plain.timeline.is_none());
+    let tl = sampled.timeline.as_ref().expect("timeline present when sampling on");
+    assert!(tl.len() > 3, "interval 64 over this run must yield several samples");
+    let s = tl.samples();
+    // Virtual time is monotone across snapshots and the windowed cycle
+    // deltas re-sum to the last snapshot's clock.
+    assert!(s.windows(2).all(|w| w[0].at_cycles <= w[1].at_cycles));
+    let total: u64 = s.iter().map(|x| x.d_cycles).sum();
+    assert_eq!(total, s.last().unwrap().at_cycles);
+    // Snapshots align with source phases: the samples taken inside the
+    // allocation loop carry its line numbers (the loop body spans lines
+    // 12–16 of FIG1).
+    assert!(
+        s.iter().any(|x| (12..=16).contains(&x.site)),
+        "no sample attributed to the hot loop: {:?}",
+        s.iter().map(|x| x.site).collect::<Vec<_>>()
+    );
+}

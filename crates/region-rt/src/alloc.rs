@@ -32,7 +32,15 @@ pub struct AllocRecord {
 pub struct BumpAlloc {
     /// Pages owned by this allocator, in acquisition order.
     pages: Vec<u32>,
-    /// Next free word in the last page (WORDS_PER_PAGE when full/absent).
+    /// Words handed out from each page, parallel to `pages` (span pages
+    /// record their share of the span) — the per-page occupancy the
+    /// timeline's fragmentation buckets are built from.
+    fill: Vec<u32>,
+    /// Index into `pages` of the current small-object page, if any. Span
+    /// allocations deliberately do not disturb this, so small objects keep
+    /// packing their own page across an interleaved large allocation.
+    cur: Option<usize>,
+    /// Next free word in the current small-object page.
     cursor: usize,
     /// Log of every allocation, for scanning and auditing.
     objs: Vec<AllocRecord>,
@@ -54,7 +62,14 @@ pub struct BumpOutcome {
 impl BumpAlloc {
     /// Creates an empty allocator.
     pub fn new() -> BumpAlloc {
-        BumpAlloc { pages: Vec::new(), cursor: WORDS_PER_PAGE, objs: Vec::new(), used_words: 0 }
+        BumpAlloc {
+            pages: Vec::new(),
+            fill: Vec::new(),
+            cur: None,
+            cursor: WORDS_PER_PAGE,
+            objs: Vec::new(),
+            used_words: 0,
+        }
     }
 
     /// Allocates `words` words for `count` elements of type `ty`.
@@ -81,26 +96,36 @@ impl BumpAlloc {
             let span = words.div_ceil(WORDS_PER_PAGE);
             let first = store.acquire_span(owner, span)?;
             new_pages = span;
+            // A large object consumes its whole span; the current small-object
+            // page (if any) is untouched, so `cur`/`cursor` are left alone.
+            let mut left = words;
             for i in 0..span as u32 {
                 self.pages.push(first + i);
+                self.fill.push(left.min(WORDS_PER_PAGE) as u32);
+                left -= left.min(WORDS_PER_PAGE);
             }
-            // A large object consumes its whole span; the current small-object
-            // page (if any) is untouched, so the cursor is left alone.
             Addr::from_parts(first, 0)
         } else {
-            if self.cursor + words > WORDS_PER_PAGE {
+            let need_fresh = match self.cur {
+                None => true,
+                Some(_) => self.cursor + words > WORDS_PER_PAGE,
+            };
+            if need_fresh {
                 let (p, recycled) = store.acquire2(owner)?;
                 if recycled {
                     recycled_pages = 1;
                 } else {
                     new_pages = 1;
                 }
+                self.cur = Some(self.pages.len());
                 self.pages.push(p);
+                self.fill.push(0);
                 self.cursor = 0;
             }
-            let page = *self.pages.last().expect("page just ensured");
-            let a = Addr::from_parts(page, self.cursor as u32);
+            let i = self.cur.expect("current page just ensured");
+            let a = Addr::from_parts(self.pages[i], self.cursor as u32);
             self.cursor += words;
+            self.fill[i] += words as u32;
             a
         };
         self.objs.push(AllocRecord { addr, ty, count });
@@ -115,6 +140,8 @@ impl BumpAlloc {
             store.release(p);
         }
         self.pages.clear();
+        self.fill.clear();
+        self.cur = None;
         self.objs.clear();
         self.cursor = WORDS_PER_PAGE;
         std::mem::take(&mut self.used_words)
@@ -133,6 +160,12 @@ impl BumpAlloc {
     /// Pages currently owned.
     pub fn page_count(&self) -> usize {
         self.pages.len()
+    }
+
+    /// Words handed out from each owned page, parallel to the page list —
+    /// the input to the timeline's per-page occupancy histogram.
+    pub fn page_fill(&self) -> &[u32] {
+        &self.fill
     }
 }
 
@@ -178,6 +211,36 @@ mod tests {
         for i in 0..3 {
             assert_eq!(store.owner(x.addr.page() + i), OWNER);
         }
+    }
+
+    #[test]
+    fn small_alloc_after_span_does_not_land_in_span_pages() {
+        let (mut store, mut a) = setup();
+        let x = a.alloc(&mut store, OWNER, 4, TY, 1).unwrap();
+        let big = a.alloc(&mut store, OWNER, 1500, TY, 1).unwrap();
+        let y = a.alloc(&mut store, OWNER, 4, TY, 1).unwrap();
+        // y continues packing the small-object page; it must never be
+        // bumped into the span's tail page over the large object's data.
+        assert_eq!(y.addr.page(), x.addr.page());
+        assert_eq!(y.addr.word(), x.addr.word() + 4);
+        for i in 0..2 {
+            assert_ne!(y.addr.page(), big.addr.page() + i);
+        }
+        assert_eq!(y.new_pages + y.recycled_pages, 0);
+    }
+
+    #[test]
+    fn page_fill_tracks_small_and_span_occupancy() {
+        let (mut store, mut a) = setup();
+        a.alloc(&mut store, OWNER, 4, TY, 1).unwrap();
+        a.alloc(&mut store, OWNER, 6, TY, 1).unwrap();
+        a.alloc(&mut store, OWNER, 1500, TY, 1).unwrap();
+        // Small page holds 10 words; the span's pages hold 1024 + 476.
+        assert_eq!(a.page_fill(), &[10, 1024, 476]);
+        let total: u64 = a.page_fill().iter().map(|&f| f as u64).sum();
+        assert_eq!(total, a.used_words());
+        a.release_all(&mut store);
+        assert!(a.page_fill().is_empty());
     }
 
     #[test]

@@ -36,6 +36,14 @@ pub enum AuditError {
         /// The dangling target.
         val: Addr,
     },
+    /// The live-word gauge underflowed at some point during the run (see
+    /// [`Stats::sub_live`](crate::stats::Stats::sub_live)): memory was
+    /// "freed" that the gauge never saw allocated, so every live/peak
+    /// figure after the first underflow is suspect.
+    LiveGaugeUnderflow {
+        /// How many times the gauge underflowed.
+        events: u64,
+    },
 }
 
 impl std::fmt::Display for AuditError {
@@ -47,6 +55,9 @@ impl std::fmt::Display for AuditError {
             ),
             AuditError::Dangling { obj, field, val } => {
                 write!(f, "dangling counted pointer {val} in field {field} of {obj}")
+            }
+            AuditError::LiveGaugeUnderflow { events } => {
+                write!(f, "live-word gauge underflowed {events} time(s): double free or allocator accounting bug")
             }
         }
     }
@@ -63,6 +74,11 @@ impl Heap {
     ///
     /// Returns the first [`AuditError`] found.
     pub fn audit(&self) -> Result<(), AuditError> {
+        // The live-word gauge applies to every configuration (it feeds the
+        // peak-memory columns), so check it before the RC early-out.
+        if self.stats.live_underflows > 0 {
+            return Err(AuditError::LiveGaugeUnderflow { events: self.stats.live_underflows });
+        }
         if !self.rc_enabled() {
             return Ok(());
         }
@@ -198,6 +214,19 @@ mod tests {
         let b = h.ralloc(r2, ty).unwrap();
         h.write_ptr(a, 0, b, WriteMode::Raw).unwrap();
         h.audit().unwrap();
+    }
+
+    #[test]
+    fn audit_reports_live_gauge_underflow() {
+        let mut h = Heap::with_defaults();
+        // Set the counter directly: reaching it organically needs a release
+        // build (sub_live panics under debug_assertions).
+        h.stats.live_underflows = 2;
+        assert_eq!(h.audit(), Err(AuditError::LiveGaugeUnderflow { events: 2 }));
+        // Reported even in configurations where the RC audit is skipped.
+        let mut h = Heap::new(crate::heap::HeapConfig { rc_enabled: false, ..Default::default() });
+        h.stats.live_underflows = 1;
+        assert!(matches!(h.audit(), Err(AuditError::LiveGaugeUnderflow { events: 1 })));
     }
 
     #[test]

@@ -159,6 +159,7 @@ impl Heap {
             };
             self.trace_emit(ev);
         }
+        self.sample_tick();
         Ok(addr)
     }
 
@@ -242,8 +243,13 @@ impl Heap {
             };
             self.trace_emit(ev);
         }
+        // GC frees whole slots while the gauge tracked requested words, so
+        // clamp rather than trip the underflow check.
         self.stats.sub_live(freed_words.min(self.stats.live_words));
         self.gc.allocated_since_gc = 0;
+        // Tick after the pause so a due sample attributes these gc_cycles
+        // to the window that ends here.
+        self.sample_tick();
         reclaimed
     }
 

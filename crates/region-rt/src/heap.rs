@@ -7,7 +7,7 @@
 //! [`crate::rcops`]), the malloc/free baseline (in [`crate::malloc`]), and
 //! the conservative-GC baseline (in [`crate::gc`]).
 
-use crate::addr::Addr;
+use crate::addr::{Addr, WORDS_PER_PAGE};
 use crate::cost::{Clock, CostModel};
 use crate::error::RtError;
 use crate::gc::GcState;
@@ -16,6 +16,7 @@ use crate::malloc::MallocState;
 use crate::page::{PageOwner, PageStore};
 use crate::region::{renumber, renumber_gapped, RegionData, RegionId, TRADITIONAL};
 use crate::stats::Stats;
+use crate::timeline::{occupancy_bucket, HeapGauges, Timeline};
 use crate::trace::{mask, Event, Tracer};
 
 /// How the region hierarchy is numbered for the `parentptr` interval
@@ -106,6 +107,11 @@ pub struct Heap {
     pub(crate) tracer: Option<Box<Tracer>>,
     /// Current source line for event attribution (0 = unattributed).
     pub(crate) trace_site: u32,
+    /// Ticks until the next timeline sample; 0 means sampling is off, so
+    /// the hot-path guard in [`Heap::sample_tick`] is one compare.
+    pub(crate) sample_countdown: u64,
+    /// The attached timeline sampler, if sampling is enabled.
+    pub(crate) timeline: Option<Box<Timeline>>,
 }
 
 impl Heap {
@@ -136,6 +142,8 @@ impl Heap {
             trace_mask: 0,
             tracer: None,
             trace_site: 0,
+            sample_countdown: 0,
+            timeline: None,
         }
     }
 
@@ -157,6 +165,12 @@ impl Heap {
     /// Whether reference counting is enabled.
     pub fn rc_enabled(&self) -> bool {
         self.rc_enabled
+    }
+
+    /// Read-only view of the page store, so external tests and tools can
+    /// check reported gauges against the page → owner map directly.
+    pub fn page_store(&self) -> &PageStore {
+        &self.store
     }
 
     fn region(&self, r: RegionId) -> &RegionData {
@@ -241,6 +255,7 @@ impl Heap {
                 self.trace_emit(ev);
             }
         }
+        self.sample_tick();
         Ok(id)
     }
 
@@ -323,6 +338,7 @@ impl Heap {
                     lifetime_cycles,
                 });
             }
+            self.sample_tick();
             // The unscan may have released counts on other doomed regions.
             for i in 0..self.regions.len() {
                 let cand = RegionId(i as u32);
@@ -424,6 +440,7 @@ impl Heap {
             let ev = Event::Alloc { region: r.0, site: self.trace_site, words: words as u32 };
             self.trace_emit(ev);
         }
+        self.sample_tick();
         Ok(out.addr)
     }
 
@@ -563,6 +580,154 @@ impl Heap {
             let (mask, capacity) = (t.mask(), t.capacity());
             self.tracer = Some(Box::new(Tracer::new(mask, capacity)));
         }
+        if let Some(tl) = self.timeline.as_mut() {
+            // Samples start over at the configured interval; the sampler
+            // itself stays attached.
+            tl.reset();
+            self.sample_countdown = tl.interval();
+        }
+    }
+
+    // ---- timeline sampling ------------------------------------------------
+
+    /// Attaches a [`Timeline`] sampler that snapshots the heap every
+    /// `interval` runtime events, retaining at most `cap` samples (older
+    /// samples are decimated). Under `--no-default-features` this is a
+    /// no-op and no timeline is ever attached.
+    pub fn enable_sampling(&mut self, interval: u64, cap: usize) {
+        #[cfg(feature = "telemetry")]
+        {
+            let tl = Timeline::new(interval, cap);
+            self.sample_countdown = tl.interval();
+            self.timeline = Some(Box::new(tl));
+        }
+        #[cfg(not(feature = "telemetry"))]
+        {
+            let _ = (interval, cap);
+        }
+    }
+
+    /// Detaches and returns the timeline, disabling further sampling.
+    pub fn take_timeline(&mut self) -> Option<Box<Timeline>> {
+        self.sample_countdown = 0;
+        self.timeline.take()
+    }
+
+    /// The attached timeline, if sampling is enabled.
+    pub fn timeline(&self) -> Option<&Timeline> {
+        self.timeline.as_deref()
+    }
+
+    /// Whether a timeline sampler is attached.
+    pub fn sampling_enabled(&self) -> bool {
+        self.timeline.is_some()
+    }
+
+    /// One sampling tick. Every instrumented runtime event (allocation,
+    /// count update, check, free, collection, interpreter step) calls
+    /// this; with sampling disabled it is a single compare against zero,
+    /// and without the `telemetry` feature it compiles to nothing.
+    #[inline(always)]
+    pub fn sample_tick(&mut self) {
+        #[cfg(feature = "telemetry")]
+        {
+            if self.sample_countdown != 0 {
+                self.sample_countdown -= 1;
+                if self.sample_countdown == 0 {
+                    self.sample_take();
+                }
+            }
+        }
+    }
+
+    /// Takes an immediate snapshot regardless of the tick countdown (used
+    /// for the final sample at end of run). No-op when sampling is off.
+    pub fn sample_now(&mut self) {
+        #[cfg(feature = "telemetry")]
+        {
+            if let Some(tl) = self.timeline.as_mut() {
+                // Account the ticks consumed from the current window.
+                let consumed = tl.interval() - self.sample_countdown.min(tl.interval());
+                tl.note_ticks(consumed);
+                self.sample_push();
+            }
+        }
+    }
+
+    /// The scheduled (countdown-expired) sample: a full window of ticks
+    /// elapsed.
+    #[cfg(feature = "telemetry")]
+    #[cold]
+    fn sample_take(&mut self) {
+        if let Some(tl) = self.timeline.as_mut() {
+            let window = tl.interval();
+            tl.note_ticks(window);
+        }
+        self.sample_push();
+    }
+
+    #[cfg(feature = "telemetry")]
+    fn sample_push(&mut self) {
+        let gauges = self.gauges();
+        let cycles = self.clock.cycles();
+        let site = self.trace_site;
+        if let Some(tl) = self.timeline.as_mut() {
+            tl.push(gauges, &self.stats, cycles, site);
+            // Decimation may have doubled the interval; reschedule from it.
+            self.sample_countdown = tl.interval();
+        }
+    }
+
+    /// Point-in-time structural gauges: page-map usage, per-page occupancy
+    /// of live regions' allocators, and malloc free-list depth. This is
+    /// what timeline samples record; it is public so tests can cross-check
+    /// snapshots against the page map directly.
+    pub fn gauges(&self) -> HeapGauges {
+        let mut g = HeapGauges {
+            live_regions: 0,
+            pages_committed: self.store.pages_committed() as u32,
+            pages_in_use: self.store.pages_in_use() as u32,
+            pages_free: self.store.pages_free() as u32,
+            region_pages: 0,
+            occupancy: [0; crate::timeline::OCCUPANCY_BUCKETS],
+            malloc_free_depth: self.malloc.free_list_depth() as u32,
+        };
+        for (idx, region) in self.regions.iter().enumerate() {
+            if !region.alive {
+                continue;
+            }
+            g.live_regions += 1;
+            if RegionId(idx as u32) == TRADITIONAL {
+                // The traditional region's footprint is the malloc/GC
+                // heaps' domain; region_pages covers real regions only, so
+                // it can be checked against the page map (malloc pages are
+                // also mapped to the traditional region).
+                continue;
+            }
+            for alloc in [&region.normal, &region.pointerfree] {
+                g.region_pages += alloc.page_count() as u32;
+                for &used in alloc.page_fill() {
+                    g.occupancy[occupancy_bucket(used, WORDS_PER_PAGE as u32)] += 1;
+                }
+            }
+        }
+        g
+    }
+
+    /// Ground truth for [`HeapGauges::region_pages`], from the other side:
+    /// pages the page map assigns to non-traditional regions. Only the
+    /// bump allocators acquire pages with such owners, so this must always
+    /// equal the allocator-side count.
+    pub fn mapped_region_pages(&self) -> u32 {
+        let mut n = 0;
+        for p in 0..self.store.page_count() as u32 {
+            if let PageOwner::Region(r) = self.store.owner(p) {
+                if r != TRADITIONAL {
+                    n += 1;
+                }
+            }
+        }
+        n
     }
 }
 
@@ -701,6 +866,8 @@ mod tests {
         h.delete_region(r1).unwrap();
         assert_ne!(h.stats, Stats::new(), "the workout touched the stats");
         assert!(h.clock.cycles() > 0);
+        // Events only record when the telemetry feature compiled them in.
+        #[cfg(feature = "telemetry")]
         assert!(h.tracer().unwrap().recorded() > 0);
 
         h.reset_metrics();
@@ -713,6 +880,109 @@ mod tests {
         assert_eq!(t.recorded(), 0);
         assert_eq!(t.profile().totals, crate::profile::ProfileTotals::default());
         assert_eq!(t.mask(), crate::trace::mask::ALL, "mask preserved");
+    }
+
+    /// A fixed workout touching regions, malloc, and GC, identical across
+    /// sampled and unsampled heaps.
+    fn workout(h: &mut Heap) {
+        use crate::rcops::WriteMode;
+        let counted = h.register_type(TypeLayout::new(
+            "node",
+            vec![SlotKind::Ptr(PtrKind::Counted), SlotKind::Data],
+        ));
+        let r1 = h.new_region();
+        let r2 = h.new_subregion(r1).unwrap();
+        for _ in 0..40 {
+            let a = h.ralloc(r1, counted).unwrap();
+            let b = h.ralloc(r2, counted).unwrap();
+            h.write_ptr(a, 0, b, WriteMode::Counted).unwrap();
+            h.write_ptr(a, 0, Addr::NULL, WriteMode::Counted).unwrap();
+        }
+        let m = h.m_alloc(counted, 3).unwrap();
+        h.m_free(m).unwrap();
+        h.gc_alloc(counted, 2).unwrap();
+        h.gc_collect(&[]);
+        h.delete_region(r2).unwrap();
+        h.delete_region(r1).unwrap();
+    }
+
+    #[cfg(feature = "telemetry")]
+    #[test]
+    fn sampling_is_observation_only() {
+        let mut plain = Heap::with_defaults();
+        workout(&mut plain);
+        let mut sampled = Heap::with_defaults();
+        sampled.enable_sampling(8, 64);
+        workout(&mut sampled);
+        // Same counters, same virtual time: the sampler never perturbs the
+        // run it observes.
+        assert_eq!(plain.stats, sampled.stats);
+        assert_eq!(plain.clock.cycles(), sampled.clock.cycles());
+        let tl = sampled.take_timeline().expect("sampler attached");
+        assert!(tl.len() > 3, "periodic samples were taken: {}", tl.len());
+        let last = tl.samples().last().unwrap();
+        assert_eq!(last.gauges.pages_in_use as usize, sampled.store.pages_in_use());
+        assert_eq!(
+            last.gauges.pages_committed,
+            last.gauges.pages_in_use + last.gauges.pages_free,
+            "committed pages partition into in-use and free"
+        );
+    }
+
+    #[cfg(feature = "telemetry")]
+    #[test]
+    fn sample_now_takes_forced_snapshot_and_tracks_gauges() {
+        let mut h = Heap::with_defaults();
+        h.enable_sampling(1_000_000, 64); // countdown will never expire
+        let ty = list_type(&mut h, PtrKind::Counted);
+        let r = h.new_region();
+        h.rarray_alloc(r, ty, 100).unwrap();
+        h.sample_now();
+        let tl = h.timeline().unwrap();
+        assert_eq!(tl.len(), 1);
+        let s = &tl.samples()[0];
+        assert_eq!(s.live_words, 200);
+        assert_eq!(s.gauges.region_pages, h.mapped_region_pages());
+        assert!(s.gauges.live_regions >= 2);
+        assert_eq!(s.d_allocs, 1);
+        // A second forced sample sees only the delta.
+        h.rarray_alloc(r, ty, 1).unwrap();
+        h.sample_now();
+        let tl = h.timeline().unwrap();
+        assert_eq!(tl.samples()[1].d_allocs, 1);
+        assert_eq!(tl.samples()[1].d_alloc_words, 2);
+    }
+
+    #[test]
+    fn sampling_api_is_safe_whether_or_not_the_feature_is_on() {
+        let mut h = Heap::with_defaults();
+        assert!(!h.sampling_enabled());
+        h.sample_tick(); // no-ops before enable_sampling
+        h.sample_now();
+        h.enable_sampling(4, 16);
+        assert_eq!(h.sampling_enabled(), cfg!(feature = "telemetry"));
+        h.sample_now();
+        let tl = h.take_timeline();
+        assert_eq!(tl.is_some(), cfg!(feature = "telemetry"));
+        assert!(!h.sampling_enabled());
+    }
+
+    #[cfg(feature = "telemetry")]
+    #[test]
+    fn reset_metrics_restarts_the_timeline() {
+        let mut h = Heap::with_defaults();
+        h.enable_sampling(2, 16);
+        let ty = list_type(&mut h, PtrKind::Counted);
+        let r = h.new_region();
+        for _ in 0..10 {
+            h.ralloc(r, ty).unwrap();
+        }
+        assert!(!h.timeline().unwrap().is_empty());
+        h.reset_metrics();
+        let tl = h.timeline().expect("sampler survives reset");
+        assert!(tl.is_empty());
+        assert_eq!(tl.interval(), 2);
+        assert_eq!(tl.ticks(), 0);
     }
 
     #[test]

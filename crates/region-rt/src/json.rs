@@ -1,9 +1,11 @@
-//! A minimal JSON document model and serializer.
+//! A minimal JSON document model, serializer, and parser.
 //!
 //! The build environment is offline and the workspace carries no external
-//! crates, so the telemetry JSONL export and the bench-harness artifact
-//! dumps share this hand-rolled encoder instead of `serde_json`. It only
-//! serializes (the repo never parses JSON), which keeps it ~100 lines.
+//! crates, so the telemetry JSONL export, the bench-harness artifact dumps,
+//! and the `bench-diff` regression gate share this hand-rolled
+//! implementation instead of `serde_json`. The parser exists so the bench
+//! trajectory (`BENCH_rc.json`) can be read back and diffed; it is a plain
+//! recursive-descent RFC 8259 reader with byte offsets in its errors.
 
 use std::fmt::Write as _;
 
@@ -51,6 +53,77 @@ impl Json {
         let mut out = String::new();
         self.write_pretty(&mut out, 0);
         out
+    }
+
+    /// Parses a JSON document (one value with only whitespace around it).
+    ///
+    /// Numbers parse as [`Json::U`] when they are non-negative integers
+    /// that fit `u64`, as [`Json::I`] for other in-range integers, and as
+    /// [`Json::F`] otherwise — mirroring how the serializer writes them.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`JsonParseError`] with the byte offset of the problem.
+    pub fn parse(text: &str) -> Result<Json, JsonParseError> {
+        let mut p = Parser { bytes: text.as_bytes(), pos: 0 };
+        p.skip_ws();
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(p.err("trailing characters after JSON value"));
+        }
+        Ok(v)
+    }
+
+    /// Looks up a key in an object; `None` for missing keys or non-objects.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::O(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as a `u64`, if it is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::U(n) => Some(*n),
+            Json::I(n) if *n >= 0 => Some(*n as u64),
+            _ => None,
+        }
+    }
+
+    /// The value as an `f64`, if numeric.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::U(n) => Some(*n as f64),
+            Json::I(n) => Some(*n as f64),
+            Json::F(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice, if it is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::S(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice, if it is an array.
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::A(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The value as a bool, if it is a bool.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
     }
 
     fn write(&self, out: &mut String) {
@@ -163,6 +236,229 @@ fn write_str(out: &mut String, s: &str) {
     out.push('"');
 }
 
+/// A parse failure: what went wrong and the byte offset where.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonParseError {
+    /// Byte offset into the input.
+    pub offset: usize,
+    /// Human-readable description.
+    pub msg: String,
+}
+
+impl std::fmt::Display for JsonParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "JSON parse error at byte {}: {}", self.offset, self.msg)
+    }
+}
+
+impl std::error::Error for JsonParseError {}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn err(&self, msg: &str) -> JsonParseError {
+        JsonParseError { offset: self.pos, msg: msg.to_string() }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), JsonParseError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: Json) -> Result<Json, JsonParseError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(v)
+        } else {
+            Err(self.err(&format!("expected '{word}'")))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, JsonParseError> {
+        match self.peek() {
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'"') => self.string().map(Json::S),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            Some(_) => Err(self.err("unexpected character")),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, JsonParseError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::A(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::A(items));
+                }
+                _ => return Err(self.err("expected ',' or ']' in array")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, JsonParseError> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::O(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let val = self.value()?;
+            fields.push((key, val));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::O(fields));
+                }
+                _ => return Err(self.err("expected ',' or '}' in object")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonParseError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            // Fast path: run of plain bytes.
+            while matches!(self.peek(), Some(c) if c != b'"' && c != b'\\') {
+                self.pos += 1;
+            }
+            if self.pos > start {
+                let chunk = std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| self.err("invalid UTF-8 in string"))?;
+                out.push_str(chunk);
+            }
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    out.push(self.escape()?);
+                }
+                _ => return Err(self.err("unterminated string")),
+            }
+        }
+    }
+
+    fn escape(&mut self) -> Result<char, JsonParseError> {
+        let c = self.peek().ok_or_else(|| self.err("unterminated escape"))?;
+        self.pos += 1;
+        Ok(match c {
+            b'"' => '"',
+            b'\\' => '\\',
+            b'/' => '/',
+            b'b' => '\u{8}',
+            b'f' => '\u{c}',
+            b'n' => '\n',
+            b'r' => '\r',
+            b't' => '\t',
+            b'u' => {
+                let hi = self.hex4()?;
+                let code = if (0xD800..0xDC00).contains(&hi) {
+                    // A surrogate pair: expect the low half immediately.
+                    if self.peek() == Some(b'\\') {
+                        self.pos += 1;
+                        self.expect(b'u')?;
+                        let lo = self.hex4()?;
+                        0x10000 + ((hi - 0xD800) << 10) + (lo.wrapping_sub(0xDC00) & 0x3FF)
+                    } else {
+                        return Err(self.err("lone high surrogate"));
+                    }
+                } else {
+                    hi
+                };
+                char::from_u32(code).ok_or_else(|| self.err("invalid \\u escape"))?
+            }
+            _ => return Err(self.err("unknown escape character")),
+        })
+    }
+
+    fn hex4(&mut self) -> Result<u32, JsonParseError> {
+        let mut v = 0u32;
+        for _ in 0..4 {
+            let c = self.peek().ok_or_else(|| self.err("truncated \\u escape"))?;
+            let d = (c as char).to_digit(16).ok_or_else(|| self.err("bad hex digit"))?;
+            v = v * 16 + d;
+            self.pos += 1;
+        }
+        Ok(v)
+    }
+
+    fn number(&mut self) -> Result<Json, JsonParseError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(c) = self.peek() {
+            match c {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii digits");
+        if !is_float {
+            if let Ok(u) = text.parse::<u64>() {
+                return Ok(Json::U(u));
+            }
+            if let Ok(i) = text.parse::<i64>() {
+                return Ok(Json::I(i));
+            }
+        }
+        text.parse::<f64>()
+            .map(Json::F)
+            .map_err(|_| JsonParseError { offset: start, msg: format!("bad number {text:?}") })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -198,5 +494,56 @@ mod tests {
         let v = Json::obj(vec![("a", Json::A(vec![Json::U(1)]))]);
         let p = v.render_pretty();
         assert!(p.contains("\n  \"a\": [\n"));
+    }
+
+    #[test]
+    fn parse_scalars() {
+        assert_eq!(Json::parse("null").unwrap(), Json::Null);
+        assert_eq!(Json::parse(" true ").unwrap(), Json::Bool(true));
+        assert_eq!(Json::parse("42").unwrap(), Json::U(42));
+        assert_eq!(Json::parse("-7").unwrap(), Json::I(-7));
+        assert_eq!(Json::parse("1.5").unwrap(), Json::F(1.5));
+        assert_eq!(Json::parse("2e3").unwrap(), Json::F(2000.0));
+        assert_eq!(Json::parse("18446744073709551615").unwrap(), Json::U(u64::MAX));
+    }
+
+    #[test]
+    fn parse_strings_with_escapes() {
+        assert_eq!(Json::parse(r#""a\"b\\c\nd""#).unwrap(), Json::s("a\"b\\c\nd"));
+        assert_eq!(Json::parse(r#""Aé""#).unwrap(), Json::s("Aé"));
+        assert_eq!(Json::parse(r#""😀""#).unwrap(), Json::s("😀"));
+    }
+
+    #[test]
+    fn parse_containers_and_accessors() {
+        let v = Json::parse(r#"{"xs":[1,2],"name":"t","f":2.5,"ok":true}"#).unwrap();
+        assert_eq!(v.get("name").and_then(Json::as_str), Some("t"));
+        assert_eq!(v.get("xs").and_then(Json::as_array).map(<[Json]>::len), Some(2));
+        assert_eq!(v.get("f").and_then(Json::as_f64), Some(2.5));
+        assert_eq!(v.get("ok").and_then(Json::as_bool), Some(true));
+        assert_eq!(v.get("missing"), None);
+    }
+
+    #[test]
+    fn parse_errors_carry_offsets() {
+        let e = Json::parse("[1,]").unwrap_err();
+        assert_eq!(e.offset, 3);
+        assert!(Json::parse("").is_err());
+        assert!(Json::parse("{\"a\":1} extra").is_err());
+        assert!(Json::parse("\"unterminated").is_err());
+    }
+
+    #[test]
+    fn round_trips_survive_parse() {
+        let original = Json::obj(vec![
+            ("schema", Json::s("rc-bench-trajectory/v1")),
+            ("neg", Json::I(-3)),
+            ("pi", Json::F(3.5)),
+            ("none", Json::Null),
+            ("runs", Json::A(vec![Json::obj(vec![("cycles", Json::U(12345))])])),
+        ]);
+        for text in [original.render(), original.render_pretty()] {
+            assert_eq!(Json::parse(&text).unwrap(), original);
+        }
     }
 }

@@ -33,10 +33,12 @@
 //! - a heap auditor that independently verifies the reference-count
 //!   invariant ([`audit`]);
 //! - a zero-dependency telemetry subsystem: a bounded ring of typed
-//!   dynamic events with per-site attribution ([`trace`]) and folded
+//!   dynamic events with per-site attribution ([`trace`]), folded
 //!   profiles — lifetime histograms, hot-region/hot-site tables, a region
-//!   flamegraph, JSONL export ([`profile`], [`json`]). See
-//!   `docs/OBSERVABILITY.md`.
+//!   flamegraph, JSONL export ([`profile`], [`json`]) — and a
+//!   deterministic virtual-clock timeline sampler for time-resolved
+//!   occupancy, fragmentation, and RC/check-rate metrics ([`timeline`]).
+//!   See `docs/OBSERVABILITY.md`.
 //!
 //! ## Example
 //!
@@ -81,6 +83,7 @@ pub mod profile;
 pub mod rcops;
 pub mod region;
 pub mod stats;
+pub mod timeline;
 pub mod trace;
 
 pub use addr::Addr;
@@ -89,10 +92,14 @@ pub use cost::{Clock, CostModel, Cycles};
 pub use emu::{EmuBackend, EmuRegionId, EmuRegions};
 pub use error::RtError;
 pub use heap::{DeletePolicy, Heap, HeapConfig, NumberingScheme};
-pub use json::Json;
+pub use json::{Json, JsonParseError};
 pub use layout::{PtrKind, SlotKind, TypeId, TypeLayout};
 pub use profile::{Profile, ProfileTotals, RegionProfile, SiteProfile};
 pub use rcops::WriteMode;
 pub use region::{RegionId, TRADITIONAL};
 pub use stats::{AssignCategory, Stats};
+pub use timeline::{
+    sparkline, HeapGauges, MetricsSnapshot, Timeline, DEFAULT_SAMPLE_INTERVAL,
+    DEFAULT_TIMELINE_CAP,
+};
 pub use trace::{mask, Event, Tracer, DEFAULT_RING_CAPACITY};

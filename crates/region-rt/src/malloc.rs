@@ -63,6 +63,13 @@ impl MallocState {
     pub fn live_count(&self) -> usize {
         self.live.len()
     }
+
+    /// Total free slots across all size-class free lists — the timeline's
+    /// external-fragmentation gauge for the malloc baseline (slots carved
+    /// or freed but not currently serving an allocation).
+    pub fn free_list_depth(&self) -> usize {
+        self.free_lists.iter().map(Vec::len).sum()
+    }
 }
 
 impl Heap {
@@ -136,6 +143,7 @@ impl Heap {
             };
             self.trace_emit(ev);
         }
+        self.sample_tick();
         Ok(addr)
     }
 
@@ -158,6 +166,7 @@ impl Heap {
         self.clock.charge(self.costs.malloc_free);
         self.stats.free_calls += 1;
         self.stats.sub_live(obj.words as u64);
+        self.sample_tick();
         Ok(())
     }
 
@@ -237,6 +246,17 @@ mod tests {
         h.m_free(a).unwrap();
         assert_eq!(h.stats.live_words, 0);
         assert_eq!(h.m_live_count(), 0);
+    }
+
+    #[test]
+    fn free_list_depth_tracks_carving_and_frees() {
+        let (mut h, small, _) = setup();
+        assert_eq!(h.malloc.free_list_depth(), 0);
+        let a = h.m_alloc(small, 1).unwrap();
+        // Size class 4 carves a page into 256 slots and hands one out.
+        assert_eq!(h.malloc.free_list_depth(), 255);
+        h.m_free(a).unwrap();
+        assert_eq!(h.malloc.free_list_depth(), 256);
     }
 
     #[test]

@@ -48,6 +48,23 @@ impl PageStore {
         self.pages.len()
     }
 
+    /// Pages ever committed, excluding the reserved page 0.
+    pub fn pages_committed(&self) -> usize {
+        self.pages.len() - 1
+    }
+
+    /// Committed pages currently assigned to an owner, per the page map
+    /// (the ground truth the timeline sampler and auditor report against).
+    pub fn pages_in_use(&self) -> usize {
+        // The reserved page 0 is marked Free, so it never counts here.
+        self.owners.iter().filter(|&&o| o != PageOwner::Free).count()
+    }
+
+    /// Committed pages sitting in the free pool, awaiting recycling.
+    pub fn pages_free(&self) -> usize {
+        self.free.len()
+    }
+
     /// Acquires one page for `owner`, recycling a free page if possible.
     ///
     /// # Errors
@@ -189,6 +206,20 @@ mod tests {
         for i in 0..3 {
             assert_eq!(s.owner(first + i), PageOwner::Region(RegionId(1)));
         }
+    }
+
+    #[test]
+    fn usage_gauges_partition_committed_pages() {
+        let mut s = PageStore::new(0);
+        assert_eq!((s.pages_committed(), s.pages_in_use(), s.pages_free()), (0, 0, 0));
+        let p1 = s.acquire(PageOwner::Gc).unwrap();
+        let _p2 = s.acquire(PageOwner::Region(RegionId(1))).unwrap();
+        assert_eq!((s.pages_committed(), s.pages_in_use(), s.pages_free()), (2, 2, 0));
+        s.release(p1);
+        assert_eq!((s.pages_committed(), s.pages_in_use(), s.pages_free()), (2, 1, 1));
+        // Recycling moves it back without committing anything new.
+        s.acquire(PageOwner::Gc).unwrap();
+        assert_eq!((s.pages_committed(), s.pages_in_use(), s.pages_free()), (2, 2, 0));
     }
 
     #[test]

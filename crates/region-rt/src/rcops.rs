@@ -117,6 +117,7 @@ impl Heap {
         if decremented {
             self.sweep_doomed();
         }
+        self.sample_tick();
         Ok(())
     }
 
@@ -159,6 +160,7 @@ impl Heap {
             let ev = Event::CheckRun { kind, site: self.trace_site, passed: ok };
             self.trace_emit(ev);
         }
+        self.sample_tick();
         if !ok {
             return Err(RtError::CheckFailed { kind, obj, field, val });
         }

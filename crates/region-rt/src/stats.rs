@@ -7,6 +7,7 @@
 //! and the runtime both write to it.
 
 use crate::cost::Cycles;
+use crate::json::Json;
 
 /// Category of a dynamic heap pointer assignment, for Figure 9's breakdown.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -91,6 +92,10 @@ pub struct Stats {
     pub alloc_cycles: Cycles,
     /// Virtual time spent in GC.
     pub gc_cycles: Cycles,
+    /// Times [`Stats::sub_live`] was asked to remove more words than the
+    /// gauge held (a double-free or accounting bug; panics under
+    /// `debug_assertions`, and the auditor reports it either way).
+    pub live_underflows: u64,
 }
 
 impl Stats {
@@ -138,11 +143,29 @@ impl Stats {
         }
     }
 
-    /// Removes from the live-word gauge (saturating: baselines that free
-    /// conservatively may double-report).
+    /// Removes from the live-word gauge.
+    ///
+    /// Removing more than the gauge holds is an accounting bug (a double
+    /// free, or an allocator reporting words it never added): this panics
+    /// under `debug_assertions`; in release builds it clamps to zero but
+    /// records the event in [`Stats::live_underflows`], which
+    /// [`summary`](Stats::summary) flags and the heap auditor surfaces as
+    /// an error instead of letting the gauge silently under-report
+    /// forever.
     #[inline]
     pub fn sub_live(&mut self, words: u64) {
-        self.live_words = self.live_words.saturating_sub(words);
+        match self.live_words.checked_sub(words) {
+            Some(left) => self.live_words = left,
+            None => {
+                debug_assert!(
+                    false,
+                    "live-word gauge underflow: sub_live({words}) with only {} live",
+                    self.live_words
+                );
+                self.live_underflows += 1;
+                self.live_words = 0;
+            }
+        }
     }
 
     /// A one-screen human-readable dump of the counters, skipping groups
@@ -209,7 +232,53 @@ impl Stats {
             ));
         }
         out.push_str(&format!("alloc time : {} cycles\n", self.alloc_cycles));
+        if self.live_underflows > 0 {
+            out.push_str(&format!(
+                "WARNING    : {} live-gauge underflows (double free or allocator accounting bug)\n",
+                self.live_underflows
+            ));
+        }
         out
+    }
+
+    /// Every counter as one flat JSON object, in declaration order. This
+    /// is the machine-readable twin of [`summary`](Stats::summary): the
+    /// JSONL profiles, `--profile` output, and the bench trajectory all
+    /// read counters through it, so they cannot drift from each other.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("assigns_safe", Json::U(self.assigns_safe)),
+            ("assigns_checked", Json::U(self.assigns_checked)),
+            ("assigns_counted", Json::U(self.assigns_counted)),
+            ("assigns_local", Json::U(self.assigns_local)),
+            ("assigns_raw", Json::U(self.assigns_raw)),
+            ("rc_updates_full", Json::U(self.rc_updates_full)),
+            ("rc_updates_same", Json::U(self.rc_updates_same)),
+            ("checks_sameregion", Json::U(self.checks_sameregion)),
+            ("checks_traditional", Json::U(self.checks_traditional)),
+            ("checks_parentptr", Json::U(self.checks_parentptr)),
+            ("objects_allocated", Json::U(self.objects_allocated)),
+            ("words_allocated", Json::U(self.words_allocated)),
+            ("peak_live_words", Json::U(self.peak_live_words)),
+            ("live_words", Json::U(self.live_words)),
+            ("regions_created", Json::U(self.regions_created)),
+            ("regions_deleted", Json::U(self.regions_deleted)),
+            ("regions_deferred", Json::U(self.regions_deferred)),
+            ("renumber_fallbacks", Json::U(self.renumber_fallbacks)),
+            ("unscan_words", Json::U(self.unscan_words)),
+            ("local_pins", Json::U(self.local_pins)),
+            ("malloc_calls", Json::U(self.malloc_calls)),
+            ("free_calls", Json::U(self.free_calls)),
+            ("gc_collections", Json::U(self.gc_collections)),
+            ("gc_marked_words", Json::U(self.gc_marked_words)),
+            ("gc_swept_objects", Json::U(self.gc_swept_objects)),
+            ("rc_cycles", Json::U(self.rc_cycles)),
+            ("check_cycles", Json::U(self.check_cycles)),
+            ("unscan_cycles", Json::U(self.unscan_cycles)),
+            ("alloc_cycles", Json::U(self.alloc_cycles)),
+            ("gc_cycles", Json::U(self.gc_cycles)),
+            ("live_underflows", Json::U(self.live_underflows)),
+        ])
     }
 }
 
@@ -276,11 +345,117 @@ mod tests {
         assert!(!text.contains("malloc"));
     }
 
+    #[cfg(debug_assertions)]
     #[test]
-    fn sub_live_saturates() {
+    #[should_panic(expected = "live-word gauge underflow")]
+    fn sub_live_underflow_panics_in_debug() {
+        let mut s = Stats::new();
+        s.add_live(3);
+        s.sub_live(10);
+    }
+
+    #[cfg(not(debug_assertions))]
+    #[test]
+    fn sub_live_underflow_clamps_and_counts_in_release() {
         let mut s = Stats::new();
         s.add_live(3);
         s.sub_live(10);
         assert_eq!(s.live_words, 0);
+        assert_eq!(s.live_underflows, 1);
+    }
+
+    /// Every field set to a distinct nonzero value; the exhaustive literal
+    /// (no `..`) makes adding a `Stats` field without updating the
+    /// serialization tests a compile error.
+    fn fully_populated() -> Stats {
+        Stats {
+            assigns_safe: 1,
+            assigns_checked: 2,
+            assigns_counted: 3,
+            assigns_local: 4,
+            assigns_raw: 5,
+            rc_updates_full: 6,
+            rc_updates_same: 7,
+            checks_sameregion: 8,
+            checks_traditional: 9,
+            checks_parentptr: 10,
+            objects_allocated: 11,
+            words_allocated: 12,
+            peak_live_words: 13,
+            live_words: 14,
+            regions_created: 15,
+            regions_deleted: 16,
+            regions_deferred: 17,
+            renumber_fallbacks: 18,
+            unscan_words: 19,
+            local_pins: 20,
+            malloc_calls: 21,
+            free_calls: 22,
+            gc_collections: 23,
+            gc_marked_words: 24,
+            gc_swept_objects: 25,
+            rc_cycles: 26,
+            check_cycles: 27,
+            unscan_cycles: 28,
+            alloc_cycles: 29,
+            gc_cycles: 30,
+            live_underflows: 31,
+        }
+    }
+
+    #[test]
+    fn to_json_covers_every_counter() {
+        let s = fully_populated();
+        let json = s.to_json();
+        let Json::O(ref fields) = json else { panic!("expected object") };
+        assert_eq!(fields.len(), 31, "one JSON key per Stats field");
+        for (key, val) in fields {
+            assert!(matches!(val, Json::U(v) if *v >= 1 && *v <= 31), "{key} lost its value");
+        }
+        // Distinct values stay distinct: nothing is aliased or dropped.
+        let mut vals: Vec<u64> =
+            fields.iter().map(|(_, v)| if let Json::U(u) = v { *u } else { 0 }).collect();
+        vals.sort_unstable();
+        assert_eq!(vals, (1..=31).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn summary_covers_every_counter_group_when_nonzero() {
+        let text = format!("{}", fully_populated());
+        for needle in [
+            "11 objects",
+            "12 words",
+            "13 peak",
+            "14 live",
+            "15 created",
+            "16 deleted",
+            "17 deferred",
+            "18 renumber",
+            "1 safe",
+            "2 checked",
+            "3 counted",
+            "4 local",
+            "5 raw",
+            "6 full",
+            "7 early-exit",
+            "20 local pins",
+            "8 sameregion",
+            "10 parentptr",
+            "9 traditional",
+            "19 words at delete",
+            "21 allocs",
+            "22 frees",
+            "23 collections",
+            "24 words marked",
+            "25 objects swept",
+            "26 cycles",
+            "27 cycles",
+            "28 cycles",
+            "29 cycles",
+            "30 cycles",
+            "31 live-gauge underflows",
+        ] {
+            assert!(text.contains(needle), "summary missing {needle:?}:\n{text}");
+        }
     }
 }
