@@ -54,7 +54,7 @@ fn bench_write_barriers(c: &Bench) {
     // Figure 3(b): sameregion check (within one region).
     g.bench("sameregion_check", {
         let (mut h, ty, a, _) = setup_two_regions();
-        let r = h.region_of(a);
+        let r = h.region_of(a).unwrap();
         let peer = h.ralloc(r, ty).unwrap();
         move || {
             h.write_ptr(a, 1, black_box(peer), WriteMode::Check(PtrKind::SameRegion))
@@ -63,7 +63,7 @@ fn bench_write_barriers(c: &Bench) {
     });
     g.bench("sameregion_check_traced", {
         let (mut h, ty, a, _) = setup_two_regions();
-        let r = h.region_of(a);
+        let r = h.region_of(a).unwrap();
         let peer = h.ralloc(r, ty).unwrap();
         h.enable_tracing(mask::ALL, 4096);
         move || {
@@ -73,7 +73,7 @@ fn bench_write_barriers(c: &Bench) {
     });
     g.bench("sameregion_check_sampled", {
         let (mut h, ty, a, _) = setup_two_regions();
-        let r = h.region_of(a);
+        let r = h.region_of(a).unwrap();
         let peer = h.ralloc(r, ty).unwrap();
         h.enable_sampling(256, 512);
         move || {
@@ -84,7 +84,7 @@ fn bench_write_barriers(c: &Bench) {
     // The eliminated-check store: nothing but the write.
     g.bench("safe_store", {
         let (mut h, ty, a, _) = setup_two_regions();
-        let r = h.region_of(a);
+        let r = h.region_of(a).unwrap();
         let peer = h.ralloc(r, ty).unwrap();
         move || {
             h.write_ptr(a, 1, black_box(peer), WriteMode::Safe).unwrap();

@@ -14,6 +14,7 @@
 //! | Figure 8 (nq/qs/inf/nc)             | `cargo run -p rc-bench --bin fig8` |
 //! | Figure 9 (assignment categories)    | `cargo run -p rc-bench --bin fig9` |
 //! | All of the above → EXPERIMENTS.md   | `cargo run -p rc-bench --bin experiments` |
+//! | Fault-injection torture matrix      | `cargo run -p rc-bench --bin fault-matrix` |
 //!
 //! Wall-clock benchmarks live in `benches/` (run with `cargo bench -p
 //! rc-bench`), on the dependency-free harness in [`microbench`]. Passing
@@ -21,6 +22,7 @@
 //! (per-site hot spots, region flamegraph); `--trace <path>` exports the
 //! raw event stream as JSON Lines. See `docs/OBSERVABILITY.md`.
 
+pub mod faultmatrix;
 pub mod microbench;
 pub mod report;
 pub mod trajectory;

@@ -8,7 +8,23 @@
 //! (annotations checked at runtime), `inf` (provably-safe checks removed)
 //! and `nc` (all checks unsafely removed).
 
-use region_rt::{CostModel, NumberingScheme};
+use region_rt::{CostModel, FaultPlan, NumberingScheme};
+
+/// What the interpreter does when the runtime reports a fault (injected or
+/// organic): abort immediately, or trap it — unwind the region stack,
+/// release everything except the traditional region, and report a typed
+/// [`crate::interp::Outcome::Trapped`] with the heap left audit-clean.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OnFault {
+    /// Stop at the fault and report [`crate::interp::Outcome::Aborted`]
+    /// (the historical behaviour, and the paper's: region failures abort).
+    #[default]
+    Abort,
+    /// Trap the fault: tear down the program's regions, null counted
+    /// pointers, and report [`crate::interp::Outcome::Trapped`]. The heap
+    /// stays usable and audit-clean afterwards.
+    TrapAndUnwind,
+}
 
 /// What `deleteregion` does when references remain — the paper's three
 /// memory-safety options (§3): abort the program, return a failure code,
@@ -88,6 +104,14 @@ pub struct RunConfig {
     pub sample_interval: u64,
     /// Maximum retained timeline samples before decimation.
     pub sample_cap: usize,
+    /// Page budget handed to the heap (0 = unlimited): the torture
+    /// harness sweeps this to provoke organic out-of-memory conditions.
+    pub page_budget: usize,
+    /// Deterministic fault-injection plan (empty = no injection, which
+    /// costs one predictable branch per instrumented operation).
+    pub faults: FaultPlan,
+    /// What to do when the runtime faults.
+    pub on_fault: OnFault,
 }
 
 impl RunConfig {
@@ -104,7 +128,28 @@ impl RunConfig {
             trace_capacity: region_rt::DEFAULT_RING_CAPACITY,
             sample_interval: 0,
             sample_cap: region_rt::DEFAULT_TIMELINE_CAP,
+            page_budget: 0,
+            faults: FaultPlan::new(),
+            on_fault: OnFault::Abort,
         }
+    }
+
+    /// The same configuration with [`OnFault::TrapAndUnwind`] recovery.
+    pub fn trapping(mut self) -> RunConfig {
+        self.on_fault = OnFault::TrapAndUnwind;
+        self
+    }
+
+    /// The same configuration with a fault-injection plan installed.
+    pub fn with_faults(mut self, plan: FaultPlan) -> RunConfig {
+        self.faults = plan;
+        self
+    }
+
+    /// The same configuration with a heap page budget (0 = unlimited).
+    pub fn with_page_budget(mut self, pages: usize) -> RunConfig {
+        self.page_budget = pages;
+        self
     }
 
     /// The same configuration with full event tracing enabled.

@@ -11,13 +11,13 @@
 use std::collections::HashMap;
 
 use region_rt::{
-    Addr, EmuBackend, EmuRegionId, EmuRegions, Heap, HeapConfig, PtrKind, RegionId, RtError,
-    SlotKind, Stats, TypeId, TypeLayout, WriteMode,
+    Addr, EmuBackend, EmuRegionId, EmuRegions, FaultReport, Heap, HeapConfig, PtrKind, RegionId,
+    RtError, SlotKind, Stats, TypeId, TypeLayout, WriteMode,
 };
 use rlang::SiteId;
 
 use crate::ast::Qual;
-use crate::config::{Backend, CheckMode, DeleteSemantics, RunConfig};
+use crate::config::{Backend, CheckMode, DeleteSemantics, OnFault, RunConfig};
 use crate::hir::*;
 use crate::liveness::{pin_sets, PinSets};
 
@@ -53,6 +53,10 @@ pub enum Outcome {
     /// The program aborted on a runtime failure (failed annotation check,
     /// unsafe `deleteregion`, wild pointer, out-of-bounds index, …).
     Aborted(RtError),
+    /// The program hit a runtime failure under
+    /// [`OnFault::TrapAndUnwind`]: the fault was trapped, the region
+    /// stack unwound, and the heap left audit-clean.
+    Trapped(RtError),
     /// An `assert` failed.
     AssertFailed,
     /// The step budget was exhausted.
@@ -87,6 +91,10 @@ pub struct RunResult {
     /// nonzero (and the `telemetry` feature is on): periodic heap
     /// snapshots plus one final forced sample at end of run.
     pub timeline: Option<Box<region_rt::Timeline>>,
+    /// The harvested fault-injection report, when [`RunConfig::faults`]
+    /// armed any plane: which faults fired, at which operation ordinals
+    /// and virtual times.
+    pub faults: Option<FaultReport>,
 }
 
 impl RunResult {
@@ -127,6 +135,17 @@ fn run_opts(c: &Compiled, config: &RunConfig, audit: bool) -> RunResult {
 fn run_on_this_stack(c: &Compiled, config: &RunConfig, audit: bool) -> RunResult {
     let mut interp = Interp::new(c, config);
     let outcome = interp.run_main();
+    // Harvest the fault arms before any recovery work so the unwind
+    // itself is injection-free (a sticky arm would otherwise fail the
+    // very operations that tear the heap down).
+    let faults = interp.heap.take_faults();
+    let outcome = match outcome {
+        Outcome::Aborted(e) if config.on_fault == OnFault::TrapAndUnwind => {
+            interp.unwind_after_fault();
+            Outcome::Trapped(e)
+        }
+        o => o,
+    };
     let audit = audit.then(|| interp.heap.audit());
     if let Some(res) = &audit {
         interp.heap.record_audit_run(res.is_ok());
@@ -147,6 +166,7 @@ fn run_on_this_stack(c: &Compiled, config: &RunConfig, audit: bool) -> RunResult
         audit,
         tracer: interp.heap.take_tracer(),
         timeline: interp.heap.take_timeline(),
+        faults,
     }
 }
 
@@ -247,6 +267,10 @@ struct Interp<'c> {
     frames: Vec<Frame>,
     steps: u64,
     base_ops: u64,
+    /// First fault hit while building the startup image (globals block,
+    /// global arrays, the traditional descriptor): reported from
+    /// `run_main` before any user code runs.
+    startup_fault: Option<RtError>,
     /// Cached `trace_mask != 0 || sample_interval != 0`, so site
     /// attribution costs one local branch on the hot paths when both
     /// tracing and sampling are off. Timeline samples reuse the trace
@@ -262,7 +286,7 @@ impl<'c> Interp<'c> {
             _ => region_rt::DeletePolicy::Abort,
         };
         let mut heap = Heap::new(HeapConfig {
-            page_budget: 0,
+            page_budget: config.page_budget,
             rc_enabled,
             costs: config.costs.clone(),
             gc_threshold_words: config.gc_threshold_words,
@@ -275,6 +299,12 @@ impl<'c> Interp<'c> {
         if config.sample_interval != 0 {
             heap.enable_sampling(config.sample_interval, config.sample_cap);
         }
+        // Arm the fault planes before the startup allocations so those are
+        // fault-eligible too (reported via `startup_fault`, not a panic).
+        if !config.faults.is_empty() {
+            heap.install_faults(&config.faults);
+        }
+        let mut startup_fault = None;
 
         // Annotations are ignored in the layouts of nq and C@: every
         // pointer is a counted pointer (so fewer objects qualify for the
@@ -323,7 +353,7 @@ impl<'c> Interp<'c> {
             "__globals",
             if gslots.is_empty() { vec![SlotKind::Data] } else { gslots },
         ));
-        let globals_obj = heap.m_alloc(globals_ty, 1).expect("fresh heap cannot be full");
+        let globals_obj = startup_alloc(&mut heap, &mut startup_fault, globals_ty);
 
         // Global arrays are separate traditional-region objects.
         let mut global_arrays = Vec::new();
@@ -335,7 +365,7 @@ impl<'c> Interp<'c> {
                         format!("__garr_{}", g.name),
                         vec![slot_of(g.ty); n as usize],
                     ));
-                    let addr = heap.m_alloc(ty, 1).expect("fresh heap cannot be full");
+                    let addr = startup_alloc(&mut heap, &mut startup_fault, ty);
                     global_arrays.push(Some((addr, n)));
                 }
             }
@@ -350,7 +380,7 @@ impl<'c> Interp<'c> {
         // Pre-create the traditional-region descriptor. Under the emu
         // backends it is a reserved, never-deleted emulated region (the
         // malloc heap of the original programs).
-        let trad_desc = heap.m_alloc(desc_ty, 1).expect("fresh heap cannot be full");
+        let trad_desc = startup_alloc(&mut heap, &mut startup_fault, desc_ty);
         let trad_rt = match &mut emu {
             Some(e) => RtRegion::Emu(e.new_region()),
             None => RtRegion::Real(region_rt::TRADITIONAL),
@@ -380,11 +410,15 @@ impl<'c> Interp<'c> {
             frames: Vec::new(),
             steps: 0,
             base_ops: 0,
+            startup_fault,
             observing: config.trace_mask != 0 || config.sample_interval != 0,
         }
     }
 
     fn run_main(&mut self) -> Outcome {
+        if let Some(e) = self.startup_fault.take() {
+            return Outcome::Aborted(e);
+        }
         match self.call(self.c.module.main, Vec::new()) {
             Ok(v) => match v {
                 Value::Int(n) => Outcome::Exit(n),
@@ -1060,6 +1094,47 @@ impl<'c> Interp<'c> {
             self.heap.unpin_region(rid);
         }
     }
+
+    // ---- fault recovery ------------------------------------------------
+
+    /// Tears the program's memory down after a trapped fault: drops every
+    /// frame (freeing stack arrays), deletes the emulated regions, and
+    /// unwinds the real region stack via [`Heap::unwind_regions`]. Called
+    /// with the fault arms already detached, so none of this can re-fault;
+    /// residual errors are ignored (the trap outcome wins).
+    fn unwind_after_fault(&mut self) {
+        while let Some(frame) = self.frames.pop() {
+            for a in frame.arrays.into_iter().flatten() {
+                let _ = self.heap.m_free(a);
+            }
+        }
+        if let Some(emu) = &mut self.emu {
+            let trad = match self.desc_map.get(&self.trad_desc) {
+                Some(RtRegion::Emu(id)) => Some(*id),
+                _ => None,
+            };
+            for id in emu.live_regions() {
+                if Some(id) == trad {
+                    continue;
+                }
+                let _ = emu.delete_region(&mut self.heap, id);
+            }
+            self.emu_owner.clear();
+        }
+        self.heap.unwind_regions();
+    }
+}
+
+/// A startup-image allocation: on failure, records the first fault and
+/// yields NULL (`run_main` reports the fault before touching user code).
+fn startup_alloc(heap: &mut Heap, fault: &mut Option<RtError>, ty: TypeId) -> Addr {
+    match heap.m_alloc(ty, 1) {
+        Ok(a) => a,
+        Err(e) => {
+            fault.get_or_insert(e);
+            Addr::NULL
+        }
+    }
 }
 
 fn int(v: Value) -> i64 {
@@ -1102,7 +1177,7 @@ mod tests {
         }
     }
 
-    const FIG1: &str = r#"
+    pub const FIG1: &str = r#"
         struct finfo { int sz; };
         struct rlist {
             struct rlist *sameregion next;
@@ -1619,6 +1694,120 @@ mod tests {
             "cross-region cycles must be broken by the programmer first: {:?}",
             r.outcome
         );
+    }
+}
+
+#[cfg(test)]
+mod fault_tests {
+    use super::*;
+    use crate::config::RunConfig;
+    use region_rt::{FaultMode, FaultPlan, FaultPlane};
+
+    #[test]
+    fn injected_alloc_fault_aborts_by_default() {
+        let c = prepare(super::tests::FIG1).unwrap();
+        let cfg = RunConfig::rc_inf()
+            .with_faults(FaultPlan::new().fail_alloc(FaultMode::Schedule(vec![10])).sticky());
+        let r = run(&c, &cfg);
+        assert!(
+            matches!(r.outcome, Outcome::Aborted(RtError::OutOfMemory)),
+            "{:?}",
+            r.outcome
+        );
+        let report = r.faults.expect("armed plan yields a report");
+        assert_eq!(report.first().unwrap().plane, FaultPlane::Alloc);
+        assert_eq!(report.first().unwrap().op, 10);
+    }
+
+    #[test]
+    fn trap_and_unwind_leaves_the_heap_audit_clean() {
+        let c = prepare(super::tests::FIG1).unwrap();
+        for (name, base) in RunConfig::figure7() {
+            let cfg = base
+                .trapping()
+                .with_faults(FaultPlan::new().fail_alloc(FaultMode::Schedule(vec![10])).sticky());
+            let r = run_audited(&c, &cfg);
+            assert!(
+                matches!(r.outcome, Outcome::Trapped(RtError::OutOfMemory)),
+                "config {name}: {:?}",
+                r.outcome
+            );
+            assert!(matches!(r.audit, Some(Ok(()))), "config {name}: {:?}", r.audit);
+        }
+    }
+
+    #[test]
+    fn organic_page_exhaustion_traps_too() {
+        let c = prepare(super::tests::FIG1).unwrap();
+        let cfg = RunConfig::rc_inf().trapping().with_page_budget(1);
+        let r = run_audited(&c, &cfg);
+        assert!(
+            matches!(r.outcome, Outcome::Trapped(RtError::OutOfMemory)),
+            "{:?}",
+            r.outcome
+        );
+        assert!(matches!(r.audit, Some(Ok(()))));
+        assert!(r.faults.is_none(), "no arms were installed");
+    }
+
+    #[test]
+    fn startup_fault_is_reported_not_panicked() {
+        let src = r#"
+            int g[8];
+            int main() { return g[0]; }
+        "#;
+        let c = prepare(src).unwrap();
+        // Fail the very first allocation: the globals block itself.
+        let cfg = RunConfig::rc_inf()
+            .with_faults(FaultPlan::new().fail_alloc(FaultMode::Schedule(vec![1])).sticky());
+        let r = run(&c, &cfg);
+        assert!(
+            matches!(r.outcome, Outcome::Aborted(RtError::OutOfMemory)),
+            "{:?}",
+            r.outcome
+        );
+    }
+
+    #[test]
+    fn rc_saturation_fault_traps_cleanly() {
+        let c = prepare(super::tests::FIG1).unwrap();
+        // Under nq every pointer store is a counted store, so the
+        // RcSaturate plane sees every barrier crossing.
+        let cfg = RunConfig::rc(CheckMode::Nq)
+            .trapping()
+            .with_faults(FaultPlan::new().saturate_rc(FaultMode::Schedule(vec![3])).sticky());
+        let r = run_audited(&c, &cfg);
+        assert!(
+            matches!(r.outcome, Outcome::Trapped(RtError::RcOverflow { .. })),
+            "{:?}",
+            r.outcome
+        );
+        assert!(matches!(r.audit, Some(Ok(()))), "{:?}", r.audit);
+    }
+
+    #[test]
+    fn check_fault_surfaces_as_a_failed_check() {
+        let c = prepare(super::tests::FIG1).unwrap();
+        let cfg = RunConfig::rc(CheckMode::Qs)
+            .trapping()
+            .with_faults(FaultPlan::new().fail_checks(FaultMode::Schedule(vec![1])).sticky());
+        let r = run_audited(&c, &cfg);
+        assert!(
+            matches!(r.outcome, Outcome::Trapped(RtError::CheckFailed { .. })),
+            "{:?}",
+            r.outcome
+        );
+        assert!(matches!(r.audit, Some(Ok(()))), "{:?}", r.audit);
+    }
+
+    #[test]
+    fn disarmed_plan_changes_nothing() {
+        let c = prepare(super::tests::FIG1).unwrap();
+        let plain = run(&c, &RunConfig::rc_inf());
+        let armed = run(&c, &RunConfig::rc_inf().with_faults(FaultPlan::new()));
+        assert_eq!(plain.outcome, armed.outcome);
+        assert_eq!(plain.cycles, armed.cycles, "empty plan must not perturb the clock");
+        assert!(armed.faults.is_none());
     }
 }
 

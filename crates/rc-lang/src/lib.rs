@@ -33,5 +33,5 @@ pub mod config;
 pub mod interp;
 pub mod liveness;
 
-pub use config::{Backend, CheckMode, DeleteSemantics, RunConfig};
+pub use config::{Backend, CheckMode, DeleteSemantics, OnFault, RunConfig};
 pub use interp::{prepare, run, run_audited, Compiled, Outcome, RunResult};

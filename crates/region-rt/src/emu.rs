@@ -105,6 +105,17 @@ impl EmuRegions {
         self.regions[r.0 as usize].as_deref().unwrap_or(&[])
     }
 
+    /// Identifiers of the emulated regions that are still live (used by
+    /// fault recovery to unwind the emulated region stack).
+    pub fn live_regions(&self) -> Vec<EmuRegionId> {
+        self.regions
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.is_some())
+            .map(|(i, _)| EmuRegionId(i as u32))
+            .collect()
+    }
+
     /// All live object addresses across emulated regions (GC root set
     /// contribution).
     pub fn all_roots(&self) -> Vec<u64> {

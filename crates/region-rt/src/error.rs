@@ -8,6 +8,7 @@
 //! the exact failure.
 
 use crate::addr::Addr;
+use crate::json::Json;
 use crate::layout::PtrKind;
 use crate::region::RegionId;
 
@@ -57,6 +58,14 @@ pub enum RtError {
         /// The bad address.
         addr: Addr,
     },
+    /// A region's reference count cannot be raised further (saturated
+    /// counter, reported by the fault-injection RcSaturate plane or a
+    /// genuinely overflowing count). The failing store is suppressed, so
+    /// the heap stays consistent.
+    RcOverflow {
+        /// The region whose count would have overflowed.
+        region: RegionId,
+    },
     /// The configured page budget was exhausted.
     OutOfMemory,
 }
@@ -83,6 +92,9 @@ impl std::fmt::Display for RtError {
             ),
             RtError::InvalidFree { addr } => write!(f, "invalid free of {addr}"),
             RtError::WildPointer { addr } => write!(f, "wild pointer access at {addr}"),
+            RtError::RcOverflow { region } => {
+                write!(f, "reference count of {region:?} saturated")
+            }
             RtError::OutOfMemory => write!(f, "heap page budget exhausted"),
         }
     }
@@ -90,13 +102,69 @@ impl std::fmt::Display for RtError {
 
 impl std::error::Error for RtError {}
 
+impl RtError {
+    /// Stable machine-readable tag (the `kind` field of [`RtError::to_json`]).
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            RtError::DeleteWithLiveRefs { .. } => "delete_with_live_refs",
+            RtError::DeleteWithSubregions { .. } => "delete_with_subregions",
+            RtError::RegionDead { .. } => "region_dead",
+            RtError::TraditionalImmortal => "traditional_immortal",
+            RtError::CheckFailed { .. } => "check_failed",
+            RtError::InvalidFree { .. } => "invalid_free",
+            RtError::WildPointer { .. } => "wild_pointer",
+            RtError::RcOverflow { .. } => "rc_overflow",
+            RtError::OutOfMemory => "out_of_memory",
+        }
+    }
+
+    /// Encodes the error for reports: always a `kind` tag first, then the
+    /// variant's payload fields.
+    pub fn to_json(&self) -> Json {
+        let mut fields = vec![("kind", Json::s(self.kind_name()))];
+        match self {
+            RtError::DeleteWithLiveRefs { region, rc } => {
+                fields.push(("region", Json::U(region.0 as u64)));
+                fields.push(("rc", Json::I(*rc)));
+            }
+            RtError::DeleteWithSubregions { region } | RtError::RegionDead { region } => {
+                fields.push(("region", Json::U(region.0 as u64)));
+            }
+            RtError::TraditionalImmortal => {}
+            RtError::CheckFailed { kind, obj, field, val } => {
+                let kind = match kind {
+                    PtrKind::SameRegion => "sameregion",
+                    PtrKind::ParentPtr => "parentptr",
+                    PtrKind::Traditional => "traditional",
+                    PtrKind::Counted => "counted",
+                };
+                fields.push(("check", Json::s(kind)));
+                fields.push(("obj", Json::U(obj.raw())));
+                fields.push(("field", Json::U(*field as u64)));
+                fields.push(("val", Json::U(val.raw())));
+            }
+            RtError::InvalidFree { addr } | RtError::WildPointer { addr } => {
+                fields.push(("addr", Json::U(addr.raw())));
+            }
+            RtError::RcOverflow { region } => {
+                fields.push(("region", Json::U(region.0 as u64)));
+            }
+            RtError::OutOfMemory => {}
+        }
+        Json::obj(fields)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    #[test]
-    fn display_is_nonempty() {
-        let errs = [
+    /// One value per variant. Adding a variant without extending this list
+    /// breaks `display_and_json_cover_every_variant` at compile time via
+    /// the wildcard-free `match` below — the same convention as the
+    /// exhaustive `Stats::summary()` tests.
+    fn all_variants() -> Vec<RtError> {
+        vec![
             RtError::DeleteWithLiveRefs { region: RegionId(3), rc: 2 },
             RtError::DeleteWithSubregions { region: RegionId(1) },
             RtError::RegionDead { region: RegionId(1) },
@@ -107,12 +175,49 @@ mod tests {
                 field: 2,
                 val: Addr::from_parts(2, 0),
             },
-            RtError::InvalidFree { addr: Addr::NULL },
-            RtError::WildPointer { addr: Addr::NULL },
+            RtError::InvalidFree { addr: Addr::from_parts(1, 1) },
+            RtError::WildPointer { addr: Addr::from_parts(1, 2) },
+            RtError::RcOverflow { region: RegionId(2) },
             RtError::OutOfMemory,
-        ];
-        for e in errs {
-            assert!(!e.to_string().is_empty());
+        ]
+    }
+
+    #[test]
+    fn display_and_json_cover_every_variant() {
+        // Wildcard-free: a new variant fails to compile until handled here
+        // (and therefore until added to `all_variants`, because the
+        // distinct-tag assertion below would fail).
+        fn arity(e: &RtError) -> usize {
+            match e {
+                RtError::DeleteWithLiveRefs { .. } => 2,
+                RtError::DeleteWithSubregions { .. } => 1,
+                RtError::RegionDead { .. } => 1,
+                RtError::TraditionalImmortal => 0,
+                RtError::CheckFailed { .. } => 4,
+                RtError::InvalidFree { .. } => 1,
+                RtError::WildPointer { .. } => 1,
+                RtError::RcOverflow { .. } => 1,
+                RtError::OutOfMemory => 0,
+            }
         }
+        let variants = all_variants();
+        for e in &variants {
+            assert!(!e.to_string().is_empty(), "{e:?} has empty Display");
+            let json = e.to_json();
+            assert_eq!(
+                json.get("kind").and_then(Json::as_str),
+                Some(e.kind_name()),
+                "{e:?} json must lead with its kind tag"
+            );
+            // Every payload field is serialized, plus the kind tag.
+            let rendered = json.render();
+            let keys = rendered.matches("\":").count();
+            assert_eq!(keys, arity(e) + 1, "{e:?} rendered as {rendered}");
+        }
+        // Each variant appears exactly once in all_variants.
+        let mut tags: Vec<&str> = variants.iter().map(RtError::kind_name).collect();
+        tags.sort_unstable();
+        tags.dedup();
+        assert_eq!(tags.len(), variants.len(), "duplicate or missing variant in all_variants");
     }
 }

@@ -89,6 +89,7 @@ impl Heap {
     /// Returns [`RtError::OutOfMemory`] if the page budget is exhausted.
     pub fn gc_alloc(&mut self, ty: TypeId, count: u32) -> Result<Addr, RtError> {
         debug_assert!(count >= 1);
+        self.fault_alloc_tick()?;
         let words = self.types.get(ty).size_words() * count as usize;
         let mut cycles = self.costs.gc_alloc;
         let addr = match size_class(words) {
@@ -98,7 +99,10 @@ impl Heap {
                     a
                 } else {
                     if self.gc.bump_cursor + slot_words > WORDS_PER_PAGE {
-                        let (page, recycled) = self.store.acquire2(PageOwner::Gc)?;
+                        let (page, recycled) = self
+                            .store
+                            .acquire2(PageOwner::Gc)
+                            .map_err(|e| self.fault_stamp_oom(e))?;
                         cycles +=
                             if recycled { self.costs.page_recycle } else { self.costs.page_fetch };
                         self.gc.bump_page = Some(page);
@@ -128,7 +132,10 @@ impl Heap {
             None => {
                 let span = words.div_ceil(WORDS_PER_PAGE);
                 cycles += span as u64 * self.costs.page_fetch;
-                let first = self.store.acquire_span(PageOwner::Gc, span)?;
+                let first = self
+                    .store
+                    .acquire_span(PageOwner::Gc, span)
+                    .map_err(|e| self.fault_stamp_oom(e))?;
                 let addr = Addr::from_parts(first, 0);
                 self.gc.objects.insert(
                     addr.raw(),

@@ -10,6 +10,7 @@
 use crate::addr::{Addr, WORDS_PER_PAGE};
 use crate::cost::{Clock, CostModel};
 use crate::error::RtError;
+use crate::fault::{FaultArm, FaultMode, FaultPlan, FaultPlane, FaultReport};
 use crate::gc::GcState;
 use crate::layout::{TypeId, TypeLayout, TypeTable};
 use crate::malloc::MallocState;
@@ -112,6 +113,14 @@ pub struct Heap {
     pub(crate) sample_countdown: u64,
     /// The attached timeline sampler, if sampling is enabled.
     pub(crate) timeline: Option<Box<Timeline>>,
+    /// Armed fault plane for the unified allocation counter (rarrayalloc,
+    /// malloc, GC alloc). None = disabled: the hot-path hook is one branch,
+    /// like `sample_tick`. The page-acquire arm lives in the page store.
+    pub(crate) fault_alloc: Option<Box<FaultArm>>,
+    /// Armed fault plane for reference-count saturation.
+    pub(crate) fault_rc: Option<Box<FaultArm>>,
+    /// Armed fault plane for forced annotation-check failures.
+    pub(crate) fault_check: Option<Box<FaultArm>>,
 }
 
 impl Heap {
@@ -144,6 +153,9 @@ impl Heap {
             trace_site: 0,
             sample_countdown: 0,
             timeline: None,
+            fault_alloc: None,
+            fault_rc: None,
+            fault_check: None,
         }
     }
 
@@ -386,9 +398,13 @@ impl Heap {
                     for off in layout.counted_ptr_offsets() {
                         let val = Addr::from_raw(self.store.read(base.offset(off)));
                         if !val.is_null() {
-                            let tgt = self.region_of(val);
-                            if tgt != r {
-                                decrements.push(tgt);
+                            // A slot can only point at freed memory if the
+                            // count invariant was already broken (rc off,
+                            // or a prior fault); skip it rather than panic.
+                            if let Some(tgt) = self.try_region_of(val) {
+                                if tgt != r {
+                                    decrements.push(tgt);
+                                }
                             }
                         }
                     }
@@ -421,13 +437,17 @@ impl Heap {
     /// As [`Heap::ralloc`].
     pub fn rarray_alloc(&mut self, r: RegionId, ty: TypeId, n: u32) -> Result<Addr, RtError> {
         self.check_live_region(r)?;
+        self.fault_alloc_tick()?;
         debug_assert!(n >= 1);
         let layout = self.types.get(ty);
         let words = layout.size_words() * n as usize;
         let pointerfree = !layout.has_counted_ptrs();
         let region = &mut self.regions[r.0 as usize];
         let alloc = if pointerfree { &mut region.pointerfree } else { &mut region.normal };
-        let out = alloc.alloc(&mut self.store, PageOwner::Region(r), words, ty, n)?;
+        let out = match alloc.alloc(&mut self.store, PageOwner::Region(r), words, ty, n) {
+            Ok(out) => out,
+            Err(e) => return Err(self.fault_stamp_oom(e)),
+        };
         let cycles = self.costs.region_alloc
             + out.new_pages as u64 * self.costs.page_fetch
             + out.recycled_pages as u64 * self.costs.page_recycle;
@@ -449,14 +469,14 @@ impl Heap {
     /// the paper ("traditional C pointers are viewed as pointers to a
     /// distinguished traditional region").
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics on the null pointer or a pointer into freed memory; callers
-    /// on fallible paths use [`Heap::try_region_of`].
+    /// Returns [`RtError::WildPointer`] for the null pointer or a pointer
+    /// into freed memory — a defined failure, never a crash, since the
+    /// argument can come straight from interpreted program input.
     #[inline]
-    pub fn region_of(&self, a: Addr) -> RegionId {
-        self.try_region_of(a)
-            .unwrap_or_else(|| panic!("regionof({a}) of non-heap pointer"))
+    pub fn region_of(&self, a: Addr) -> Result<RegionId, RtError> {
+        self.try_region_of(a).ok_or(RtError::WildPointer { addr: a })
     }
 
     /// As [`Heap::region_of`] but returns `None` for null or freed memory.
@@ -729,6 +749,211 @@ impl Heap {
         }
         n
     }
+
+    // ---- fault injection --------------------------------------------------
+
+    /// Installs a fault-injection plan: one [`FaultArm`] per armed plane.
+    /// Replaces any previously installed arms; an empty plan disarms
+    /// everything. See `docs/ROBUSTNESS.md`.
+    pub fn install_faults(&mut self, plan: &FaultPlan) {
+        let arm = |plane: FaultPlane, mode: &Option<FaultMode>| {
+            mode.clone().map(|m| Box::new(FaultArm::new(plane, m, plan.sticky)))
+        };
+        self.store.set_fault_arm(arm(FaultPlane::PageAcquire, &plan.page_acquire));
+        self.fault_alloc = arm(FaultPlane::Alloc, &plan.alloc);
+        self.fault_rc = arm(FaultPlane::RcSaturate, &plan.rc_saturate);
+        self.fault_check = arm(FaultPlane::CheckFail, &plan.check_fail);
+    }
+
+    /// Whether any fault plane is currently armed.
+    pub fn faults_enabled(&self) -> bool {
+        self.fault_alloc.is_some()
+            || self.fault_rc.is_some()
+            || self.fault_check.is_some()
+            || self.store.fault_armed()
+    }
+
+    /// Detaches every fault arm and returns the harvested report (`None`
+    /// if nothing was armed). Recovery code runs after this, so the unwind
+    /// itself is never subject to injection; any page-plane injections
+    /// still pending a clock stamp are stamped with the current time.
+    pub fn take_faults(&mut self) -> Option<FaultReport> {
+        self.store.stamp_fault(self.clock.cycles());
+        let arms: Vec<FaultArm> = [
+            self.store.take_fault_arm(),
+            self.fault_alloc.take(),
+            self.fault_rc.take(),
+            self.fault_check.take(),
+        ]
+        .into_iter()
+        .flatten()
+        .map(|b| *b)
+        .collect();
+        if arms.is_empty() {
+            None
+        } else {
+            Some(FaultReport::from_arms(arms))
+        }
+    }
+
+    /// One allocation-plane tick (shared by `rarrayalloc`, `malloc`, and
+    /// GC allocation, so "the Nth allocation" is backend-independent).
+    /// Disabled: a single branch.
+    #[inline(always)]
+    pub(crate) fn fault_alloc_tick(&mut self) -> Result<(), RtError> {
+        if self.fault_alloc.is_none() {
+            return Ok(());
+        }
+        self.fault_alloc_slow()
+    }
+
+    fn fault_alloc_slow(&mut self) -> Result<(), RtError> {
+        let at = self.clock.cycles();
+        if self.fault_alloc.as_mut().is_some_and(|arm| arm.tick(at)) {
+            return Err(RtError::OutOfMemory);
+        }
+        Ok(())
+    }
+
+    /// One rc-plane tick, taken by `write_counted` *before* any count or
+    /// slot is mutated, so an injected [`RtError::RcOverflow`] leaves the
+    /// heap audit-clean. Disabled: a single branch.
+    #[inline(always)]
+    pub(crate) fn fault_rc_tick(&mut self, obj: Addr, val: Addr) -> Result<(), RtError> {
+        if self.fault_rc.is_none() {
+            return Ok(());
+        }
+        self.fault_rc_slow(obj, val)
+    }
+
+    fn fault_rc_slow(&mut self, obj: Addr, val: Addr) -> Result<(), RtError> {
+        let at = self.clock.cycles();
+        let fired = self.fault_rc.as_mut().is_some_and(|arm| arm.tick(at));
+        if fired {
+            // Name the region whose count would have been raised.
+            let region = self
+                .try_region_of(val)
+                .or_else(|| self.try_region_of(obj))
+                .unwrap_or(TRADITIONAL);
+            return Err(RtError::RcOverflow { region });
+        }
+        Ok(())
+    }
+
+    /// One check-plane tick; returns whether the annotation check must be
+    /// forced to fail. Disabled: a single branch.
+    #[inline(always)]
+    pub(crate) fn fault_check_tick(&mut self) -> bool {
+        if self.fault_check.is_none() {
+            return false;
+        }
+        self.fault_check_slow()
+    }
+
+    fn fault_check_slow(&mut self) -> bool {
+        let at = self.clock.cycles();
+        self.fault_check.as_mut().is_some_and(|arm| arm.tick(at))
+    }
+
+    /// Back-fills the virtual-clock stamp on page-plane injections when an
+    /// out-of-memory error surfaces at a heap entry point (the page store
+    /// fires below the clock, see [`crate::fault::STAMP_PENDING`]).
+    #[cold]
+    pub(crate) fn fault_stamp_oom(&mut self, e: RtError) -> RtError {
+        if e == RtError::OutOfMemory {
+            self.store.stamp_fault(self.clock.cycles());
+        }
+        e
+    }
+
+    // ---- fault recovery ---------------------------------------------------
+
+    /// Emergency region-stack teardown after a trapped fault.
+    ///
+    /// First nulls every counted pointer slot held by live regions' normal
+    /// objects and by live malloc objects, decrementing the target region's
+    /// count for each live cross-region pointer exactly as a counted NULL
+    /// store would — but free of cost-model charges, since recovery is not
+    /// program work. Then repeatedly deletes leaf regions (clearing pins
+    /// and doom flags, which belonged to the unwound program) until only
+    /// the traditional region survives. The heap is audit-clean afterwards.
+    /// Returns the number of regions deleted.
+    pub fn unwind_regions(&mut self) -> usize {
+        for idx in 0..self.regions.len() {
+            if !self.regions[idx].alive {
+                continue;
+            }
+            let r = RegionId(idx as u32);
+            let slots = self.counted_slots_of_region(r);
+            self.null_counted_slots(r, &slots);
+        }
+        let mut slots = Vec::new();
+        for (addr, obj) in self.malloc.live_objects() {
+            let layout = self.types.get(obj.ty);
+            let size = layout.size_words();
+            for elem in 0..obj.count as usize {
+                let base = addr.offset(elem * size);
+                for off in layout.counted_ptr_offsets() {
+                    slots.push(base.offset(off));
+                }
+            }
+        }
+        self.null_counted_slots(TRADITIONAL, &slots);
+        let live_before = self.regions.iter().filter(|d| d.alive).count();
+        loop {
+            let leaf = (1..self.regions.len()).map(|i| RegionId(i as u32)).find(|&r| {
+                let d = &self.regions[r.0 as usize];
+                d.alive && d.children.is_empty()
+            });
+            let Some(r) = leaf else { break };
+            {
+                let d = &mut self.regions[r.0 as usize];
+                d.rc = 0;
+                d.pins = 0;
+                d.doomed = false;
+            }
+            if self.delete_region(r).is_err() {
+                break; // unreachable (leaf, rc 0), but never loop forever
+            }
+        }
+        live_before - self.regions.iter().filter(|d| d.alive).count()
+    }
+
+    /// Word addresses of every counted pointer slot in a region's normal
+    /// objects (its pointer-free allocator holds none by construction).
+    fn counted_slots_of_region(&self, r: RegionId) -> Vec<Addr> {
+        let mut slots = Vec::new();
+        let region = &self.regions[r.0 as usize];
+        for rec in region.normal.objs() {
+            let layout = self.types.get(rec.ty);
+            let size = layout.size_words();
+            for elem in 0..rec.count as usize {
+                let base = rec.addr.offset(elem * size);
+                for off in layout.counted_ptr_offsets() {
+                    slots.push(base.offset(off));
+                }
+            }
+        }
+        slots
+    }
+
+    /// Nulls counted slots owned by `r`, maintaining cross-region counts.
+    fn null_counted_slots(&mut self, r: RegionId, slots: &[Addr]) {
+        for &slot in slots {
+            let val = Addr::from_raw(self.store.read(slot));
+            if val.is_null() {
+                continue;
+            }
+            if self.rc_enabled {
+                if let Some(tgt) = self.try_region_of(val) {
+                    if tgt != r {
+                        self.regions[tgt.0 as usize].rc -= 1;
+                    }
+                }
+            }
+            self.store.write(slot, 0);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -749,8 +974,9 @@ mod tests {
         let ty = list_type(&mut h, PtrKind::Counted);
         let r = h.new_region();
         let a = h.ralloc(r, ty).unwrap();
-        assert_eq!(h.region_of(a), r);
+        assert_eq!(h.region_of(a), Ok(r));
         assert!(!a.is_null());
+        assert_eq!(h.region_of(Addr::NULL), Err(RtError::WildPointer { addr: Addr::NULL }));
     }
 
     #[test]
@@ -993,5 +1219,120 @@ mod tests {
             Err(RtError::WildPointer { .. })
         ));
         assert!(matches!(h.read_word(Addr::NULL, 0), Err(RtError::WildPointer { .. })));
+    }
+
+    #[test]
+    fn alloc_fault_plane_counts_across_all_backends() {
+        use crate::fault::{FaultMode, FaultPlan};
+        let mut h = Heap::with_defaults();
+        let ty = list_type(&mut h, PtrKind::Counted);
+        let r = h.new_region();
+        // The 4th allocation fails, wherever it lands: the shared counter
+        // makes "the Nth allocation" backend-independent.
+        h.install_faults(&FaultPlan::new().fail_alloc(FaultMode::nth(4)).sticky());
+        assert!(h.ralloc(r, ty).is_ok());
+        assert!(h.m_alloc(ty, 1).is_ok());
+        assert!(h.gc_alloc(ty, 1).is_ok());
+        assert_eq!(h.ralloc(r, ty), Err(RtError::OutOfMemory));
+        // Sticky: every later allocation keeps failing, on every backend.
+        assert_eq!(h.m_alloc(ty, 1), Err(RtError::OutOfMemory));
+        assert_eq!(h.gc_alloc(ty, 2), Err(RtError::OutOfMemory));
+        h.audit().unwrap();
+        let report = h.take_faults().expect("arms were installed");
+        assert_eq!(report.arms.len(), 1);
+        assert_eq!(report.arms[0].ops, 6);
+        assert_eq!(report.arms[0].injected.len(), 3);
+        assert_eq!(report.first().map(|f| f.op), Some(4));
+        assert!(!h.faults_enabled(), "take_faults disarms everything");
+        assert!(h.ralloc(r, ty).is_ok(), "disarmed heap allocates again");
+    }
+
+    #[test]
+    fn rc_fault_fails_store_without_corrupting_counts() {
+        use crate::fault::{FaultMode, FaultPlan};
+        use crate::rcops::WriteMode;
+        let mut h = Heap::with_defaults();
+        let ty = list_type(&mut h, PtrKind::Counted);
+        let (r1, r2) = (h.new_region(), h.new_region());
+        let a = h.ralloc(r1, ty).unwrap();
+        let b = h.ralloc(r2, ty).unwrap();
+        h.install_faults(&FaultPlan::new().saturate_rc(FaultMode::nth(2)));
+        h.write_ptr(a, 0, b, WriteMode::Counted).unwrap();
+        assert_eq!(h.region_rc(r2), 1);
+        // The injected failure names the target region and mutates nothing:
+        // the old pointer is still in place, the counts still agree.
+        assert_eq!(
+            h.write_ptr(a, 0, Addr::NULL, WriteMode::Counted),
+            Err(RtError::RcOverflow { region: r1 })
+        );
+        assert_eq!(h.region_rc(r2), 1);
+        assert_eq!(h.read_ptr(a, 0).unwrap(), b);
+        h.audit().unwrap();
+        // Non-sticky: the next update goes through.
+        h.write_ptr(a, 0, Addr::NULL, WriteMode::Counted).unwrap();
+        assert_eq!(h.region_rc(r2), 0);
+        h.audit().unwrap();
+    }
+
+    #[test]
+    fn check_fault_forces_a_failure_and_suppresses_the_store() {
+        use crate::fault::{FaultMode, FaultPlan};
+        use crate::rcops::WriteMode;
+        let mut h = Heap::with_defaults();
+        let ty = list_type(&mut h, PtrKind::SameRegion);
+        let r = h.new_region();
+        let a = h.ralloc(r, ty).unwrap();
+        let b = h.ralloc(r, ty).unwrap();
+        h.install_faults(&FaultPlan::new().fail_checks(FaultMode::nth(1)));
+        // A store that would legitimately pass is forced to fail.
+        assert!(matches!(
+            h.write_ptr(a, 0, b, WriteMode::Check(PtrKind::SameRegion)),
+            Err(RtError::CheckFailed { kind: PtrKind::SameRegion, .. })
+        ));
+        assert!(h.read_ptr(a, 0).unwrap().is_null(), "failed check stores nothing");
+        assert_eq!(h.stats.checks_sameregion, 1, "the check was still counted");
+        h.write_ptr(a, 0, b, WriteMode::Check(PtrKind::SameRegion)).unwrap();
+        h.audit().unwrap();
+    }
+
+    #[test]
+    fn unwind_regions_clears_a_tangled_heap_audit_clean() {
+        use crate::rcops::WriteMode;
+        let mut h = Heap::with_defaults();
+        let ty = list_type(&mut h, PtrKind::Counted);
+        let r1 = h.new_region();
+        let r2 = h.new_subregion(r1).unwrap();
+        let r3 = h.new_subregion(r2).unwrap();
+        let a = h.ralloc(r1, ty).unwrap();
+        let b = h.ralloc(r2, ty).unwrap();
+        let c = h.ralloc(r3, ty).unwrap();
+        let g = h.m_alloc(ty, 1).unwrap();
+        // Cross-region and malloc→region references, plus a pin: exactly
+        // the state a program traps in mid-flight.
+        h.write_ptr(a, 0, b, WriteMode::Counted).unwrap();
+        h.write_ptr(b, 0, c, WriteMode::Counted).unwrap();
+        h.write_ptr(g, 0, c, WriteMode::Counted).unwrap();
+        h.pin_region(r2);
+        assert!(h.delete_region(r1).is_err(), "normal deletion is blocked");
+        let deleted = h.unwind_regions();
+        assert_eq!(deleted, 3);
+        for r in [r1, r2, r3] {
+            assert!(!h.region_alive(r));
+        }
+        assert!(h.region_alive(TRADITIONAL));
+        assert!(h.read_ptr(g, 0).unwrap().is_null(), "malloc slots were nulled");
+        h.audit().unwrap();
+        // The heap still works: fresh regions allocate and delete normally.
+        let r = h.new_region();
+        h.ralloc(r, ty).unwrap();
+        h.delete_region(r).unwrap();
+        h.audit().unwrap();
+    }
+
+    #[test]
+    fn unwind_regions_on_a_clean_heap_is_a_noop() {
+        let mut h = Heap::with_defaults();
+        assert_eq!(h.unwind_regions(), 0);
+        h.audit().unwrap();
     }
 }

@@ -118,6 +118,14 @@ impl Json {
         }
     }
 
+    /// The value as ordered key/value pairs, if it is an object.
+    pub fn as_object(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Json::O(fields) => Some(fields),
+            _ => None,
+        }
+    }
+
     /// The value as a bool, if it is a bool.
     pub fn as_bool(&self) -> Option<bool> {
         match self {

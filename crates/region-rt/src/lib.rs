@@ -32,6 +32,11 @@
 //!   ([`cost`]) and dynamic-event statistics ([`stats`]);
 //! - a heap auditor that independently verifies the reference-count
 //!   invariant ([`audit`]);
+//! - a deterministic fault-injection subsystem for torture-testing
+//!   graceful degradation: schedule- or SplitMix64-driven failures at the
+//!   page, allocation, reference-count, and annotation-check planes, with
+//!   byte-reproducible injection logs ([`fault`]); see
+//!   `docs/ROBUSTNESS.md`;
 //! - a zero-dependency telemetry subsystem: a bounded ring of typed
 //!   dynamic events with per-site attribution ([`trace`]), folded
 //!   profiles — lifetime histograms, hot-region/hot-site tables, a region
@@ -73,6 +78,7 @@ pub mod audit;
 pub mod cost;
 pub mod emu;
 pub mod error;
+pub mod fault;
 pub mod gc;
 pub mod heap;
 pub mod json;
@@ -91,6 +97,7 @@ pub use audit::AuditError;
 pub use cost::{Clock, CostModel, Cycles};
 pub use emu::{EmuBackend, EmuRegionId, EmuRegions};
 pub use error::RtError;
+pub use fault::{FaultArmReport, FaultMode, FaultPlan, FaultPlane, FaultReport, InjectedFault};
 pub use heap::{DeletePolicy, Heap, HeapConfig, NumberingScheme};
 pub use json::{Json, JsonParseError};
 pub use layout::{PtrKind, SlotKind, TypeId, TypeLayout};

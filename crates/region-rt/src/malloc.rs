@@ -81,6 +81,7 @@ impl Heap {
     /// Returns [`RtError::OutOfMemory`] if the page budget is exhausted.
     pub fn m_alloc(&mut self, ty: TypeId, count: u32) -> Result<Addr, RtError> {
         debug_assert!(count >= 1);
+        self.fault_alloc_tick()?;
         let words = self.types.get(ty).size_words() * count as usize;
         let mut cycles = self.costs.malloc_alloc;
         let addr = match size_class(words) {
@@ -89,8 +90,10 @@ impl Heap {
                     // Carve a fresh page into objects of this class.
                     cycles += self.costs.malloc_slow_extra;
                     let stride = SIZE_CLASSES[class];
-                    let (page, recycled) =
-                        self.store.acquire2(PageOwner::Region(TRADITIONAL))?;
+                    let (page, recycled) = self
+                        .store
+                        .acquire2(PageOwner::Region(TRADITIONAL))
+                        .map_err(|e| self.fault_stamp_oom(e))?;
                     let per_page = WORDS_PER_PAGE / stride;
                     for i in (0..per_page).rev() {
                         self.malloc.free_lists[class]
@@ -119,7 +122,10 @@ impl Heap {
             None => {
                 let span = words.div_ceil(WORDS_PER_PAGE);
                 cycles += self.costs.malloc_slow_extra + span as u64 * self.costs.page_fetch;
-                let first = self.store.acquire_span(PageOwner::Region(TRADITIONAL), span)?;
+                let first = self
+                    .store
+                    .acquire_span(PageOwner::Region(TRADITIONAL), span)
+                    .map_err(|e| self.fault_stamp_oom(e))?;
                 let addr = Addr::from_parts(first, 0);
                 self.malloc.live.insert(
                     addr.raw(),
@@ -202,7 +208,7 @@ mod tests {
     fn malloc_objects_are_traditional() {
         let (mut h, small, _) = setup();
         let a = h.m_alloc(small, 1).unwrap();
-        assert_eq!(h.region_of(a), TRADITIONAL);
+        assert_eq!(h.region_of(a), Ok(TRADITIONAL));
     }
 
     #[test]

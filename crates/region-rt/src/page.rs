@@ -5,7 +5,9 @@
 //! `regionof` function and of reference counting" (paper §3.3.1).
 
 use crate::addr::{Addr, WORDS_PER_PAGE};
+use crate::cost::Cycles;
 use crate::error::RtError;
+use crate::fault::{FaultArm, STAMP_PENDING};
 use crate::region::RegionId;
 
 /// Who owns a page.
@@ -29,6 +31,12 @@ pub struct PageStore {
     free: Vec<u32>,
     /// Maximum number of pages that may ever be allocated (0 = unlimited).
     page_budget: usize,
+    /// Armed fault plane for fresh page acquisition (None = disabled; the
+    /// hot path pays one branch, like `sample_tick`). The arm lives down
+    /// here because `grow` has no access to the heap's virtual clock, so
+    /// its injections are stamped [`STAMP_PENDING`] and back-filled by the
+    /// heap's OOM error paths.
+    fault: Option<Box<FaultArm>>,
 }
 
 impl PageStore {
@@ -40,6 +48,31 @@ impl PageStore {
             owners: vec![PageOwner::Free],
             free: Vec::new(),
             page_budget,
+            fault: None,
+        }
+    }
+
+    /// Installs (or clears) the page-acquire fault arm.
+    pub fn set_fault_arm(&mut self, arm: Option<Box<FaultArm>>) {
+        self.fault = arm;
+    }
+
+    /// Detaches and returns the page-acquire fault arm, if any.
+    pub fn take_fault_arm(&mut self) -> Option<Box<FaultArm>> {
+        self.fault.take()
+    }
+
+    /// Whether a page-acquire fault arm is installed.
+    pub fn fault_armed(&self) -> bool {
+        self.fault.is_some()
+    }
+
+    /// Back-fills pending virtual-clock stamps on the page arm's injection
+    /// log (called from the heap's out-of-memory error paths, where the
+    /// clock is in scope).
+    pub fn stamp_fault(&mut self, at: Cycles) {
+        if let Some(arm) = self.fault.as_mut() {
+            arm.stamp_pending(at);
         }
     }
 
@@ -107,6 +140,11 @@ impl PageStore {
     }
 
     fn grow(&mut self, owner: PageOwner) -> Result<u32, RtError> {
+        if let Some(arm) = self.fault.as_mut() {
+            if arm.tick(STAMP_PENDING) {
+                return Err(RtError::OutOfMemory);
+            }
+        }
         if self.page_budget != 0 && self.pages.len() >= self.page_budget {
             return Err(RtError::OutOfMemory);
         }
@@ -220,6 +258,29 @@ mod tests {
         // Recycling moves it back without committing anything new.
         s.acquire(PageOwner::Gc).unwrap();
         assert_eq!((s.pages_committed(), s.pages_in_use(), s.pages_free()), (2, 2, 0));
+    }
+
+    #[test]
+    fn fault_arm_fails_fresh_growth_but_not_recycling() {
+        use crate::fault::{FaultMode, FaultPlane};
+        let mut s = PageStore::new(0);
+        let p1 = s.acquire(PageOwner::Gc).unwrap();
+        s.release(p1);
+        s.set_fault_arm(Some(Box::new(FaultArm::new(
+            FaultPlane::PageAcquire,
+            FaultMode::nth(1),
+            true,
+        ))));
+        // Recycled pages bypass grow, so the arm does not see them.
+        assert!(s.acquire(PageOwner::Gc).is_ok(), "recycle unaffected");
+        assert_eq!(s.acquire(PageOwner::Gc), Err(RtError::OutOfMemory));
+        assert_eq!(s.acquire(PageOwner::Gc), Err(RtError::OutOfMemory), "sticky");
+        s.stamp_fault(77);
+        let arm = s.take_fault_arm().unwrap();
+        assert_eq!(arm.ops(), 2);
+        assert!(arm.injected().iter().all(|f| f.at == 77));
+        // With the arm detached, growth succeeds again.
+        assert!(s.acquire(PageOwner::Gc).is_ok());
     }
 
     #[test]

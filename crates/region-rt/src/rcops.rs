@@ -77,7 +77,10 @@ impl Heap {
     /// top region, which never matches a real region, so null endpoints
     /// simply skip their half of the update.
     fn write_counted(&mut self, obj: Addr, slot: Addr, val: Addr) -> Result<(), RtError> {
-        let rp = self.region_of(obj);
+        // Fault plane: a saturated count fails the store before any
+        // mutation, so the heap stays consistent.
+        self.fault_rc_tick(obj, val)?;
+        let rp = self.region_of(obj)?;
         let old = Addr::from_raw(self.store.read(slot));
         let ro = self.try_region_of(old);
         let rn = self.try_region_of(val);
@@ -131,31 +134,36 @@ impl Heap {
         val: Addr,
         kind: PtrKind,
     ) -> Result<(), RtError> {
-        let ok = match kind {
+        let mut ok = match kind {
             PtrKind::SameRegion => {
                 self.stats.checks_sameregion += 1;
                 self.stats.check_cycles += self.costs.check_sameregion;
                 self.clock.charge(self.costs.check_sameregion);
-                val.is_null() || self.region_of(val) == self.region_of(obj)
+                val.is_null() || self.region_of(val)? == self.region_of(obj)?
             }
             PtrKind::Traditional => {
                 self.stats.checks_traditional += 1;
                 self.stats.check_cycles += self.costs.check_traditional;
                 self.clock.charge(self.costs.check_traditional);
-                val.is_null() || self.region_of(val) == TRADITIONAL
+                val.is_null() || self.region_of(val)? == TRADITIONAL
             }
             PtrKind::ParentPtr => {
                 self.stats.checks_parentptr += 1;
                 self.stats.check_cycles += self.costs.check_parentptr;
                 self.clock.charge(self.costs.check_parentptr);
                 val.is_null() || {
-                    let rn = self.region_of(val);
-                    let rp = self.region_of(obj);
+                    let rn = self.region_of(val)?;
+                    let rp = self.region_of(obj)?;
                     is_ancestor(&self.regions, rn, rp)
                 }
             }
             PtrKind::Counted => unreachable!("counted stores use write_counted"),
         };
+        // Fault plane: force this check to fail (its counters and cycle
+        // charges above are untouched, so the run stays comparable).
+        if self.fault_check_tick() {
+            ok = false;
+        }
         if self.trace_on(mask::CHECK_RUN) {
             let ev = Event::CheckRun { kind, site: self.trace_site, passed: ok };
             self.trace_emit(ev);

@@ -280,6 +280,58 @@ impl Stats {
             ("live_underflows", Json::U(self.live_underflows)),
         ])
     }
+
+    /// Parses a counter object produced by [`to_json`](Stats::to_json).
+    ///
+    /// The exhaustive literal (no `..`) keeps this in lockstep with the
+    /// struct: adding a field without extending the parser is a compile
+    /// error, and the round-trip test catches a missing serializer key.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the missing or mistyped key. Externally
+    /// supplied reports go through this (e.g. `bench-diff` inputs), so
+    /// malformed data must surface as an error, never a panic.
+    pub fn from_json(doc: &Json) -> Result<Stats, String> {
+        let field = |key: &str| -> Result<u64, String> {
+            doc.get(key)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("stats: missing or non-integer field {key:?}"))
+        };
+        Ok(Stats {
+            assigns_safe: field("assigns_safe")?,
+            assigns_checked: field("assigns_checked")?,
+            assigns_counted: field("assigns_counted")?,
+            assigns_local: field("assigns_local")?,
+            assigns_raw: field("assigns_raw")?,
+            rc_updates_full: field("rc_updates_full")?,
+            rc_updates_same: field("rc_updates_same")?,
+            checks_sameregion: field("checks_sameregion")?,
+            checks_traditional: field("checks_traditional")?,
+            checks_parentptr: field("checks_parentptr")?,
+            objects_allocated: field("objects_allocated")?,
+            words_allocated: field("words_allocated")?,
+            peak_live_words: field("peak_live_words")?,
+            live_words: field("live_words")?,
+            regions_created: field("regions_created")?,
+            regions_deleted: field("regions_deleted")?,
+            regions_deferred: field("regions_deferred")?,
+            renumber_fallbacks: field("renumber_fallbacks")?,
+            unscan_words: field("unscan_words")?,
+            local_pins: field("local_pins")?,
+            malloc_calls: field("malloc_calls")?,
+            free_calls: field("free_calls")?,
+            gc_collections: field("gc_collections")?,
+            gc_marked_words: field("gc_marked_words")?,
+            gc_swept_objects: field("gc_swept_objects")?,
+            rc_cycles: field("rc_cycles")?,
+            check_cycles: field("check_cycles")?,
+            unscan_cycles: field("unscan_cycles")?,
+            alloc_cycles: field("alloc_cycles")?,
+            gc_cycles: field("gc_cycles")?,
+            live_underflows: field("live_underflows")?,
+        })
+    }
 }
 
 impl std::fmt::Display for Stats {
@@ -407,8 +459,9 @@ mod tests {
     fn to_json_covers_every_counter() {
         let s = fully_populated();
         let json = s.to_json();
-        let Json::O(ref fields) = json else { panic!("expected object") };
-        assert_eq!(fields.len(), 31, "one JSON key per Stats field");
+        // An unexpected shape fails the assertion instead of panicking.
+        let fields = json.as_object().unwrap_or_default();
+        assert_eq!(fields.len(), 31, "one JSON key per Stats field (got {json:?})");
         for (key, val) in fields {
             assert!(matches!(val, Json::U(v) if *v >= 1 && *v <= 31), "{key} lost its value");
         }
@@ -417,6 +470,31 @@ mod tests {
             fields.iter().map(|(_, v)| if let Json::U(u) = v { *u } else { 0 }).collect();
         vals.sort_unstable();
         assert_eq!(vals, (1..=31).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn json_round_trip_preserves_every_counter() {
+        let s = fully_populated();
+        let text = s.to_json().render();
+        let parsed = crate::json::Json::parse(&text).expect("to_json output parses");
+        assert_eq!(Stats::from_json(&parsed), Ok(s));
+    }
+
+    #[test]
+    fn from_json_rejects_malformed_input_without_panicking() {
+        // Wrong shape entirely.
+        let err = Stats::from_json(&Json::Null).unwrap_err();
+        assert!(err.contains("assigns_safe"), "{err}");
+        // One key missing.
+        let mut fields = fully_populated().to_json().as_object().unwrap_or_default().to_vec();
+        assert_eq!(fields.len(), 31);
+        fields.retain(|(k, _)| k != "gc_cycles");
+        let err = Stats::from_json(&Json::O(fields.clone())).unwrap_err();
+        assert!(err.contains("gc_cycles"), "{err}");
+        // One key mistyped.
+        fields.push(("gc_cycles".to_string(), Json::s("thirty")));
+        let err = Stats::from_json(&Json::O(fields)).unwrap_err();
+        assert!(err.contains("gc_cycles"), "{err}");
     }
 
     #[test]

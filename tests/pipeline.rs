@@ -263,8 +263,8 @@ fn figure2_api_surface() {
     let sub = heap.new_subregion(r).unwrap();
     let a = heap.ralloc(r, ty).unwrap();
     let arr = heap.rarray_alloc(sub, ty, 10).unwrap();
-    assert_eq!(heap.region_of(a), r);
-    assert_eq!(heap.region_of(arr), sub);
+    assert_eq!(heap.region_of(a), Ok(r));
+    assert_eq!(heap.region_of(arr), Ok(sub));
     heap.write_ptr(a, 0, arr, WriteMode::Counted).unwrap();
     assert!(heap.delete_region(sub).is_err(), "a → arr pins sub");
     heap.write_ptr(a, 0, rc_regions::rt::Addr::NULL, WriteMode::Counted).unwrap();

@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Panic gate: non-test region-rt code must not gain new panic sites.
+#
+# Scans crates/region-rt/src/*.rs (tests stripped — each file keeps its
+# #[cfg(test)] module at the end) for panic!/unreachable!/todo!/
+# unimplemented!/.unwrap()/.expect( and fails if any occurrence is not
+# vetted in tools/panic_allowlist.txt. Allowlist entries are exact
+# "<file>.rs: <trimmed source line>" strings, so moving a vetted site is
+# fine but changing or adding one trips the gate and forces review.
+# See docs/ROBUSTNESS.md.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+allowlist=tools/panic_allowlist.txt
+status=0
+shopt -s nullglob
+
+for f in crates/region-rt/src/*.rs; do
+    # Strip the trailing test module and comment lines, then scan.
+    while IFS= read -r line; do
+        trimmed=$(printf '%s' "$line" | sed 's/^[[:space:]]*//;s/[[:space:]]*$//')
+        key="$(basename "$f"): $trimmed"
+        if ! grep -qxF "$key" "$allowlist"; then
+            echo "panic-gate: not allowlisted: $f: $trimmed" >&2
+            status=1
+        fi
+    done < <(awk '/^#\[cfg\(test\)\]/{exit} {print}' "$f" \
+        | grep -vE '^[[:space:]]*//' \
+        | grep -E 'panic!\(|unreachable!\(|todo!\(|unimplemented!\(|\.unwrap\(\)|\.expect\("' \
+        || true)
+done
+
+if [ "$status" -eq 0 ]; then
+    echo "panic-gate: OK (every panic site in non-test region-rt code is allowlisted)"
+fi
+exit "$status"
