@@ -23,6 +23,7 @@
 //! raw event stream as JSON Lines. See `docs/OBSERVABILITY.md`.
 
 pub mod faultmatrix;
+pub mod fuzzreport;
 pub mod microbench;
 pub mod report;
 pub mod trajectory;

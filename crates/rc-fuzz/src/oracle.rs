@@ -1,0 +1,376 @@
+//! The differential oracle: one program, five allocator configurations,
+//! four families of assertions.
+//!
+//! 1. **Conformance** — the observable outcome (exit code / trap kind /
+//!    assertion failure) is identical under `lea`, `GC`, `nq`, `qs` and
+//!    `inf`. Outcomes are compared by *kind key* ([`outcome_key`]), not by
+//!    full payload: runtime-error payloads embed heap addresses, which
+//!    legitimately differ between allocators.
+//! 2. **Inference soundness** — rerunning the program with per-site check
+//!    counting on ([`rc_lang::RunConfig::counting_checks`]), every check
+//!    site the rlang analysis eliminated must have a dynamic fire count
+//!    of zero. A fired-but-eliminated site is a soundness bug in §5's
+//!    constraint inference.
+//! 3. **Heap hygiene** — every configuration's post-run audit (reference
+//!    counts reconciled against a full heap scan) must pass.
+//! 4. **Replay determinism** — rerunning the reference configuration
+//!    yields byte-identical statistics and the same outcome; generated
+//!    source is a pure function of the seed (checked by the driver).
+
+use rc_lang::{CheckMode, Outcome, RunConfig};
+use rlang::SiteId;
+
+/// A violated oracle assertion.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Violation {
+    /// Two configurations disagreed on the observable outcome.
+    Divergence {
+        /// Name of the disagreeing configuration.
+        config: &'static str,
+        /// The baseline configuration's outcome key.
+        baseline: String,
+        /// The disagreeing configuration's outcome key.
+        got: String,
+    },
+    /// A configuration's post-run heap audit failed.
+    AuditFailure {
+        /// Name of the configuration whose audit failed.
+        config: &'static str,
+        /// Audit error rendered for humans.
+        detail: String,
+    },
+    /// A check site the analysis eliminated fired dynamically.
+    UnsoundElimination {
+        /// The check site (assignment site id).
+        site: u32,
+        /// How many times its predicate failed at runtime.
+        fails: u64,
+    },
+    /// A rerun of the same program under the same configuration differed.
+    NonDeterministic {
+        /// What differed.
+        detail: String,
+    },
+}
+
+impl Violation {
+    /// A short machine-friendly tag (used in regression file names).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Violation::Divergence { .. } => "divergence",
+            Violation::AuditFailure { .. } => "audit",
+            Violation::UnsoundElimination { .. } => "unsound-elim",
+            Violation::NonDeterministic { .. } => "nondet",
+        }
+    }
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Violation::Divergence { config, baseline, got } => {
+                write!(f, "divergence: {config} saw {got}, baseline saw {baseline}")
+            }
+            Violation::AuditFailure { config, detail } => {
+                write!(f, "audit failure under {config}: {detail}")
+            }
+            Violation::UnsoundElimination { site, fails } => {
+                write!(f, "eliminated check at site {site} fired {fails} time(s)")
+            }
+            Violation::NonDeterministic { detail } => {
+                write!(f, "non-deterministic replay: {detail}")
+            }
+        }
+    }
+}
+
+/// The five differential configurations, in comparison order. The first
+/// entry (`lea`) is the baseline.
+pub fn five_configs() -> Vec<(&'static str, RunConfig)> {
+    vec![
+        ("lea", RunConfig::lea()),
+        ("gc", RunConfig::gc()),
+        ("nq", RunConfig::rc(CheckMode::Nq)),
+        ("qs", RunConfig::rc(CheckMode::Qs)),
+        ("inf", RunConfig::rc_inf()),
+    ]
+}
+
+/// Collapses an [`Outcome`] to an allocator-independent key. Abort and
+/// trap payloads keep only the error *kind*: the full error carries
+/// addresses and region identifiers that differ across backends.
+pub fn outcome_key(o: &Outcome) -> String {
+    match o {
+        Outcome::Exit(code) => format!("exit:{code}"),
+        Outcome::Aborted(e) => format!("abort:{}", e.kind_name()),
+        Outcome::Trapped(e) => format!("trap:{}", e.kind_name()),
+        Outcome::AssertFailed => "assert-failed".to_string(),
+        Outcome::StepLimit => "step-limit".to_string(),
+    }
+}
+
+/// Everything the oracle measured for one program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CaseReport {
+    /// The baseline (`lea`) outcome key — what every config agreed on
+    /// when `violations` is empty.
+    pub outcome_key: String,
+    /// Violated assertions, in detection order.
+    pub violations: Vec<Violation>,
+    /// Interpreter steps summed over every run (budget accounting).
+    pub steps: u64,
+    /// How many check sites the analysis eliminated.
+    pub eliminated_sites: usize,
+    /// Annotation-check predicates evaluated in the counting rerun.
+    pub checks_counted: u64,
+    /// Annotation-check predicates that failed in the counting rerun
+    /// (across *all* sites, eliminated or not).
+    pub checks_fired: u64,
+}
+
+impl CaseReport {
+    /// Whether every oracle assertion held.
+    pub fn passed(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// Runs the full oracle against one RC source text.
+///
+/// `step_budget` (0 = unlimited) bounds each individual run.
+///
+/// # Errors
+///
+/// Returns the compile error when the source does not compile — for
+/// generated programs that is itself a harness bug, and callers treat it
+/// as fatal rather than as a violation.
+pub fn check_source(src: &str, step_budget: u64) -> Result<CaseReport, rc_lang::CompileError> {
+    let compiled = rc_lang::prepare(src)?;
+    let mut violations = Vec::new();
+    let mut steps = 0u64;
+
+    let budgeted = |mut c: RunConfig| {
+        if step_budget > 0 {
+            c.step_limit = step_budget;
+        }
+        c
+    };
+
+    // (1) + (3): five-way conformance with audited heaps.
+    let mut baseline_key = String::new();
+    for (name, config) in five_configs() {
+        let r = rc_lang::run_audited(&compiled, &budgeted(config));
+        steps += r.steps;
+        let key = outcome_key(&r.outcome);
+        if baseline_key.is_empty() {
+            baseline_key = key;
+        } else if key != baseline_key {
+            violations.push(Violation::Divergence {
+                config: name,
+                baseline: baseline_key.clone(),
+                got: key,
+            });
+        }
+        match r.audit {
+            Some(Err(e)) => violations.push(Violation::AuditFailure {
+                config: name,
+                detail: format!("{e:?}"),
+            }),
+            Some(Ok(())) => {}
+            None => violations.push(Violation::AuditFailure {
+                config: name,
+                detail: "audit did not run".to_string(),
+            }),
+        }
+    }
+
+    // (2): the counting rerun — observationally nq, but tallying every
+    // annotation predicate per site.
+    let counting = budgeted(RunConfig::rc(CheckMode::Nq).counting_checks());
+    let r = rc_lang::run_audited(&compiled, &counting);
+    steps += r.steps;
+    let key = outcome_key(&r.outcome);
+    if key != baseline_key {
+        violations.push(Violation::Divergence {
+            config: "nq+count",
+            baseline: baseline_key.clone(),
+            got: key,
+        });
+    }
+    if let Some(Err(e)) = &r.audit {
+        violations.push(Violation::AuditFailure {
+            config: "nq+count",
+            detail: format!("{e:?}"),
+        });
+    }
+    let counter = r.check_counts.as_deref();
+    let (checks_counted, checks_fired) =
+        counter.map_or((0, 0), |c| (c.total_runs(), c.total_fails()));
+    violations.extend(soundness_violations(
+        &compiled.analysis.eliminated_sites,
+        counter,
+    ));
+
+    // (4): replay the reference configuration; dynamic-event statistics
+    // must be byte-identical run to run.
+    let inf = budgeted(RunConfig::rc_inf());
+    let a = rc_lang::run_audited(&compiled, &inf);
+    let b = rc_lang::run_audited(&compiled, &inf);
+    steps += a.steps + b.steps;
+    if outcome_key(&a.outcome) != outcome_key(&b.outcome) {
+        violations.push(Violation::NonDeterministic {
+            detail: format!(
+                "outcome {} vs {}",
+                outcome_key(&a.outcome),
+                outcome_key(&b.outcome)
+            ),
+        });
+    } else if a.stats != b.stats {
+        violations.push(Violation::NonDeterministic {
+            detail: "dynamic-event statistics differ between identical runs".to_string(),
+        });
+    }
+
+    Ok(CaseReport {
+        outcome_key: baseline_key,
+        violations,
+        steps,
+        eliminated_sites: compiled.analysis.eliminated_sites.len(),
+        checks_counted,
+        checks_fired,
+    })
+}
+
+/// Oracle (2) in isolation: given the analysis' eliminated-site list and
+/// the counting rerun's tallies, report every eliminated site that fired.
+/// Exposed separately so the mutation tests can feed a *deliberately
+/// broken* elimination list through the same code path.
+pub fn soundness_violations(
+    eliminated: &[SiteId],
+    counter: Option<&region_rt::CheckCounter>,
+) -> Vec<Violation> {
+    let Some(counter) = counter else {
+        return Vec::new();
+    };
+    let mut out = Vec::new();
+    for &SiteId(site) in eliminated {
+        let fails = counter.fails(site);
+        if fails > 0 {
+            out.push(Violation::UnsoundElimination { site, fails });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const FIGURE1: &str = "
+struct node { int v; struct node *sameregion next; };
+
+static struct node *mk(region r, struct node *prev, int val) {
+    struct node *n = ralloc(r, struct node);
+    n->v = val;
+    n->next = prev;
+    return n;
+}
+
+int main() deletes {
+    region r = newregion();
+    struct node *head = null;
+    int i;
+    int acc = 0;
+    for (i = 0; i < 5; i = i + 1) {
+        head = mk(r, head, i);
+    }
+    while (head != null) {
+        acc = acc + head->v;
+        head = head->next;
+    }
+    head = null;
+    deleteregion(r);
+    return acc;
+}
+";
+
+    #[test]
+    fn figure1_is_conformant() {
+        let report = check_source(FIGURE1, 0).expect("compiles");
+        assert!(report.passed(), "violations: {:?}", report.violations);
+        assert_eq!(report.outcome_key, "exit:10");
+        assert!(report.eliminated_sites > 0, "figure 1's checks are inferable");
+        assert!(report.checks_counted > 0);
+        assert_eq!(report.checks_fired, 0);
+    }
+
+    #[test]
+    fn qualifier_violation_diverges_under_qs() {
+        // A sameregion store crossing regions: qs aborts, nq/lea/gc/inf
+        // exit normally — the oracle must flag the divergence. The
+        // referring region (r1, created later) is deleted first, so the
+        // teardown itself stays legal under every config.
+        let src = "
+struct node { int v; struct node *sameregion next; };
+
+int main() deletes {
+    region r0 = newregion();
+    region r1 = newregion();
+    struct node *a = ralloc(r0, struct node);
+    struct node *b = ralloc(r1, struct node);
+    b->next = a;
+    deleteregion(r1);
+    deleteregion(r0);
+    return 0;
+}
+";
+        let report = check_source(src, 0).expect("compiles");
+        assert!(!report.passed());
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| matches!(v, Violation::Divergence { config: "qs", .. })),
+            "expected a qs divergence, got {:?}",
+            report.violations
+        );
+        assert!(report.checks_fired > 0);
+    }
+
+    #[test]
+    fn broken_elimination_list_is_caught() {
+        // Feed the soundness oracle a list claiming the (actually unsafe)
+        // site was eliminated; it must flag the fired site.
+        let src = "
+struct node { int v; struct node *sameregion next; };
+
+int main() deletes {
+    region r0 = newregion();
+    region r1 = newregion();
+    struct node *a = ralloc(r0, struct node);
+    struct node *b = ralloc(r1, struct node);
+    b->next = a;
+    deleteregion(r1);
+    deleteregion(r0);
+    return 0;
+}
+";
+        let compiled = rc_lang::prepare(src).expect("compiles");
+        let counting = RunConfig::rc(CheckMode::Nq).counting_checks();
+        let r = rc_lang::run_audited(&compiled, &counting);
+        let counter = r.check_counts.as_deref().expect("counting was on");
+        let all_sites: Vec<SiteId> = counter.iter().map(|(s, _)| SiteId(s)).collect();
+        let vs = soundness_violations(&all_sites, Some(counter));
+        assert!(
+            vs.iter()
+                .any(|v| matches!(v, Violation::UnsoundElimination { fails, .. } if *fails > 0)),
+            "expected an unsound elimination, got {vs:?}"
+        );
+    }
+
+    #[test]
+    fn outcome_keys_are_stable_tags() {
+        assert_eq!(outcome_key(&Outcome::Exit(7)), "exit:7");
+        assert_eq!(outcome_key(&Outcome::AssertFailed), "assert-failed");
+        assert_eq!(outcome_key(&Outcome::StepLimit), "step-limit");
+    }
+}

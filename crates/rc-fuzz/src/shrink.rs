@@ -1,0 +1,344 @@
+//! Delta-debugging minimisation of failing RC programs.
+//!
+//! [`shrink`] takes an AST and an *interestingness* predicate (typically
+//! "the oracle still reports this exact violation") and greedily applies
+//! semantics-shrinking edits, keeping an edit only when the candidate
+//! still passes `sema` **and** the predicate. Edit families, tried most
+//! aggressive first:
+//!
+//! 1. whole-function removal (non-`main`);
+//! 2. cascade removal of a declaration plus every statement mentioning
+//!    the declared name (regions disappear together with their
+//!    `deleteregion`, node variables with their stores);
+//! 3. ddmin-style removal of contiguous block-item chunks, halving the
+//!    chunk size down to single items (recursing through `if`/loop/block
+//!    bodies);
+//! 4. local simplifications: an `if` collapses to its then-branch, an
+//!    `else` drops, a loop unwraps to its body, initialisers decay to
+//!    `null`.
+//!
+//! Every candidate is revalidated through [`rc_lang::sema::check`]
+//! *before* the (expensive) predicate runs, so the shrinker can never
+//! hand the oracle an ill-formed program. Because the predicate usually
+//! re-prints and re-parses the candidate (re-minting check-site ids),
+//! shrinking is deterministic: same input, same predicate, same minimum.
+
+use rc_lang::ast::*;
+
+/// What a traversal callback decides about one block item.
+enum Edit {
+    /// Keep the item and recurse into it.
+    Keep,
+    /// Delete the item (children included).
+    Remove,
+    /// Substitute the item (no recursion into the replacement).
+    Replace(Box<BlockItem>),
+}
+
+/// Pre-order traversal over every block item in a statement list,
+/// assigning each item a global index consistent with
+/// [`crate::gen::statement_count`].
+fn edit_items(
+    items: &mut Vec<BlockItem>,
+    ctr: &mut usize,
+    f: &mut impl FnMut(usize, &BlockItem) -> Edit,
+) {
+    let mut i = 0;
+    while i < items.len() {
+        let idx = *ctr;
+        *ctr += 1;
+        match f(idx, &items[i]) {
+            Edit::Remove => {
+                items.remove(i);
+            }
+            Edit::Replace(b) => {
+                items[i] = *b;
+                i += 1;
+            }
+            Edit::Keep => {
+                if let BlockItem::Stmt(s) = &mut items[i] {
+                    edit_stmt(s, ctr, f);
+                }
+                i += 1;
+            }
+        }
+    }
+}
+
+fn edit_stmt(s: &mut Stmt, ctr: &mut usize, f: &mut impl FnMut(usize, &BlockItem) -> Edit) {
+    match s {
+        Stmt::Block(items) => edit_items(items, ctr, f),
+        Stmt::If(_, t, e) => {
+            edit_stmt(t, ctr, f);
+            if let Some(e) = e {
+                edit_stmt(e, ctr, f);
+            }
+        }
+        Stmt::While(_, b) | Stmt::For(_, _, _, b) => edit_stmt(b, ctr, f),
+        _ => {}
+    }
+}
+
+fn func_item_count(f: &FuncDefAst) -> usize {
+    fn stmt(s: &Stmt) -> usize {
+        match s {
+            Stmt::Block(items) => items.iter().map(item).sum::<usize>(),
+            Stmt::If(_, t, e) => stmt(t) + e.as_deref().map_or(0, stmt),
+            Stmt::While(_, b) | Stmt::For(_, _, _, b) => stmt(b),
+            _ => 0,
+        }
+    }
+    fn item(i: &BlockItem) -> usize {
+        1 + match i {
+            BlockItem::Decl(_) => 0,
+            BlockItem::Stmt(s) => stmt(s),
+        }
+    }
+    f.body.iter().map(item).sum()
+}
+
+/// Whether an item's subtree mentions `name` as an identifier. The check
+/// rides on the debug rendering, where every identifier appears as a
+/// quoted string — exact-match safe because generated names never contain
+/// quotes.
+fn mentions(item: &BlockItem, name: &str) -> bool {
+    format!("{item:?}").contains(&format!("\"{name}\""))
+}
+
+/// Declared names in a function body, pre-order.
+fn declared_names(f: &FuncDefAst) -> Vec<String> {
+    let mut names = Vec::new();
+    let mut body = f.body.clone();
+    let mut ctr = 0;
+    edit_items(&mut body, &mut ctr, &mut |_, item| {
+        if let BlockItem::Decl(d) = item {
+            names.push(d.name.clone());
+        }
+        Edit::Keep
+    });
+    names
+}
+
+/// Local simplification variants for one item; `variant` selects among
+/// them. Returns `None` when the variant does not apply.
+fn simplify(item: &BlockItem, variant: u32) -> Option<BlockItem> {
+    match (item, variant) {
+        (BlockItem::Stmt(Stmt::If(_, t, _)), 0) => Some(BlockItem::Stmt((**t).clone())),
+        (BlockItem::Stmt(Stmt::If(c, t, Some(_))), 1) => {
+            Some(BlockItem::Stmt(Stmt::If(c.clone(), t.clone(), None)))
+        }
+        (BlockItem::Stmt(Stmt::While(_, b)), 0) | (BlockItem::Stmt(Stmt::For(_, _, _, b)), 0) => {
+            Some(BlockItem::Stmt((**b).clone()))
+        }
+        (BlockItem::Decl(d), 2) => match (&d.ty, &d.init) {
+            (TypeExpr::StructPtr { .. }, Some(init)) if *init != Expr::Null => {
+                let mut d = d.clone();
+                d.init = Some(Expr::Null);
+                Some(BlockItem::Decl(d))
+            }
+            _ => None,
+        },
+        _ => None,
+    }
+}
+
+fn accept(candidate: &Ast, interesting: &dyn Fn(&Ast) -> bool) -> bool {
+    rc_lang::sema::check(candidate).is_ok() && interesting(candidate)
+}
+
+/// One greedy step: the first accepted single edit, or `None` at a local
+/// minimum.
+fn step(cur: &Ast, interesting: &dyn Fn(&Ast) -> bool) -> Option<Ast> {
+    // 1. Drop a whole non-main function.
+    for fi in 0..cur.funcs.len() {
+        if cur.funcs[fi].name == "main" {
+            continue;
+        }
+        let mut c = cur.clone();
+        c.funcs.remove(fi);
+        if accept(&c, interesting) {
+            return Some(c);
+        }
+    }
+
+    // 2a. Drop a global together with everything that mentions it.
+    for gi in 0..cur.globals.len() {
+        let name = cur.globals[gi].name.clone();
+        let mut c = cur.clone();
+        c.globals.remove(gi);
+        for f in &mut c.funcs {
+            let mut ctr = 0;
+            edit_items(&mut f.body, &mut ctr, &mut |_, item| {
+                if mentions(item, &name) {
+                    Edit::Remove
+                } else {
+                    Edit::Keep
+                }
+            });
+        }
+        if accept(&c, interesting) {
+            return Some(c);
+        }
+    }
+
+    // 2b. Cascade-drop a local declaration and its uses.
+    for fi in 0..cur.funcs.len() {
+        for name in declared_names(&cur.funcs[fi]) {
+            let mut c = cur.clone();
+            let mut ctr = 0;
+            edit_items(&mut c.funcs[fi].body, &mut ctr, &mut |_, item| {
+                if mentions(item, &name) {
+                    Edit::Remove
+                } else {
+                    Edit::Keep
+                }
+            });
+            if accept(&c, interesting) {
+                return Some(c);
+            }
+        }
+    }
+
+    // 3. ddmin: contiguous chunk removal, halving down to single items.
+    for fi in 0..cur.funcs.len() {
+        let n = func_item_count(&cur.funcs[fi]);
+        let mut len = n.max(1) / 2;
+        loop {
+            if len == 0 {
+                len = 1;
+            }
+            let mut start = 0;
+            while start < n {
+                let end = start + len;
+                let mut c = cur.clone();
+                let mut ctr = 0;
+                edit_items(&mut c.funcs[fi].body, &mut ctr, &mut |idx, _| {
+                    if idx >= start && idx < end {
+                        Edit::Remove
+                    } else {
+                        Edit::Keep
+                    }
+                });
+                if accept(&c, interesting) {
+                    return Some(c);
+                }
+                start += len;
+            }
+            if len == 1 {
+                break;
+            }
+            len /= 2;
+        }
+    }
+
+    // 4. Local simplifications.
+    for fi in 0..cur.funcs.len() {
+        let n = func_item_count(&cur.funcs[fi]);
+        for target in 0..n {
+            for variant in 0..3u32 {
+                let mut c = cur.clone();
+                let mut changed = false;
+                let mut ctr = 0;
+                edit_items(&mut c.funcs[fi].body, &mut ctr, &mut |idx, item| {
+                    if idx == target && !changed {
+                        if let Some(repl) = simplify(item, variant) {
+                            changed = true;
+                            return Edit::Replace(Box::new(repl));
+                        }
+                    }
+                    Edit::Keep
+                });
+                if changed && accept(&c, interesting) {
+                    return Some(c);
+                }
+            }
+        }
+    }
+
+    None
+}
+
+/// Minimises `ast` while `interesting` keeps holding.
+///
+/// The input itself must satisfy the predicate (debug-asserted). The
+/// result is a 1-minimal program: no single edit from the families above
+/// both stays well-formed and stays interesting.
+pub fn shrink(ast: &Ast, interesting: &dyn Fn(&Ast) -> bool) -> Ast {
+    debug_assert!(interesting(ast), "shrink input must be interesting");
+    let mut cur = ast.clone();
+    // Each accepted edit removes or strictly simplifies structure; the
+    // cap is a belt-and-braces guard against a pathological predicate.
+    for _ in 0..10_000 {
+        match step(&cur, interesting) {
+            Some(next) => cur = next,
+            None => break,
+        }
+    }
+    cur
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::statement_count;
+    use crate::oracle::{check_source, Violation};
+
+    /// Oracle-backed predicate: the program (re-printed, so sites are
+    /// re-minted) still produces a qs divergence.
+    fn qs_diverges(ast: &Ast) -> bool {
+        let src = rc_lang::pretty::print_ast(ast);
+        match check_source(&src, 2_000_000) {
+            Ok(report) => report
+                .violations
+                .iter()
+                .any(|v| matches!(v, Violation::Divergence { config: "qs", .. })),
+            Err(_) => false,
+        }
+    }
+
+    #[test]
+    fn shrinks_a_qs_divergence_to_its_core() {
+        // A padded program whose only real defect is one cross-region
+        // sameregion store.
+        let src = "
+struct node { int v; struct node *sameregion next; };
+
+static int helper(int a, int b) {
+    return a * b + 1;
+}
+
+int main() deletes {
+    region r0 = newregion();
+    region r1 = newregion();
+    struct node *a = ralloc(r0, struct node);
+    struct node *b = ralloc(r1, struct node);
+    int acc = 0;
+    int i;
+    for (i = 0; i < 5; i = i + 1) {
+        acc = acc + helper(i, 2);
+    }
+    a->v = 3;
+    b->v = acc;
+    b->next = a;
+    acc = acc + b->v;
+    deleteregion(r1);
+    deleteregion(r0);
+    return acc;
+}
+";
+        let ast = rc_lang::parser::parse(src).expect("parses");
+        assert!(qs_diverges(&ast), "the seed program must be interesting");
+        let min = shrink(&ast, &qs_diverges);
+        assert!(qs_diverges(&min), "shrinking must preserve the violation");
+        let n = statement_count(&min);
+        assert!(
+            n <= 8,
+            "expected a tight repro, got {n} statements:\n{}",
+            rc_lang::pretty::print_ast(&min)
+        );
+        // The padding must be gone.
+        assert!(min.funcs.iter().all(|f| f.name == "main"), "helper survived");
+        let printed = rc_lang::pretty::print_ast(&min);
+        assert!(!printed.contains("for ("), "loop survived:\n{printed}");
+    }
+}

@@ -1,0 +1,99 @@
+//! Mutation test for the inference-soundness oracle: deliberately break
+//! the check-elimination verdicts and prove the harness catches it and
+//! shrinks the witness to a small repro.
+//!
+//! The real rlang inference is sound (the fixed-seed campaigns assert
+//! zero fired eliminations), so to exercise the *detector* we simulate
+//! the worst possible inference bug — an analysis that declares every
+//! check site safe — against generated programs that plant qualifier
+//! violations. The oracle must flag the fired sites, and the shrinker
+//! must reduce the witness to at most 20 statements.
+
+use rc_fuzz::gen::{generate, statement_count, GenConfig};
+use rc_fuzz::oracle::soundness_violations;
+use rc_fuzz::shrink::shrink;
+use rc_fuzz::Violation;
+use rc_lang::ast::Ast;
+use rc_lang::{CheckMode, RunConfig};
+use rlang::SiteId;
+
+const BUDGET: u64 = 5_000_000;
+
+/// Counting-mode rerun of an AST (re-printed, so check sites are
+/// re-minted in pretty order).
+fn count_checks(ast: &Ast) -> Option<Box<region_rt::CheckCounter>> {
+    let src = rc_lang::pretty::print_ast(ast);
+    let compiled = rc_lang::prepare(&src).ok()?;
+    let mut config = RunConfig::rc(CheckMode::Nq).counting_checks();
+    config.step_limit = BUDGET;
+    rc_lang::run_audited(&compiled, &config).check_counts
+}
+
+/// The mutation symptom: some annotation check fails dynamically, so an
+/// "everything is safe" analysis is observably unsound on this program.
+fn a_check_fires(ast: &Ast) -> bool {
+    count_checks(ast).is_some_and(|c| c.total_fails() > 0)
+}
+
+#[test]
+fn broken_inference_is_caught_and_shrunk() {
+    let cfg = GenConfig { size: 8, violations: true };
+    let mut caught = 0;
+    let mut tested = 0;
+
+    for seed in 0..16u64 {
+        let ast = generate(seed, &cfg);
+        let Some(counter) = count_checks(&ast) else {
+            panic!("seed {seed}: generated program failed to compile or count");
+        };
+        if counter.total_fails() == 0 {
+            // This seed happened not to plant a reachable violation.
+            continue;
+        }
+        tested += 1;
+
+        // The broken "inference": every site it ever saw is declared
+        // safe. Oracle (2) must reject at least one of them.
+        let broken: Vec<SiteId> = counter.iter().map(|(s, _)| SiteId(s)).collect();
+        let flagged = soundness_violations(&broken, Some(&counter));
+        assert!(
+            flagged
+                .iter()
+                .any(|v| matches!(v, Violation::UnsoundElimination { fails, .. } if *fails > 0)),
+            "seed {seed}: oracle missed the unsound elimination"
+        );
+
+        // And the witness shrinks to a small repro that still fires.
+        if caught == 0 {
+            let min = shrink(&ast, &a_check_fires);
+            assert!(a_check_fires(&min), "seed {seed}: shrinking lost the violation");
+            let n = statement_count(&min);
+            assert!(
+                n <= 20,
+                "seed {seed}: shrunk repro still has {n} statements:\n{}",
+                rc_lang::pretty::print_ast(&min)
+            );
+            caught += 1;
+        }
+    }
+
+    assert!(tested >= 3, "violation mode planted too few reachable violations ({tested}/16)");
+    assert_eq!(caught, 1, "no witness was shrunk");
+}
+
+#[test]
+fn sound_inference_is_not_flagged() {
+    // Control arm: on clean programs the *real* analysis' eliminated
+    // sites never fire, so the same detector stays quiet.
+    let cfg = GenConfig { size: 8, violations: false };
+    for seed in 0..8u64 {
+        let src = rc_fuzz::generate_source(seed, &cfg);
+        let compiled = rc_lang::prepare(&src).expect("clean programs compile");
+        let mut config = RunConfig::rc(CheckMode::Nq).counting_checks();
+        config.step_limit = BUDGET;
+        let r = rc_lang::run_audited(&compiled, &config);
+        let counter = r.check_counts.as_deref().expect("counting was on");
+        let flagged = soundness_violations(&compiled.analysis.eliminated_sites, Some(counter));
+        assert!(flagged.is_empty(), "seed {seed}: false positive {flagged:?}");
+    }
+}

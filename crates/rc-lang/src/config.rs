@@ -112,6 +112,13 @@ pub struct RunConfig {
     pub faults: FaultPlan,
     /// What to do when the runtime faults.
     pub on_fault: OnFault,
+    /// Per-site check counting (differential-harness measurement mode,
+    /// [`Backend::Rc`] only): every annotated store evaluates its
+    /// annotation predicate and tallies the outcome per check site, then
+    /// performs the full reference-count update instead of aborting —
+    /// observationally identical to [`CheckMode::Nq`]. The tallies come
+    /// back in [`crate::interp::RunResult::check_counts`].
+    pub count_checks: bool,
 }
 
 impl RunConfig {
@@ -131,7 +138,14 @@ impl RunConfig {
             page_budget: 0,
             faults: FaultPlan::new(),
             on_fault: OnFault::Abort,
+            count_checks: false,
         }
+    }
+
+    /// The same configuration with per-site check counting enabled.
+    pub fn counting_checks(mut self) -> RunConfig {
+        self.count_checks = true;
+        self
     }
 
     /// The same configuration with [`OnFault::TrapAndUnwind`] recovery.

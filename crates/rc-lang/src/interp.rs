@@ -87,6 +87,10 @@ pub struct RunResult {
     /// The telemetry tracer, when [`RunConfig::trace_mask`] was nonzero:
     /// recent raw events plus the folded [`region_rt::Profile`].
     pub tracer: Option<Box<region_rt::Tracer>>,
+    /// Per-site check-outcome tallies, when
+    /// [`RunConfig::count_checks`] was on: how often each annotated
+    /// store's predicate ran and how often it would have fired.
+    pub check_counts: Option<Box<region_rt::CheckCounter>>,
     /// The metrics timeline, when [`RunConfig::sample_interval`] was
     /// nonzero (and the `telemetry` feature is on): periodic heap
     /// snapshots plus one final forced sample at end of run.
@@ -165,6 +169,7 @@ fn run_on_this_stack(c: &Compiled, config: &RunConfig, audit: bool) -> RunResult
         steps: interp.steps,
         audit,
         tracer: interp.heap.take_tracer(),
+        check_counts: interp.heap.take_check_counter(),
         timeline: interp.heap.take_timeline(),
         faults,
     }
@@ -298,6 +303,9 @@ impl<'c> Interp<'c> {
         }
         if config.sample_interval != 0 {
             heap.enable_sampling(config.sample_interval, config.sample_cap);
+        }
+        if config.count_checks {
+            heap.enable_check_counting();
         }
         // Arm the fault planes before the startup allocations so those are
         // fault-eligible too (reported via `startup_fault`, not a panic).
@@ -863,6 +871,9 @@ impl<'c> Interp<'c> {
                         self.c.module.site_lines.get(site.0 as usize).copied().unwrap_or(0);
                     self.heap.set_trace_site(line);
                 }
+                if self.config.count_checks {
+                    self.heap.set_check_site(site.0);
+                }
                 self.heap.write_ptr(obj, field, val.addr(), mode).map_err(Halt::Abort)
             }
         }
@@ -889,6 +900,11 @@ impl<'c> Interp<'c> {
             Qual::ParentPtr => PtrKind::ParentPtr,
             Qual::Traditional => PtrKind::Traditional,
         };
+        // Measurement mode: tally the predicate per site, never abort,
+        // keep counts maintained (observationally `nq`).
+        if self.config.count_checks {
+            return WriteMode::CountedCheck(kind);
+        }
         match self.config.checks {
             CheckMode::Nq => WriteMode::Counted,
             CheckMode::Qs => WriteMode::Check(kind),

@@ -121,6 +121,10 @@ pub struct Heap {
     pub(crate) fault_rc: Option<Box<FaultArm>>,
     /// Armed fault plane for forced annotation-check failures.
     pub(crate) fault_check: Option<Box<FaultArm>>,
+    /// Per-site check-outcome counter, if check counting is enabled.
+    pub(crate) check_counter: Option<Box<crate::checkcount::CheckCounter>>,
+    /// Current front-end check-site id for counter attribution.
+    pub(crate) check_site: u32,
 }
 
 impl Heap {
@@ -156,6 +160,8 @@ impl Heap {
             fault_alloc: None,
             fault_rc: None,
             fault_check: None,
+            check_counter: None,
+            check_site: crate::checkcount::NO_CHECK_SITE,
         }
     }
 

@@ -75,6 +75,7 @@
 pub mod addr;
 pub mod alloc;
 pub mod audit;
+pub mod checkcount;
 pub mod cost;
 pub mod emu;
 pub mod error;
@@ -94,6 +95,7 @@ pub mod trace;
 
 pub use addr::Addr;
 pub use audit::AuditError;
+pub use checkcount::{CheckCounter, SiteCheckCounts, NO_CHECK_SITE};
 pub use cost::{Clock, CostModel, Cycles};
 pub use emu::{EmuBackend, EmuRegionId, EmuRegions};
 pub use error::RtError;

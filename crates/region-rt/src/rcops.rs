@@ -32,6 +32,12 @@ pub enum WriteMode {
     Safe,
     /// No dynamic work at all (unsafe configurations).
     Raw,
+    /// Measurement mode for the differential harness: evaluate the
+    /// Figure 3(b) predicate and tally its outcome per site (see
+    /// [`crate::checkcount`]), but never abort — the store then performs
+    /// the full Figure 3(a) reference-count update, so behaviour matches
+    /// [`WriteMode::Counted`] exactly.
+    CountedCheck(PtrKind),
 }
 
 impl Heap {
@@ -68,6 +74,15 @@ impl Heap {
                 self.clock.charge(self.costs.store_plain);
                 self.stats.assigns_raw += 1;
                 Ok(())
+            }
+            WriteMode::CountedCheck(kind) => {
+                let ok = self.eval_check(obj, val, kind)?;
+                self.count_check(ok);
+                if self.trace_on(mask::CHECK_RUN) {
+                    let ev = Event::CheckRun { kind, site: self.trace_site, passed: ok };
+                    self.trace_emit(ev);
+                }
+                self.write_counted(obj, slot, val)
             }
         }
     }
@@ -134,7 +149,27 @@ impl Heap {
         val: Addr,
         kind: PtrKind,
     ) -> Result<(), RtError> {
-        let mut ok = match kind {
+        let ok = self.eval_check(obj, val, kind)?;
+        self.count_check(ok);
+        if self.trace_on(mask::CHECK_RUN) {
+            let ev = Event::CheckRun { kind, site: self.trace_site, passed: ok };
+            self.trace_emit(ev);
+        }
+        self.sample_tick();
+        if !ok {
+            return Err(RtError::CheckFailed { kind, obj, field, val });
+        }
+        self.store.write(slot, val.raw());
+        self.stats.record_assign(AssignCategory::Checked);
+        Ok(())
+    }
+
+    /// Evaluates the Figure 3(b) predicate for one annotated store,
+    /// charging the per-kind statistics and cycle costs. The fault plane
+    /// may force a `false` result (its counters and cycle charges are
+    /// untouched, so the run stays comparable).
+    fn eval_check(&mut self, obj: Addr, val: Addr, kind: PtrKind) -> Result<bool, RtError> {
+        let ok = match kind {
             PtrKind::SameRegion => {
                 self.stats.checks_sameregion += 1;
                 self.stats.check_cycles += self.costs.check_sameregion;
@@ -159,22 +194,10 @@ impl Heap {
             }
             PtrKind::Counted => unreachable!("counted stores use write_counted"),
         };
-        // Fault plane: force this check to fail (its counters and cycle
-        // charges above are untouched, so the run stays comparable).
-        if self.fault_check_tick() {
-            ok = false;
-        }
-        if self.trace_on(mask::CHECK_RUN) {
-            let ev = Event::CheckRun { kind, site: self.trace_site, passed: ok };
-            self.trace_emit(ev);
-        }
-        self.sample_tick();
-        if !ok {
-            return Err(RtError::CheckFailed { kind, obj, field, val });
-        }
-        self.store.write(slot, val.raw());
-        self.stats.record_assign(AssignCategory::Checked);
-        Ok(())
+        // Tick unconditionally so the fault schedule's ordinals are
+        // independent of check outcomes.
+        let forced = self.fault_check_tick();
+        Ok(ok && !forced)
     }
 
     /// Reads a pointer field.

@@ -48,6 +48,11 @@ pub struct Analysis {
     pub site_safe: HashMap<SiteId, bool>,
     /// Flow state recorded at each check site (for diagnostics).
     pub site_states: HashMap<SiteId, ConstraintSet>,
+    /// The sites whose checks were eliminated, ascending — the
+    /// machine-readable record consumers (differential oracles, reports)
+    /// use to cross-check the eliminations dynamically. Always equal to
+    /// the `true` entries of `site_safe`.
+    pub eliminated_sites: Vec<SiteId>,
     /// Global fixpoint rounds taken.
     pub rounds: usize,
 }
@@ -160,7 +165,11 @@ pub fn analyse(prog: &Program) -> Analysis {
         ctx.exec(&f.body, entry);
     }
 
-    Analysis { summaries, site_safe, site_states, rounds }
+    let mut eliminated_sites: Vec<SiteId> =
+        site_safe.iter().filter(|&(_, &safe)| safe).map(|(&s, _)| s).collect();
+    eliminated_sites.sort_unstable();
+
+    Analysis { summaries, site_safe, site_states, eliminated_sites, rounds }
 }
 
 /// Validates a program against an inferred (or hand-written) analysis,
@@ -904,6 +913,48 @@ mod tests {
         });
         let a = analyse(&p);
         assert!(a.is_safe(SiteId(0)), "{}", a.site_states[&SiteId(0)]);
+    }
+
+    #[test]
+    fn eliminated_sites_mirror_the_safe_verdicts() {
+        // Figure 1: both chk sites verify — the exported list names them
+        // in ascending order.
+        let p = figure1_program();
+        let a = analyse(&p);
+        assert_eq!(a.eliminated_sites, vec![SiteId(0), SiteId(1)]);
+        assert_eq!(a.eliminated_sites.len(), a.safe_count());
+        for &s in &a.eliminated_sites {
+            assert!(a.is_safe(s));
+        }
+        // §5.2's negative idiom: the kept check must not be listed.
+        let mut p = Program::new();
+        let rlist = StructId(0);
+        p.add_struct(StructDecl {
+            name: "rlist".into(),
+            fields: vec![("next".into(), FieldType::Ptr { target: rlist, qual: FieldQual::SameRegion })],
+        });
+        let (r, x, y) = (VarId(0), VarId(1), VarId(2));
+        let body = Stmt::Seq(vec![
+            Stmt::Call { dst: Some(r), callee: Callee::NewRegion, args: vec![] },
+            Stmt::New { dst: x, ty: rlist, region: r },
+            Stmt::Havoc { dst: y },
+            Stmt::Chk {
+                fact: Fact::EqOrNull(RegionExpr::Abstract(y.rho()), RegionExpr::Abstract(x.rho())),
+                site: SiteId(0),
+            },
+            Stmt::WriteField { obj: x, field: 0, src: y },
+        ]);
+        p.add_func(FuncDef {
+            name: "main".into(),
+            exported: true,
+            params: vec![],
+            locals: vec![VarType::Region, VarType::Ptr(rlist), VarType::Ptr(rlist)],
+            result: None,
+            body,
+        });
+        let a = analyse(&p);
+        assert!(a.eliminated_sites.is_empty());
+        assert_eq!(a.site_count(), 1, "the kept site is still recorded in site_safe");
     }
 
     #[test]
