@@ -1,0 +1,64 @@
+//! Exports one workload run as a Perfetto-loadable provenance trace.
+//!
+//! Usage: `cargo run -p rc-bench --bin trace-export -- [--workload cfrac]
+//! [--config nq|qs|inf|nc] [--scale N] [--out PATH]`.
+//!
+//! Runs the workload with region lifecycle spans on, joins every dynamic
+//! check against the static inference verdict and reason, and writes
+//! Chrome trace-event JSON (open in <https://ui.perfetto.dev>). The
+//! export is byte-deterministic — CI runs it twice and `cmp`s — and the
+//! per-site coverage table is printed to stdout. Exits 0 on success, 2 on
+//! bad arguments or I/O errors.
+
+use std::process::ExitCode;
+
+use rc_bench::provenance;
+use rc_lang::{CheckMode, RunConfig};
+
+fn main() -> ExitCode {
+    let scale = rc_bench::scale_from_args();
+    let wname = rc_bench::value_from_args("--workload").unwrap_or_else(|| "cfrac".to_string());
+    let cname = rc_bench::value_from_args("--config").unwrap_or_else(|| "qs".to_string());
+
+    let Some(workload) = rc_workloads::by_name(&wname) else {
+        eprintln!("trace-export: unknown workload {wname:?}");
+        return ExitCode::from(2);
+    };
+    let config = match cname.as_str() {
+        "nq" => RunConfig::rc(CheckMode::Nq),
+        "qs" => RunConfig::rc(CheckMode::Qs),
+        "inf" => RunConfig::rc_inf(),
+        "nc" => RunConfig::rc(CheckMode::Nc),
+        other => {
+            eprintln!("trace-export: unknown config {other:?} (want nq|qs|inf|nc)");
+            return ExitCode::from(2);
+        }
+    };
+
+    let export = provenance::collect(&workload, &cname, &config, scale);
+    let out = rc_bench::value_from_args("--out")
+        .unwrap_or_else(|| format!("target/experiments/trace_{wname}_{cname}.json"));
+
+    print!("{}", provenance::coverage_markdown(&export));
+    println!(
+        "\n{} spans ({} closed), {} notes ({} dropped)",
+        export.spans.spans().len(),
+        export.spans.closed_count(),
+        export.spans.notes().len(),
+        export.spans.notes_dropped()
+    );
+
+    let json = provenance::chrome_trace(&export).render_pretty();
+    if let Some(dir) = std::path::Path::new(&out).parent() {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("trace-export: {}: {e}", dir.display());
+            return ExitCode::from(2);
+        }
+    }
+    if let Err(e) = std::fs::write(&out, json) {
+        eprintln!("trace-export: {out}: {e}");
+        return ExitCode::from(2);
+    }
+    println!("trace written to {out} (load in https://ui.perfetto.dev)");
+    ExitCode::SUCCESS
+}

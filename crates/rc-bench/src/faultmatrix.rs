@@ -31,8 +31,9 @@ use rc_workloads::driver::prepare_workload;
 use rc_workloads::{Scale, Workload};
 use region_rt::{FaultMode, FaultPlan, Json};
 
-/// Schema identifier embedded in every report; bumped on layout change.
-pub const SCHEMA: &str = "rc-bench-faultmatrix/v1";
+/// Schema identifier embedded in every report; bumped on layout change
+/// (registered in [`crate::schema`]).
+pub const SCHEMA: &str = crate::schema::Schema::FaultMatrix.id();
 
 /// One column of the torture matrix: a fault plan and/or a page budget.
 #[derive(Debug, Clone)]

@@ -9,8 +9,9 @@
 
 use region_rt::Json;
 
-/// Schema identifier embedded in every report; bumped on layout change.
-pub const SCHEMA: &str = "rc-fuzz-report/v1";
+/// Schema identifier embedded in every report; bumped on layout change
+/// (registered in [`crate::schema`]).
+pub const SCHEMA: &str = crate::schema::Schema::FuzzReport.id();
 
 /// One generated program's trip through the oracle.
 #[derive(Debug, Clone, PartialEq, Eq)]

@@ -15,6 +15,7 @@
 //! | Figure 9 (assignment categories)    | `cargo run -p rc-bench --bin fig9` |
 //! | All of the above → EXPERIMENTS.md   | `cargo run -p rc-bench --bin experiments` |
 //! | Fault-injection torture matrix      | `cargo run -p rc-bench --bin fault-matrix` |
+//! | Perfetto provenance trace           | `cargo run -p rc-bench --bin trace-export` |
 //!
 //! Wall-clock benchmarks live in `benches/` (run with `cargo bench -p
 //! rc-bench`), on the dependency-free harness in [`microbench`]. Passing
@@ -25,7 +26,9 @@
 pub mod faultmatrix;
 pub mod fuzzreport;
 pub mod microbench;
+pub mod provenance;
 pub mod report;
+pub mod schema;
 pub mod trajectory;
 
 use rc_workloads::Scale;

@@ -1,0 +1,75 @@
+//! The registry of rc-bench JSON schema identifiers.
+//!
+//! Every machine-readable artifact this crate emits is stamped with a
+//! schema string (`"<family>/v<N>"`); consumers — the CI determinism
+//! gates, `bench-diff`, the docs — refuse mismatched versions. This
+//! module is the single source of those strings: each report module
+//! re-exports its own `SCHEMA` from here, and the exhaustive-match test
+//! below guarantees a new artifact cannot ship without registering its
+//! identifier (and that no two artifacts share one).
+
+/// Every schema-versioned artifact rc-bench produces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Schema {
+    /// Benchmark trajectories + regression gate (`BENCH_rc.json`).
+    Trajectory,
+    /// Fault-injection torture matrix.
+    FaultMatrix,
+    /// Differential-fuzzing report.
+    FuzzReport,
+    /// Perfetto-loadable provenance trace export.
+    TraceExport,
+}
+
+impl Schema {
+    /// Every registered schema, in introduction order.
+    pub const ALL: [Schema; 4] = [
+        Schema::Trajectory,
+        Schema::FaultMatrix,
+        Schema::FuzzReport,
+        Schema::TraceExport,
+    ];
+
+    /// The identifier embedded in the artifact; bumped on layout change.
+    pub const fn id(self) -> &'static str {
+        match self {
+            Schema::Trajectory => "rc-bench-trajectory/v1",
+            Schema::FaultMatrix => "rc-bench-faultmatrix/v1",
+            Schema::FuzzReport => "rc-fuzz-report/v1",
+            Schema::TraceExport => "rc-trace-export/v1",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Exhaustive: every registered schema has a distinct, versioned id,
+    /// and the per-module `SCHEMA` re-exports agree with the registry.
+    #[test]
+    fn every_schema_is_registered_versioned_and_distinct() {
+        let mut seen = Vec::new();
+        for s in Schema::ALL {
+            // No wildcard: adding a variant without extending ALL (or the
+            // match in `id`) fails to compile or fails here.
+            let id = match s {
+                Schema::Trajectory => s.id(),
+                Schema::FaultMatrix => s.id(),
+                Schema::FuzzReport => s.id(),
+                Schema::TraceExport => s.id(),
+            };
+            assert!(
+                id.rsplit_once("/v").and_then(|(_, v)| v.parse::<u32>().ok()).is_some(),
+                "{id:?} must end in a /vN version suffix"
+            );
+            assert!(!seen.contains(&id), "{id:?} registered twice");
+            seen.push(id);
+        }
+        assert_eq!(seen.len(), Schema::ALL.len());
+        assert_eq!(crate::trajectory::SCHEMA, Schema::Trajectory.id());
+        assert_eq!(crate::faultmatrix::SCHEMA, Schema::FaultMatrix.id());
+        assert_eq!(crate::fuzzreport::SCHEMA, Schema::FuzzReport.id());
+        assert_eq!(crate::provenance::SCHEMA, Schema::TraceExport.id());
+    }
+}

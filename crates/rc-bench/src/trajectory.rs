@@ -28,8 +28,9 @@ use rc_workloads::driver::prepare_workload;
 use rc_workloads::{Scale, Workload};
 use region_rt::{sparkline, Json, MetricsSnapshot};
 
-/// Schema identifier embedded in every report; bumped on layout change.
-pub const SCHEMA: &str = "rc-bench-trajectory/v1";
+/// Schema identifier embedded in every report; bumped on layout change
+/// (registered in [`crate::schema`]).
+pub const SCHEMA: &str = crate::schema::Schema::Trajectory.id();
 
 /// Gate threshold: a run regresses when total cycles grow by more than
 /// this percentage over the baseline.

@@ -16,6 +16,11 @@
 //! 4. **Replay determinism** — rerunning the reference configuration
 //!    yields byte-identical statistics and the same outcome; generated
 //!    source is a pure function of the seed (checked by the driver).
+//! 5. **Span well-formedness** — the replay runs record region lifecycle
+//!    spans ([`rc_lang::RunConfig::with_spans`]); the resulting span tree
+//!    must verify against the heap's own region table
+//!    ([`region_rt::SpanTree::verification`]) and be identical between
+//!    the two replays.
 
 use rc_lang::{CheckMode, Outcome, RunConfig};
 use rlang::SiteId;
@@ -51,6 +56,12 @@ pub enum Violation {
         /// What differed.
         detail: String,
     },
+    /// The replay run's span tree failed structural verification against
+    /// the heap's own region table.
+    MalformedSpans {
+        /// The first invariant the verifier found broken.
+        detail: String,
+    },
 }
 
 impl Violation {
@@ -61,6 +72,7 @@ impl Violation {
             Violation::AuditFailure { .. } => "audit",
             Violation::UnsoundElimination { .. } => "unsound-elim",
             Violation::NonDeterministic { .. } => "nondet",
+            Violation::MalformedSpans { .. } => "malformed_spans",
         }
     }
 }
@@ -79,6 +91,9 @@ impl std::fmt::Display for Violation {
             }
             Violation::NonDeterministic { detail } => {
                 write!(f, "non-deterministic replay: {detail}")
+            }
+            Violation::MalformedSpans { detail } => {
+                write!(f, "malformed span tree: {detail}")
             }
         }
     }
@@ -211,9 +226,11 @@ pub fn check_source(src: &str, step_budget: u64) -> Result<CaseReport, rc_lang::
         counter,
     ));
 
-    // (4): replay the reference configuration; dynamic-event statistics
-    // must be byte-identical run to run.
-    let inf = budgeted(RunConfig::rc_inf());
+    // (4) + (5): replay the reference configuration with lifecycle spans
+    // on; dynamic-event statistics and the span tree itself must be
+    // byte-identical run to run, and the tree must verify against the
+    // heap's region table.
+    let inf = budgeted(RunConfig::rc_inf().with_spans());
     let a = rc_lang::run_audited(&compiled, &inf);
     let b = rc_lang::run_audited(&compiled, &inf);
     steps += a.steps + b.steps;
@@ -229,6 +246,25 @@ pub fn check_source(src: &str, step_budget: u64) -> Result<CaseReport, rc_lang::
         violations.push(Violation::NonDeterministic {
             detail: "dynamic-event statistics differ between identical runs".to_string(),
         });
+    } else if a.spans != b.spans {
+        violations.push(Violation::NonDeterministic {
+            detail: "span trees differ between identical runs".to_string(),
+        });
+    }
+    for r in [&a, &b] {
+        match r.spans.as_deref().and_then(|t| t.verification()) {
+            Some(Ok(())) => {}
+            Some(Err(e)) => {
+                violations.push(Violation::MalformedSpans { detail: e.clone() });
+                break;
+            }
+            None => {
+                violations.push(Violation::MalformedSpans {
+                    detail: "span tree missing or never sealed".to_string(),
+                });
+                break;
+            }
+        }
     }
 
     Ok(CaseReport {
@@ -365,6 +401,13 @@ int main() deletes {
                 .any(|v| matches!(v, Violation::UnsoundElimination { fails, .. } if *fails > 0)),
             "expected an unsound elimination, got {vs:?}"
         );
+    }
+
+    #[test]
+    fn span_oracle_tags_are_stable() {
+        let v = Violation::MalformedSpans { detail: "span 3 never closed".into() };
+        assert_eq!(v.kind(), "malformed_spans");
+        assert!(v.to_string().contains("malformed span tree"));
     }
 
     #[test]

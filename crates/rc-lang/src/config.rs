@@ -119,6 +119,13 @@ pub struct RunConfig {
     /// observationally identical to [`CheckMode::Nq`]. The tallies come
     /// back in [`crate::interp::RunResult::check_counts`].
     pub count_checks: bool,
+    /// Region lifecycle spans ([`region_rt::span`]): model every
+    /// `newregion`…`deleteregion` interval as a span with alloc/RC/check
+    /// annotations carrying static↔dynamic provenance, verified against
+    /// the heap's region tree at run end and returned in
+    /// [`crate::interp::RunResult::spans`]. Off by default (one
+    /// predictable branch per instrumented operation).
+    pub spans: bool,
 }
 
 impl RunConfig {
@@ -139,7 +146,14 @@ impl RunConfig {
             faults: FaultPlan::new(),
             on_fault: OnFault::Abort,
             count_checks: false,
+            spans: false,
         }
+    }
+
+    /// The same configuration with region lifecycle spans enabled.
+    pub fn with_spans(mut self) -> RunConfig {
+        self.spans = true;
+        self
     }
 
     /// The same configuration with per-site check counting enabled.

@@ -99,6 +99,12 @@ pub struct RunResult {
     /// armed any plane: which faults fired, at which operation ordinals
     /// and virtual times.
     pub faults: Option<FaultReport>,
+    /// The region-lifecycle span tree, when [`RunConfig::spans`] was on
+    /// (and the `telemetry` feature is compiled in): one span per region
+    /// with provenance-stamped alloc/RC/check annotations, already
+    /// verified against the heap's region table (see
+    /// [`region_rt::SpanTree::verification`]).
+    pub spans: Option<Box<region_rt::SpanTree>>,
 }
 
 impl RunResult {
@@ -162,6 +168,9 @@ fn run_on_this_stack(c: &Compiled, config: &RunConfig, audit: bool) -> RunResult
     // One last forced sample so the timeline always covers the run's end
     // state (no-op when sampling is off).
     interp.heap.sample_now();
+    // Verify the span tree against the heap's region table and stamp the
+    // outcome into it (no-op when spans are off).
+    let _ = interp.heap.seal_spans();
     RunResult {
         outcome,
         cycles: interp.heap.clock.cycles() + base_extra,
@@ -172,6 +181,7 @@ fn run_on_this_stack(c: &Compiled, config: &RunConfig, audit: bool) -> RunResult
         check_counts: interp.heap.take_check_counter(),
         timeline: interp.heap.take_timeline(),
         faults,
+        spans: interp.heap.take_spans(),
     }
 }
 
@@ -307,6 +317,9 @@ impl<'c> Interp<'c> {
         if config.count_checks {
             heap.enable_check_counting();
         }
+        if config.spans {
+            heap.enable_spans(region_rt::DEFAULT_SPAN_NOTE_CAP);
+        }
         // Arm the fault planes before the startup allocations so those are
         // fault-eligible too (reported via `startup_fault`, not a panic).
         if !config.faults.is_empty() {
@@ -419,7 +432,7 @@ impl<'c> Interp<'c> {
             steps: 0,
             base_ops: 0,
             startup_fault,
-            observing: config.trace_mask != 0 || config.sample_interval != 0,
+            observing: config.trace_mask != 0 || config.sample_interval != 0 || config.spans,
         }
     }
 
@@ -871,8 +884,13 @@ impl<'c> Interp<'c> {
                         self.c.module.site_lines.get(site.0 as usize).copied().unwrap_or(0);
                     self.heap.set_trace_site(line);
                 }
-                if self.config.count_checks {
+                if self.config.count_checks || self.config.spans {
                     self.heap.set_check_site(site.0);
+                }
+                if self.config.spans {
+                    // Stamp the static verdict so the span layer's check
+                    // events carry their inference provenance.
+                    self.heap.set_check_verdict(self.c.analysis.is_safe(site));
                 }
                 self.heap.write_ptr(obj, field, val.addr(), mode).map_err(Halt::Abort)
             }

@@ -35,3 +35,4 @@ pub mod liveness;
 
 pub use config::{Backend, CheckMode, DeleteSemantics, OnFault, RunConfig};
 pub use interp::{prepare, run, run_audited, Compiled, Outcome, RunResult};
+pub use to_rlang::{site_verdicts, SiteVerdict};

@@ -85,6 +85,39 @@ pub fn analyse_module(m: &Module) -> rlang::Analysis {
     rlang::analyse(&translate(m))
 }
 
+/// One row of the static↔dynamic provenance join: a check site's source
+/// line, its inference verdict, and the reason behind the verdict.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SiteVerdict {
+    /// The front-end check site id (dense, minted by the parser).
+    pub site: u32,
+    /// Source line of the annotated store (0 = unknown).
+    pub line: u32,
+    /// `true` when the inference proved the check redundant.
+    pub safe: bool,
+    /// Human-readable inference reason (rendered
+    /// [`rlang::ProvenanceReason`]).
+    pub reason: String,
+}
+
+/// Joins a module's check sites with the analysis provenance, ascending by
+/// site id — the table the benchmark layer's coverage report and Perfetto
+/// trace export consume.
+pub fn site_verdicts(m: &Module, analysis: &rlang::Analysis) -> Vec<SiteVerdict> {
+    (0..m.n_sites)
+        .map(|s| {
+            let site = rlang::SiteId(s);
+            let line = m.site_lines.get(s as usize).copied().unwrap_or(0);
+            let (safe, reason) = match analysis.provenance_of(site) {
+                Some(p) => (p.safe, p.reason.to_string()),
+                // A site the analysis never visited keeps its check.
+                None => (false, "never reached by the analysis".to_string()),
+            };
+            SiteVerdict { site: s, line, safe, reason }
+        })
+        .collect()
+}
+
 fn qual_to_field(q: Qual) -> FieldQual {
     match q {
         Qual::None => FieldQual::Unknown,

@@ -166,6 +166,9 @@ impl Heap {
             };
             self.trace_emit(ev);
         }
+        if self.span_on() {
+            self.span_note_alloc(crate::region::TRADITIONAL.0, words as u32);
+        }
         self.sample_tick();
         Ok(addr)
     }
@@ -249,6 +252,9 @@ impl Heap {
                 swept_objects: reclaimed as u64,
             };
             self.trace_emit(ev);
+        }
+        if self.span_on() {
+            self.span_note_gc(marked_words, reclaimed as u64);
         }
         // GC frees whole slots while the gauge tracked requested words, so
         // clamp rather than trip the underflow check.

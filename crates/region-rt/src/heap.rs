@@ -125,6 +125,11 @@ pub struct Heap {
     pub(crate) check_counter: Option<Box<crate::checkcount::CheckCounter>>,
     /// Current front-end check-site id for counter attribution.
     pub(crate) check_site: u32,
+    /// Static verdict of the current check site (see
+    /// [`Heap::set_check_verdict`]); stamped into span check notes.
+    pub(crate) check_safe: bool,
+    /// The region-lifecycle span tree, if span recording is enabled.
+    pub(crate) span_tree: Option<Box<crate::span::SpanTree>>,
 }
 
 impl Heap {
@@ -162,6 +167,8 @@ impl Heap {
             fault_check: None,
             check_counter: None,
             check_site: crate::checkcount::NO_CHECK_SITE,
+            check_safe: false,
+            span_tree: None,
         }
     }
 
@@ -273,6 +280,12 @@ impl Heap {
                 self.trace_emit(ev);
             }
         }
+        if self.span_on() {
+            // Open at born_at so span durations equal the profile's
+            // lifetime_cycles exactly.
+            let born = self.regions[id.0 as usize].born_at;
+            self.span_open(id.0, parent.0, born);
+        }
         self.sample_tick();
         Ok(id)
     }
@@ -355,6 +368,10 @@ impl Heap {
                     live_words: freed,
                     lifetime_cycles,
                 });
+            }
+            if self.span_on() {
+                let now = self.clock.cycles();
+                self.span_close(r.0, now, freed);
             }
             self.sample_tick();
             // The unscan may have released counts on other doomed regions.
@@ -465,6 +482,9 @@ impl Heap {
         if self.trace_on(mask::ALLOC) {
             let ev = Event::Alloc { region: r.0, site: self.trace_site, words: words as u32 };
             self.trace_emit(ev);
+        }
+        if self.span_on() {
+            self.span_note_alloc(r.0, words as u32);
         }
         self.sample_tick();
         Ok(out.addr)
@@ -611,6 +631,18 @@ impl Heap {
             // itself stays attached.
             tl.reset();
             self.sample_countdown = tl.interval();
+        }
+        // Region birth stamps follow the clock back to zero so post-reset
+        // lifetimes (trace and spans alike) measure from the reset point.
+        for rd in &mut self.regions {
+            rd.born_at = 0;
+        }
+        if let Some(t) = self.span_tree.as_ref() {
+            // Spans restart with the clock: regions still live reopen at
+            // time 0 (their note bound is preserved).
+            let cap = t.note_cap();
+            self.span_tree =
+                Some(Box::new(crate::span::SpanTree::seeded(cap, &self.regions)));
         }
     }
 
@@ -785,8 +817,19 @@ impl Heap {
     /// still pending a clock stamp are stamped with the current time.
     pub fn take_faults(&mut self) -> Option<FaultReport> {
         self.store.stamp_fault(self.clock.cycles());
+        let page_arm = self.store.take_fault_arm();
+        if let Some(arm) = page_arm.as_ref() {
+            // The page store fires below the heap layer, so its
+            // injections reach stats/trace/spans at harvest, with their
+            // back-filled stamps (the heap-level planes record at
+            // tick time in their slow paths).
+            let injected: Vec<crate::fault::InjectedFault> = arm.injected().to_vec();
+            for f in injected {
+                self.note_fault_injected(f.plane, f.op, f.at);
+            }
+        }
         let arms: Vec<FaultArm> = [
-            self.store.take_fault_arm(),
+            page_arm,
             self.fault_alloc.take(),
             self.fault_rc.take(),
             self.fault_check.take(),
@@ -816,6 +859,8 @@ impl Heap {
     fn fault_alloc_slow(&mut self) -> Result<(), RtError> {
         let at = self.clock.cycles();
         if self.fault_alloc.as_mut().is_some_and(|arm| arm.tick(at)) {
+            let op = self.fault_alloc.as_ref().map_or(0, |a| a.ops());
+            self.note_fault_injected(FaultPlane::Alloc, op, at);
             return Err(RtError::OutOfMemory);
         }
         Ok(())
@@ -836,6 +881,8 @@ impl Heap {
         let at = self.clock.cycles();
         let fired = self.fault_rc.as_mut().is_some_and(|arm| arm.tick(at));
         if fired {
+            let op = self.fault_rc.as_ref().map_or(0, |a| a.ops());
+            self.note_fault_injected(FaultPlane::RcSaturate, op, at);
             // Name the region whose count would have been raised.
             let region = self
                 .try_region_of(val)
@@ -858,7 +905,12 @@ impl Heap {
 
     fn fault_check_slow(&mut self) -> bool {
         let at = self.clock.cycles();
-        self.fault_check.as_mut().is_some_and(|arm| arm.tick(at))
+        let fired = self.fault_check.as_mut().is_some_and(|arm| arm.tick(at));
+        if fired {
+            let op = self.fault_check.as_ref().map_or(0, |a| a.ops());
+            self.note_fault_injected(FaultPlane::CheckFail, op, at);
+        }
+        fired
     }
 
     /// Back-fills the virtual-clock stamp on page-plane injections when an

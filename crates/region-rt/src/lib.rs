@@ -42,7 +42,10 @@
 //!   profiles — lifetime histograms, hot-region/hot-site tables, a region
 //!   flamegraph, JSONL export ([`profile`], [`json`]) — and a
 //!   deterministic virtual-clock timeline sampler for time-resolved
-//!   occupancy, fragmentation, and RC/check-rate metrics ([`timeline`]).
+//!   occupancy, fragmentation, and RC/check-rate metrics ([`timeline`]),
+//!   and a span tree modeling every region lifecycle as a
+//!   `newregion`…`deleteregion` interval with span-scoped alloc/RC/check
+//!   annotations for provenance export ([`span`]).
 //!   See `docs/OBSERVABILITY.md`.
 //!
 //! ## Example
@@ -89,6 +92,7 @@ pub mod page;
 pub mod profile;
 pub mod rcops;
 pub mod region;
+pub mod span;
 pub mod stats;
 pub mod timeline;
 pub mod trace;
@@ -106,6 +110,7 @@ pub use layout::{PtrKind, SlotKind, TypeId, TypeLayout};
 pub use profile::{Profile, ProfileTotals, RegionProfile, SiteProfile};
 pub use rcops::WriteMode;
 pub use region::{RegionId, TRADITIONAL};
+pub use span::{SiteFires, Span, SpanNote, SpanTree, DEFAULT_SPAN_NOTE_CAP};
 pub use stats::{AssignCategory, Stats};
 pub use timeline::{
     sparkline, HeapGauges, MetricsSnapshot, Timeline, DEFAULT_SAMPLE_INTERVAL,

@@ -149,6 +149,9 @@ impl Heap {
             };
             self.trace_emit(ev);
         }
+        if self.span_on() {
+            self.span_note_alloc(TRADITIONAL.0, words as u32);
+        }
         self.sample_tick();
         Ok(addr)
     }

@@ -55,6 +55,8 @@ pub struct ProfileTotals {
     pub audit_runs: u64,
     /// Auditor runs that found a violated invariant.
     pub audit_failures: u64,
+    /// Injected faults (matches `Stats::faults_injected`).
+    pub faults_injected: u64,
 }
 
 impl ProfileTotals {
@@ -229,6 +231,7 @@ impl Profile {
                     self.totals.audit_failures += 1;
                 }
             }
+            Event::Fault { .. } => self.totals.faults_injected += 1,
         }
     }
 
@@ -375,6 +378,9 @@ impl Profile {
                 t.audit_runs, t.audit_failures
             ));
         }
+        if t.faults_injected > 0 {
+            out.push_str(&format!("  faults    {} injected\n", t.faults_injected));
+        }
         let checks = self.hot_check_sites(5);
         if !checks.is_empty() {
             out.push_str("  top check sites:\n");
@@ -449,6 +455,7 @@ impl Profile {
             ("gc_collections", Json::U(t.gc_collections)),
             ("audit_runs", Json::U(t.audit_runs)),
             ("audit_failures", Json::U(t.audit_failures)),
+            ("faults_injected", Json::U(t.faults_injected)),
         ]);
         let sites = Json::A(
             self.sites

@@ -82,6 +82,9 @@ impl Heap {
                     let ev = Event::CheckRun { kind, site: self.trace_site, passed: ok };
                     self.trace_emit(ev);
                 }
+                if self.span_on() {
+                    self.span_note_check(obj, kind, ok);
+                }
                 self.write_counted(obj, slot, val)
             }
         }
@@ -108,6 +111,9 @@ impl Heap {
                 site: self.trace_site,
             };
             self.trace_emit(ev);
+        }
+        if self.span_on() {
+            self.span_note_rc(rp.0, full);
         }
         let mut decremented = false;
         if full {
@@ -154,6 +160,9 @@ impl Heap {
         if self.trace_on(mask::CHECK_RUN) {
             let ev = Event::CheckRun { kind, site: self.trace_site, passed: ok };
             self.trace_emit(ev);
+        }
+        if self.span_on() {
+            self.span_note_check(obj, kind, ok);
         }
         self.sample_tick();
         if !ok {

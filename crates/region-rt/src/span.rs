@@ -1,0 +1,760 @@
+//! Region lifecycle spans: the causality layer over the flat event ring.
+//!
+//! The trace ring ([`crate::trace`]) answers *which event*; the timeline
+//! ([`crate::timeline`]) answers *when*. This module adds *structure*:
+//! every region's lifecycle (`newregion` → `deleteregion`) is a [`Span`]
+//! in a parent/child tree mirroring the DFS `id`/`nextid` hierarchy of
+//! [`crate::region`], and every alloc / rc-update / check / collection /
+//! injected fault is attached to its owning span as a virtual-clock-
+//! stamped [`SpanNote`]. The tree is what the Perfetto exporter in
+//! `rc-bench` renders (spans on tracks, notes as instants) and what the
+//! fuzzer's well-formedness oracle cross-checks.
+//!
+//! Design constraints, shared with the rest of the telemetry stack (see
+//! `docs/OBSERVABILITY.md`):
+//!
+//! - **Pay only when enabled.** Every hook site tests one `Option`
+//!   discriminant ([`Heap::span_on`]); the tree is `None` — the default —
+//!   unless [`Heap::enable_spans`] was called. `--no-default-features`
+//!   compiles the branch away entirely.
+//! - **Bounded notes, exact aggregates.** Raw notes live in a bounded
+//!   vector (newest dropped when full, never reallocated past the cap),
+//!   but per-span counters and the per-check-site fire table are folded
+//!   at emission time, so totals stay exact no matter how many notes
+//!   were dropped.
+//! - **Deterministic.** Spans and notes are stamped by the virtual
+//!   clock only; two runs of the same program produce identical trees.
+//!
+//! Span indices equal region indices: the runtime never reuses a region
+//! slot, so `spans()[r]` is region `r`'s span for the whole run.
+
+use std::collections::BTreeMap;
+
+use crate::cost::Cycles;
+use crate::fault::FaultPlane;
+use crate::heap::Heap;
+use crate::layout::PtrKind;
+use crate::region::{is_ancestor, RegionData, TRADITIONAL};
+use crate::trace::NO_REGION;
+
+/// Default bound on retained raw [`SpanNote`]s.
+pub const DEFAULT_SPAN_NOTE_CAP: usize = 256 * 1024;
+
+/// One region lifecycle. `region` is the raw
+/// [`RegionId`](crate::region::RegionId) index; the span for region `r`
+/// sits at index `r` of [`SpanTree::spans`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Span {
+    /// The region this span covers.
+    pub region: u32,
+    /// Parent region ([`NO_REGION`] for the traditional root, or for a
+    /// region whose creation predates span recording).
+    pub parent: u32,
+    /// Virtual time of `newregion`/`newsubregion` (the region's
+    /// `born_at`, so durations equal the profile's `lifetime_cycles`).
+    pub opened_at: Cycles,
+    /// Virtual time of reclamation; `None` while the region is live.
+    pub closed_at: Option<Cycles>,
+    /// Objects allocated into the region.
+    pub allocs: u64,
+    /// Words allocated into the region.
+    pub alloc_words: u64,
+    /// Reference-count updates on objects of this region.
+    pub rc_updates: u64,
+    /// Annotation checks on stores into objects of this region.
+    pub checks: u64,
+    /// The subset of `checks` that failed.
+    pub checks_failed: u64,
+    /// Injected faults attributed to this span (root span only; fault
+    /// planes are process-level).
+    pub faults: u64,
+    /// Words of storage freed when the span closed.
+    pub freed_words: u64,
+}
+
+impl Span {
+    fn new(region: u32, parent: u32, opened_at: Cycles) -> Span {
+        Span {
+            region,
+            parent,
+            opened_at,
+            closed_at: None,
+            allocs: 0,
+            alloc_words: 0,
+            rc_updates: 0,
+            checks: 0,
+            checks_failed: 0,
+            faults: 0,
+            freed_words: 0,
+        }
+    }
+
+    /// Span duration: reclamation minus creation (`None` while open).
+    pub fn duration(&self) -> Option<Cycles> {
+        self.closed_at.map(|c| c.saturating_sub(self.opened_at))
+    }
+}
+
+/// One span-scoped annotation, stamped by the virtual clock. `site`
+/// fields are 1-based source lines (0 = unattributed); `check_site` is
+/// the front-end check-site id
+/// ([`NO_CHECK_SITE`](crate::checkcount::NO_CHECK_SITE) when the
+/// interpreter did not publish one).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpanNote {
+    /// An object was allocated into `region`.
+    Alloc {
+        /// Owning region (the traditional region for malloc/GC objects).
+        region: u32,
+        /// Virtual time.
+        at: Cycles,
+        /// Source line (0 = unattributed).
+        site: u32,
+        /// Size in words.
+        words: u32,
+    },
+    /// A reference-count update ran on an object of `region`.
+    Rc {
+        /// Region of the object containing the updated slot.
+        region: u32,
+        /// Virtual time.
+        at: Cycles,
+        /// Source line (0 = unattributed).
+        site: u32,
+        /// Whether the counts actually changed (Figure 3(a) full path).
+        full: bool,
+    },
+    /// An annotation check ran on a store into an object of `region`.
+    Check {
+        /// Region of the stored-into object.
+        region: u32,
+        /// Virtual time.
+        at: Cycles,
+        /// Source line (0 = unattributed).
+        site: u32,
+        /// Front-end check-site id for static↔dynamic attribution.
+        check_site: u32,
+        /// Which annotation was checked.
+        kind: PtrKind,
+        /// Whether the check passed.
+        passed: bool,
+        /// The static verdict the inference reached for this site
+        /// (`true` = eliminable in principle; the check ran anyway
+        /// because the configuration keeps all checks).
+        statically_safe: bool,
+    },
+    /// A mark–sweep collection ran (attributed to the root span).
+    Gc {
+        /// Virtual time.
+        at: Cycles,
+        /// Words examined by marking.
+        marked_words: u64,
+        /// Objects reclaimed by the sweep.
+        swept_objects: u64,
+    },
+    /// A fault plane injected a failure (attributed to the root span).
+    Fault {
+        /// Virtual time.
+        at: Cycles,
+        /// The plane that fired.
+        plane: FaultPlane,
+        /// 1-based operation ordinal on that plane.
+        op: u64,
+    },
+}
+
+impl SpanNote {
+    /// Virtual-clock stamp of the note.
+    pub fn at(&self) -> Cycles {
+        match *self {
+            SpanNote::Alloc { at, .. }
+            | SpanNote::Rc { at, .. }
+            | SpanNote::Check { at, .. }
+            | SpanNote::Gc { at, .. }
+            | SpanNote::Fault { at, .. } => at,
+        }
+    }
+
+    /// The span (region index) the note is attributed to.
+    pub fn region(&self) -> u32 {
+        match *self {
+            SpanNote::Alloc { region, .. }
+            | SpanNote::Rc { region, .. }
+            | SpanNote::Check { region, .. } => region,
+            SpanNote::Gc { .. } | SpanNote::Fault { .. } => TRADITIONAL.0,
+        }
+    }
+}
+
+/// Exact per-check-site dynamic outcome tally (folded at emission time,
+/// immune to note drops). Keyed by the front-end check-site id.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct SiteFires {
+    /// Times the check executed.
+    pub fires: u64,
+    /// The subset of `fires` that failed.
+    pub fails: u64,
+    /// The static verdict the interpreter published for the site.
+    pub statically_safe: bool,
+}
+
+/// The span tree of one run: one [`Span`] per region (index = region
+/// id), bounded raw [`SpanNote`]s, and exact folded tallies.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanTree {
+    spans: Vec<Span>,
+    notes: Vec<SpanNote>,
+    note_cap: usize,
+    notes_dropped: u64,
+    check_sites: BTreeMap<u32, SiteFires>,
+    verified: Option<Result<(), String>>,
+}
+
+impl SpanTree {
+    /// An empty tree retaining at most `note_cap` raw notes (clamped to
+    /// at least 16).
+    pub fn new(note_cap: usize) -> SpanTree {
+        SpanTree {
+            spans: Vec::new(),
+            notes: Vec::new(),
+            note_cap: note_cap.max(16),
+            notes_dropped: 0,
+            check_sites: BTreeMap::new(),
+            verified: None,
+        }
+    }
+
+    /// A tree seeded from an existing region table: every region already
+    /// created gets a span (closed with zero duration if already dead,
+    /// so the index invariant holds from the first recorded event).
+    pub fn seeded(note_cap: usize, regions: &[RegionData]) -> SpanTree {
+        let mut t = SpanTree::new(note_cap);
+        for (i, rd) in regions.iter().enumerate() {
+            let parent = rd.parent.map_or(NO_REGION, |p| p.0);
+            let mut s = Span::new(i as u32, parent, rd.born_at);
+            if !rd.alive {
+                s.closed_at = Some(rd.born_at);
+            }
+            t.spans.push(s);
+        }
+        t
+    }
+
+    /// Opens the span for a newly created region.
+    pub fn open(&mut self, region: u32, parent: u32, at: Cycles) {
+        self.spans.push(Span::new(region, parent, at));
+    }
+
+    /// Closes a span at reclamation time.
+    pub fn close(&mut self, region: u32, at: Cycles, freed_words: u64) {
+        if let Some(s) = self.spans.get_mut(region as usize) {
+            s.closed_at = Some(at);
+            s.freed_words = freed_words;
+        }
+    }
+
+    fn push_note(&mut self, note: SpanNote) {
+        if self.notes.len() < self.note_cap {
+            self.notes.push(note);
+        } else {
+            self.notes_dropped += 1;
+        }
+    }
+
+    fn span_mut(&mut self, region: u32) -> Option<&mut Span> {
+        self.spans.get_mut(region as usize)
+    }
+
+    /// Records an allocation into `region`.
+    pub fn note_alloc(&mut self, region: u32, at: Cycles, site: u32, words: u32) {
+        if let Some(s) = self.span_mut(region) {
+            s.allocs += 1;
+            s.alloc_words += words as u64;
+        }
+        self.push_note(SpanNote::Alloc { region, at, site, words });
+    }
+
+    /// Records a reference-count update on an object of `region`.
+    pub fn note_rc(&mut self, region: u32, at: Cycles, site: u32, full: bool) {
+        if let Some(s) = self.span_mut(region) {
+            s.rc_updates += 1;
+        }
+        self.push_note(SpanNote::Rc { region, at, site, full });
+    }
+
+    /// Records an annotation check on a store into an object of
+    /// `region`, folding the exact per-check-site tally.
+    #[allow(clippy::too_many_arguments)]
+    pub fn note_check(
+        &mut self,
+        region: u32,
+        at: Cycles,
+        site: u32,
+        check_site: u32,
+        kind: PtrKind,
+        passed: bool,
+        statically_safe: bool,
+    ) {
+        if let Some(s) = self.span_mut(region) {
+            s.checks += 1;
+            if !passed {
+                s.checks_failed += 1;
+            }
+        }
+        if check_site != crate::checkcount::NO_CHECK_SITE {
+            let e = self.check_sites.entry(check_site).or_default();
+            e.fires += 1;
+            if !passed {
+                e.fails += 1;
+            }
+            e.statically_safe = statically_safe;
+        }
+        self.push_note(SpanNote::Check {
+            region,
+            at,
+            site,
+            check_site,
+            kind,
+            passed,
+            statically_safe,
+        });
+    }
+
+    /// Records a mark–sweep collection (root span).
+    pub fn note_gc(&mut self, at: Cycles, marked_words: u64, swept_objects: u64) {
+        self.push_note(SpanNote::Gc { at, marked_words, swept_objects });
+    }
+
+    /// Records an injected fault (root span).
+    pub fn note_fault(&mut self, at: Cycles, plane: FaultPlane, op: u64) {
+        if let Some(s) = self.span_mut(TRADITIONAL.0) {
+            s.faults += 1;
+        }
+        self.push_note(SpanNote::Fault { at, plane, op });
+    }
+
+    /// All spans, region id ascending (index = region id).
+    pub fn spans(&self) -> &[Span] {
+        &self.spans
+    }
+
+    /// Retained raw notes, emission order.
+    pub fn notes(&self) -> &[SpanNote] {
+        &self.notes
+    }
+
+    /// Notes discarded because the bound was hit.
+    pub fn notes_dropped(&self) -> u64 {
+        self.notes_dropped
+    }
+
+    /// The note bound this tree was created with.
+    pub fn note_cap(&self) -> usize {
+        self.note_cap
+    }
+
+    /// Exact per-check-site outcome tallies, site id ascending.
+    pub fn check_sites(&self) -> impl Iterator<Item = (u32, &SiteFires)> {
+        self.check_sites.iter().map(|(&k, v)| (k, v))
+    }
+
+    /// The tally for one check site, if it ever fired.
+    pub fn site_fires(&self, check_site: u32) -> Option<SiteFires> {
+        self.check_sites.get(&check_site).copied()
+    }
+
+    /// Spans still open.
+    pub fn open_count(&self) -> usize {
+        self.spans.iter().filter(|s| s.closed_at.is_none()).count()
+    }
+
+    /// Spans closed by reclamation.
+    pub fn closed_count(&self) -> usize {
+        self.spans.iter().filter(|s| s.closed_at.is_some()).count()
+    }
+
+    /// Sum of `allocs` over all spans.
+    pub fn total_allocs(&self) -> u64 {
+        self.spans.iter().map(|s| s.allocs).sum()
+    }
+
+    /// Sum of `alloc_words` over all spans.
+    pub fn total_alloc_words(&self) -> u64 {
+        self.spans.iter().map(|s| s.alloc_words).sum()
+    }
+
+    /// Sum of `rc_updates` over all spans.
+    pub fn total_rc_updates(&self) -> u64 {
+        self.spans.iter().map(|s| s.rc_updates).sum()
+    }
+
+    /// Sum of `checks` over all spans.
+    pub fn total_checks(&self) -> u64 {
+        self.spans.iter().map(|s| s.checks).sum()
+    }
+
+    /// Sum of `faults` over all spans.
+    pub fn total_faults(&self) -> u64 {
+        self.spans.iter().map(|s| s.faults).sum()
+    }
+
+    /// Stamps the outcome of [`Heap::seal_spans`]' well-formedness
+    /// verification into the tree, so consumers that only see the
+    /// detached tree (the fuzz oracle, report builders) can read it.
+    pub fn set_verified(&mut self, outcome: Result<(), String>) {
+        self.verified = Some(outcome);
+    }
+
+    /// The stamped verification outcome (`None` = never verified).
+    pub fn verification(&self) -> Option<&Result<(), String>> {
+        self.verified.as_ref()
+    }
+
+    /// Checks the tree's well-formedness against the region table:
+    ///
+    /// - one span per region, `span.region` = its index;
+    /// - balanced open/close — a span is closed iff its region is dead;
+    /// - children time-nested within parents (a child opens no earlier
+    ///   than its parent and closes no later — region deletion is
+    ///   structurally bottom-up);
+    /// - parent links of live spans match the heap's, and live
+    ///   parent/child pairs satisfy the DFS `id`/`nextid` interval
+    ///   containment that backs the `parentptr` check.
+    pub fn verify(&self, regions: &[RegionData]) -> Result<(), String> {
+        if self.spans.len() != regions.len() {
+            return Err(format!(
+                "span/region count mismatch: {} spans, {} regions",
+                self.spans.len(),
+                regions.len()
+            ));
+        }
+        for (i, s) in self.spans.iter().enumerate() {
+            let rd = &regions[i];
+            if s.region as usize != i {
+                return Err(format!("span {i} records region {}", s.region));
+            }
+            if s.closed_at.is_some() == rd.alive {
+                return Err(format!(
+                    "span {i}: closed={} but region alive={}",
+                    s.closed_at.is_some(),
+                    rd.alive
+                ));
+            }
+            if let Some(c) = s.closed_at {
+                if c < s.opened_at {
+                    return Err(format!("span {i}: closed at {c} before open {}", s.opened_at));
+                }
+            }
+            if rd.alive {
+                let heap_parent = rd.parent.map_or(NO_REGION, |p| p.0);
+                if i != TRADITIONAL.0 as usize && s.parent != heap_parent {
+                    return Err(format!(
+                        "span {i}: parent {} but region parent {heap_parent}",
+                        s.parent
+                    ));
+                }
+            }
+            if s.parent != NO_REGION {
+                let Some(p) = self.spans.get(s.parent as usize) else {
+                    return Err(format!("span {i}: parent {} out of range", s.parent));
+                };
+                if s.opened_at < p.opened_at {
+                    return Err(format!(
+                        "span {i} opened at {} before its parent ({})",
+                        s.opened_at, p.opened_at
+                    ));
+                }
+                if let Some(pc) = p.closed_at {
+                    match s.closed_at {
+                        None => {
+                            return Err(format!("span {i} open after parent {} closed", s.parent))
+                        }
+                        Some(c) if c > pc => {
+                            return Err(format!(
+                                "span {i} closed at {c}, after parent {} at {pc}",
+                                s.parent
+                            ))
+                        }
+                        Some(_) => {}
+                    }
+                }
+                // DFS interval containment only holds for the *live*
+                // hierarchy (dead regions keep stale numbers).
+                let pd = &regions[s.parent as usize];
+                if rd.alive && pd.alive {
+                    if rd.id >= rd.nextid {
+                        return Err(format!(
+                            "region {i}: empty DFS interval [{}, {})",
+                            rd.id, rd.nextid
+                        ));
+                    }
+                    if !is_ancestor(regions, crate::region::RegionId(s.parent), crate::region::RegionId(i as u32))
+                        || rd.nextid > pd.nextid
+                    {
+                        return Err(format!(
+                            "region {i} interval [{}, {}) not inside parent {} [{}, {})",
+                            rd.id, rd.nextid, s.parent, pd.id, pd.nextid
+                        ));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Heap {
+    /// Whether span recording is active. One branch; compiled out
+    /// without the `telemetry` feature.
+    #[inline(always)]
+    pub(crate) fn span_on(&self) -> bool {
+        #[cfg(feature = "telemetry")]
+        {
+            self.span_tree.is_some()
+        }
+        #[cfg(not(feature = "telemetry"))]
+        {
+            false
+        }
+    }
+
+    /// Attaches a [`SpanTree`] retaining at most `note_cap` raw notes.
+    /// Regions that already exist are seeded (the traditional region's
+    /// span opens at time 0). Replaces any existing tree. Under
+    /// `--no-default-features` this is a no-op.
+    pub fn enable_spans(&mut self, note_cap: usize) {
+        #[cfg(feature = "telemetry")]
+        {
+            self.span_tree = Some(Box::new(SpanTree::seeded(note_cap, &self.regions)));
+        }
+        #[cfg(not(feature = "telemetry"))]
+        {
+            let _ = note_cap;
+        }
+    }
+
+    /// Detaches and returns the span tree, disabling further recording.
+    pub fn take_spans(&mut self) -> Option<Box<SpanTree>> {
+        self.span_tree.take()
+    }
+
+    /// The attached span tree, if any.
+    pub fn spans(&self) -> Option<&SpanTree> {
+        self.span_tree.as_deref()
+    }
+
+    /// Whether a span tree is attached.
+    pub fn spans_enabled(&self) -> bool {
+        self.span_tree.is_some()
+    }
+
+    /// Publishes the static verdict of the next annotation check's site
+    /// (pairs with [`Heap::set_check_site`]); stamped into span check
+    /// notes as `statically_safe`.
+    #[inline(always)]
+    pub fn set_check_verdict(&mut self, safe: bool) {
+        self.check_safe = safe;
+    }
+
+    /// Verifies the span tree against the live region table and stamps
+    /// the outcome into the tree (see [`SpanTree::verification`]).
+    /// No-op when spans are disabled. Returns the outcome.
+    pub fn seal_spans(&mut self) -> Result<(), String> {
+        let outcome = match self.span_tree.as_deref() {
+            Some(t) => t.verify(&self.regions),
+            None => return Ok(()),
+        };
+        if let Some(t) = self.span_tree.as_mut() {
+            t.set_verified(outcome.clone());
+        }
+        outcome
+    }
+
+    /// Opens a span for a new region. Callers guard with
+    /// [`Heap::span_on`].
+    #[cold]
+    pub(crate) fn span_open(&mut self, region: u32, parent: u32, at: Cycles) {
+        if let Some(t) = self.span_tree.as_mut() {
+            t.open(region, parent, at);
+        }
+    }
+
+    /// Closes a region's span at reclamation.
+    #[cold]
+    pub(crate) fn span_close(&mut self, region: u32, at: Cycles, freed_words: u64) {
+        if let Some(t) = self.span_tree.as_mut() {
+            t.close(region, at, freed_words);
+        }
+    }
+
+    /// Records an allocation note.
+    #[cold]
+    pub(crate) fn span_note_alloc(&mut self, region: u32, words: u32) {
+        let at = self.clock.cycles();
+        let site = self.trace_site;
+        if let Some(t) = self.span_tree.as_mut() {
+            t.note_alloc(region, at, site, words);
+        }
+    }
+
+    /// Records a reference-count-update note.
+    #[cold]
+    pub(crate) fn span_note_rc(&mut self, region: u32, full: bool) {
+        let at = self.clock.cycles();
+        let site = self.trace_site;
+        if let Some(t) = self.span_tree.as_mut() {
+            t.note_rc(region, at, site, full);
+        }
+    }
+
+    /// Records a check note on the store into `obj`, carrying both
+    /// attribution channels (source line + front-end check site) and
+    /// the published static verdict.
+    #[cold]
+    pub(crate) fn span_note_check(&mut self, obj: crate::addr::Addr, kind: PtrKind, passed: bool) {
+        let region = self.try_region_of(obj).map_or(TRADITIONAL, |r| r).0;
+        let at = self.clock.cycles();
+        let site = self.trace_site;
+        let check_site = self.check_site;
+        let safe = self.check_safe;
+        if let Some(t) = self.span_tree.as_mut() {
+            t.note_check(region, at, site, check_site, kind, passed, safe);
+        }
+    }
+
+    /// Records a collection note.
+    #[cold]
+    pub(crate) fn span_note_gc(&mut self, marked_words: u64, swept_objects: u64) {
+        let at = self.clock.cycles();
+        if let Some(t) = self.span_tree.as_mut() {
+            t.note_gc(at, marked_words, swept_objects);
+        }
+    }
+
+    /// Records one injected fault everywhere the observability stack can
+    /// see it: the `faults_injected` stat, the trace ring (satellite fix
+    /// — fault-plane events used to bypass it), and the span tree.
+    #[cold]
+    pub(crate) fn note_fault_injected(&mut self, plane: FaultPlane, op: u64, at: Cycles) {
+        self.stats.faults_injected += 1;
+        if self.trace_on(crate::trace::mask::FAULT) {
+            self.trace_emit(crate::trace::Event::Fault { plane, op, at });
+        }
+        if self.span_on() {
+            if let Some(t) = self.span_tree.as_mut() {
+                t.note_fault(at, plane, op);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::heap::Heap;
+    use crate::layout::{SlotKind, TypeLayout};
+
+    fn ty(h: &mut Heap) -> crate::layout::TypeId {
+        h.register_type(TypeLayout::new("t", vec![SlotKind::Data, SlotKind::Data]))
+    }
+
+    #[test]
+    fn spans_mirror_region_lifecycles() {
+        let mut h = Heap::with_defaults();
+        let ty = ty(&mut h);
+        h.enable_spans(DEFAULT_SPAN_NOTE_CAP);
+        let parent = h.new_region();
+        let child = h.new_subregion(parent).unwrap();
+        h.ralloc(child, ty).unwrap();
+        h.ralloc(child, ty).unwrap();
+        h.delete_region(child).unwrap();
+        h.delete_region(parent).unwrap();
+        assert!(h.seal_spans().is_ok());
+        let t = h.take_spans().unwrap();
+        assert_eq!(t.spans().len(), 3, "traditional + two regions");
+        let c = t.spans()[child.0 as usize];
+        assert_eq!(c.parent, parent.0);
+        assert_eq!(c.allocs, 2);
+        assert_eq!(c.alloc_words, 4);
+        assert!(c.closed_at.is_some());
+        assert!(t.spans()[0].closed_at.is_none(), "root never closes");
+        assert_eq!(t.open_count(), 1);
+        assert_eq!(t.closed_count(), 2);
+        assert_eq!(t.verification(), Some(&Ok(())));
+    }
+
+    #[test]
+    fn child_nesting_and_duration_hold() {
+        let mut h = Heap::with_defaults();
+        h.enable_spans(64);
+        let r = h.new_region();
+        let s = h.new_subregion(r).unwrap();
+        h.delete_region(s).unwrap();
+        h.delete_region(r).unwrap();
+        let t = h.take_spans().unwrap();
+        let (pr, ch) = (t.spans()[r.0 as usize], t.spans()[s.0 as usize]);
+        assert!(ch.opened_at >= pr.opened_at);
+        assert!(ch.closed_at.unwrap() <= pr.closed_at.unwrap());
+        assert_eq!(pr.duration().unwrap(), pr.closed_at.unwrap() - pr.opened_at);
+    }
+
+    #[test]
+    fn note_bound_drops_but_tallies_stay_exact() {
+        let mut t = SpanTree::new(16);
+        t.open(0, NO_REGION, 0);
+        for i in 0..40 {
+            t.note_check(0, i, 1, 7, PtrKind::SameRegion, i % 2 == 0, false);
+        }
+        assert_eq!(t.notes().len(), 16);
+        assert_eq!(t.notes_dropped(), 24);
+        let f = t.site_fires(7).unwrap();
+        assert_eq!(f.fires, 40, "fold is exact despite drops");
+        assert_eq!(f.fails, 20);
+        assert_eq!(t.total_checks(), 40);
+    }
+
+    #[test]
+    fn verify_catches_unbalanced_and_misnested_trees() {
+        let mut h = Heap::with_defaults();
+        h.enable_spans(64);
+        let r = h.new_region();
+        // Balanced so far.
+        assert!(h.seal_spans().is_ok());
+        // Tamper: close the live region's span.
+        let mut t = h.take_spans().unwrap();
+        t.close(r.0, 5, 0);
+        h.enable_spans(64);
+        // Fresh tree is consistent again.
+        assert!(h.seal_spans().is_ok());
+        // The tampered tree fails against the same region table.
+        let msg = t.verify(&h.regions).unwrap_err();
+        assert!(msg.contains("closed=true"), "{msg}");
+    }
+
+    #[test]
+    fn unwind_closes_every_span_bottom_up() {
+        let mut h = Heap::with_defaults();
+        h.enable_spans(1024);
+        let a = h.new_region();
+        let b = h.new_subregion(a).unwrap();
+        let _c = h.new_subregion(b).unwrap();
+        assert_eq!(h.unwind_regions(), 3);
+        assert!(h.seal_spans().is_ok());
+        let t = h.take_spans().unwrap();
+        assert_eq!(t.open_count(), 1, "only the traditional span survives");
+    }
+
+    #[test]
+    fn enable_spans_seeds_existing_regions() {
+        let mut h = Heap::with_defaults();
+        let r = h.new_region();
+        let dead = h.new_region();
+        h.delete_region(dead).unwrap();
+        h.enable_spans(64);
+        assert!(h.seal_spans().is_ok());
+        let t = h.spans().unwrap();
+        assert_eq!(t.spans().len(), 3);
+        assert!(t.spans()[r.0 as usize].closed_at.is_none());
+        assert!(t.spans()[dead.0 as usize].closed_at.is_some());
+    }
+}

@@ -96,6 +96,9 @@ pub struct Stats {
     /// gauge held (a double-free or accounting bug; panics under
     /// `debug_assertions`, and the auditor reports it either way).
     pub live_underflows: u64,
+    /// Faults injected by armed fault planes (see [`crate::fault`]);
+    /// page-plane injections are folded in at harvest.
+    pub faults_injected: u64,
 }
 
 impl Stats {
@@ -232,6 +235,9 @@ impl Stats {
             ));
         }
         out.push_str(&format!("alloc time : {} cycles\n", self.alloc_cycles));
+        if self.faults_injected > 0 {
+            out.push_str(&format!("faults     : {} injected\n", self.faults_injected));
+        }
         if self.live_underflows > 0 {
             out.push_str(&format!(
                 "WARNING    : {} live-gauge underflows (double free or allocator accounting bug)\n",
@@ -278,6 +284,7 @@ impl Stats {
             ("alloc_cycles", Json::U(self.alloc_cycles)),
             ("gc_cycles", Json::U(self.gc_cycles)),
             ("live_underflows", Json::U(self.live_underflows)),
+            ("faults_injected", Json::U(self.faults_injected)),
         ])
     }
 
@@ -330,6 +337,7 @@ impl Stats {
             alloc_cycles: field("alloc_cycles")?,
             gc_cycles: field("gc_cycles")?,
             live_underflows: field("live_underflows")?,
+            faults_injected: field("faults_injected")?,
         })
     }
 }
@@ -452,6 +460,7 @@ mod tests {
             alloc_cycles: 29,
             gc_cycles: 30,
             live_underflows: 31,
+            faults_injected: 32,
         }
     }
 
@@ -461,15 +470,15 @@ mod tests {
         let json = s.to_json();
         // An unexpected shape fails the assertion instead of panicking.
         let fields = json.as_object().unwrap_or_default();
-        assert_eq!(fields.len(), 31, "one JSON key per Stats field (got {json:?})");
+        assert_eq!(fields.len(), 32, "one JSON key per Stats field (got {json:?})");
         for (key, val) in fields {
-            assert!(matches!(val, Json::U(v) if *v >= 1 && *v <= 31), "{key} lost its value");
+            assert!(matches!(val, Json::U(v) if *v >= 1 && *v <= 32), "{key} lost its value");
         }
         // Distinct values stay distinct: nothing is aliased or dropped.
         let mut vals: Vec<u64> =
             fields.iter().map(|(_, v)| if let Json::U(u) = v { *u } else { 0 }).collect();
         vals.sort_unstable();
-        assert_eq!(vals, (1..=31).collect::<Vec<u64>>());
+        assert_eq!(vals, (1..=32).collect::<Vec<u64>>());
     }
 
     #[test]
@@ -487,7 +496,7 @@ mod tests {
         assert!(err.contains("assigns_safe"), "{err}");
         // One key missing.
         let mut fields = fully_populated().to_json().as_object().unwrap_or_default().to_vec();
-        assert_eq!(fields.len(), 31);
+        assert_eq!(fields.len(), 32);
         fields.retain(|(k, _)| k != "gc_cycles");
         let err = Stats::from_json(&Json::O(fields.clone())).unwrap_err();
         assert!(err.contains("gc_cycles"), "{err}");
@@ -532,6 +541,7 @@ mod tests {
             "29 cycles",
             "30 cycles",
             "31 live-gauge underflows",
+            "32 injected",
         ] {
             assert!(text.contains(needle), "summary missing {needle:?}:\n{text}");
         }

@@ -28,6 +28,7 @@
 //! current line via [`Heap::set_trace_site`] before entering the runtime.
 
 use crate::cost::Cycles;
+use crate::fault::FaultPlane;
 use crate::heap::Heap;
 use crate::json::Json;
 use crate::layout::PtrKind;
@@ -53,8 +54,10 @@ pub mod mask {
     pub const GC_COLLECTION: u32 = 1 << 6;
     /// A run of the heap auditor.
     pub const AUDIT_RUN: u32 = 1 << 7;
+    /// An injected fault (see [`crate::fault`]).
+    pub const FAULT: u32 = 1 << 8;
     /// All event kinds.
-    pub const ALL: u32 = (1 << 8) - 1;
+    pub const ALL: u32 = (1 << 9) - 1;
 }
 
 /// One dynamic event. Region fields are raw [`RegionId`]
@@ -129,6 +132,15 @@ pub enum Event {
         /// Whether the reference-count invariant held.
         ok: bool,
     },
+    /// A fault plane injected a failure.
+    Fault {
+        /// The plane that fired.
+        plane: FaultPlane,
+        /// 1-based operation ordinal on that plane.
+        op: u64,
+        /// Virtual time of injection.
+        at: Cycles,
+    },
 }
 
 /// Sentinel for "no region" in [`Event::RcUpdate::to`] (a null store).
@@ -146,6 +158,7 @@ impl Event {
             Event::CheckRun { .. } => mask::CHECK_RUN,
             Event::GcCollection { .. } => mask::GC_COLLECTION,
             Event::AuditRun { .. } => mask::AUDIT_RUN,
+            Event::Fault { .. } => mask::FAULT,
         }
     }
 
@@ -196,6 +209,12 @@ impl Event {
             Event::AuditRun { ok } => {
                 Json::obj(vec![("ev", Json::s("audit")), ("ok", Json::Bool(ok))])
             }
+            Event::Fault { plane, op, at } => Json::obj(vec![
+                ("ev", Json::s("fault")),
+                ("plane", Json::s(plane.name())),
+                ("op", Json::U(op)),
+                ("at", Json::U(at)),
+            ]),
         }
     }
 }

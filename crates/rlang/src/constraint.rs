@@ -279,6 +279,22 @@ impl ConstraintSet {
         out
     }
 
+    /// [`ConstraintSet::meet`], also reporting the facts *lost* at the
+    /// join: every fact held by one operand that the meet no longer
+    /// entails. This is the provenance hook — a retained check downstream
+    /// of the join can name the exact lattice element whose loss blocked
+    /// its elimination (see `infer::ProvenanceReason::MeetPoint`).
+    pub fn meet_with_loss(&self, other: &ConstraintSet) -> (ConstraintSet, Vec<Fact>) {
+        let met = self.meet(other);
+        let mut lost: Vec<Fact> = Vec::new();
+        for f in self.facts().chain(other.facts()) {
+            if !met.entails(f) && !lost.contains(&f) {
+                lost.push(f);
+            }
+        }
+        (met, lost)
+    }
+
     /// Forgets everything about `rho`, keeping implied consequences that do
     /// not mention it (the set is already saturated, so indirect facts such
     /// as `ρ₁ = ρ₂` derived via `rho` survive).
@@ -532,6 +548,21 @@ mod tests {
     fn top_target_makes_sub_trivial() {
         let s = ConstraintSet::from_facts([Fact::IsTop(rho(1))]);
         assert!(s.entails(Fact::Sub(rho(0), rho(1))), "anything ≤ ⊤");
+    }
+
+    #[test]
+    fn meet_with_loss_reports_dropped_facts() {
+        let a = ConstraintSet::from_facts([Fact::Eq(rho(0), rho(1)), Fact::NotTop(rho(2))]);
+        let b = ConstraintSet::from_facts([Fact::NotTop(rho(2))]);
+        let (met, lost) = a.meet_with_loss(&b);
+        assert!(met.entails(Fact::NotTop(rho(2))));
+        assert!(!met.entails(Fact::Eq(rho(0), rho(1))));
+        assert!(lost.contains(&Fact::Eq(rho(0), rho(1))), "the dropped equality is named");
+        assert!(!lost.contains(&Fact::NotTop(rho(2))), "surviving facts are not losses");
+        // Meeting with ⊥ is the identity: nothing is lost.
+        let bot = ConstraintSet::contradiction();
+        let (_, lost2) = a.meet_with_loss(&bot);
+        assert!(lost2.is_empty());
     }
 
     #[test]

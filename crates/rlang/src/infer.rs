@@ -21,11 +21,104 @@
 //!   "we can safely eliminate any chk statement that asserts a property
 //!   that is implied by its input constraint set."
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 use crate::constraint::ConstraintSet;
 use crate::program::{Callee, FuncDef, Program, SiteId, Stmt, VarId};
 use crate::types::{Fact, FieldType, RegionExpr, RhoId, VarType};
+
+/// Which control-flow construct performed a provenance-recorded meet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MeetKind {
+    /// The join after an `if`/`else` (constraint-set intersection of the
+    /// two arms).
+    IfJoin,
+    /// The descending fixpoint at a `while` loop entry (intersection of
+    /// the pre-loop state with every back edge).
+    LoopEntry,
+}
+
+impl MeetKind {
+    /// Stable lower-case name for reports and trace export.
+    pub fn name(self) -> &'static str {
+        match self {
+            MeetKind::IfJoin => "if-join",
+            MeetKind::LoopEntry => "loop-entry",
+        }
+    }
+}
+
+/// Why a check site received its verdict — the provenance half of the
+/// static↔dynamic attribution story. For an eliminated check this is
+/// [`ProvenanceReason::Entailed`] (or [`ProvenanceReason::Unreachable`]);
+/// for a retained check it names the specific lattice event that blocked
+/// elimination: the meet point that discarded a sufficient fact, the
+/// region expression the state could not separate from ⊤, or the absence
+/// of any path establishing the obligation at all.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProvenanceReason {
+    /// The flow state entailed the obligation: the check is redundant.
+    Entailed,
+    /// The site is unreachable (contradictory flow state); trivially safe.
+    Unreachable,
+    /// A control-flow meet discarded `lost`, and the state *plus that one
+    /// fact* would have entailed the obligation. `ordinal` is the
+    /// function-local index of the meet (0-based, in execution order of
+    /// the verdict pass).
+    MeetPoint {
+        /// Which construct performed the meet.
+        kind: MeetKind,
+        /// Function-local meet index in verdict-pass execution order.
+        ordinal: u32,
+        /// The discarded fact that would have proven the obligation.
+        lost: Fact,
+    },
+    /// A region expression in the obligation could not be proven ≠ ⊤ —
+    /// the ⊤-weakening of an unknown/possibly-null region blocked
+    /// elimination.
+    TopWeakening {
+        /// The expression the state cannot separate from ⊤.
+        expr: RegionExpr,
+    },
+    /// No recorded meet or ⊤-weakening explains the failure: the
+    /// obligation was never established on any path.
+    NeverEstablished,
+}
+
+impl std::fmt::Display for ProvenanceReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProvenanceReason::Entailed => write!(f, "entailed by the flow state"),
+            ProvenanceReason::Unreachable => write!(f, "unreachable (contradictory state)"),
+            ProvenanceReason::MeetPoint { kind, ordinal, lost } => {
+                write!(f, "lost {lost} at {} #{ordinal}", kind.name())
+            }
+            ProvenanceReason::TopWeakening { expr } => {
+                write!(f, "{expr} may be ⊤ (null or unknown region)")
+            }
+            ProvenanceReason::NeverEstablished => write!(f, "never established on any path"),
+        }
+    }
+}
+
+/// Provenance record for one `chk` site: the obligation, the verdict, and
+/// the reason the verdict came out that way.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SiteProvenance {
+    /// The fact the check asserts.
+    pub fact: Fact,
+    /// `true` when the check was proven redundant (eliminated).
+    pub safe: bool,
+    /// Why — see [`ProvenanceReason`].
+    pub reason: ProvenanceReason,
+}
+
+/// A meet executed during the verdict pass, with the facts it discarded.
+struct MeetEvent {
+    kind: MeetKind,
+    ordinal: u32,
+    lost: Vec<Fact>,
+}
 
 /// Inferred input/output summaries for one function, in "summary space":
 /// ρᵢ is the i-th parameter's region, ρₙ (n = parameter count) the
@@ -53,6 +146,11 @@ pub struct Analysis {
     /// use to cross-check the eliminations dynamically. Always equal to
     /// the `true` entries of `site_safe`.
     pub eliminated_sites: Vec<SiteId>,
+    /// Per-site provenance: the obligation, the verdict, and the reason
+    /// (meet point, ⊤-weakening, …) behind it. Keyed by a `BTreeMap` so
+    /// consumers iterate deterministically. Covers exactly the sites in
+    /// `site_safe`.
+    pub provenance: BTreeMap<SiteId, SiteProvenance>,
     /// Global fixpoint rounds taken.
     pub rounds: usize,
 }
@@ -72,6 +170,11 @@ impl Analysis {
     /// Total recorded sites.
     pub fn site_count(&self) -> usize {
         self.site_safe.len()
+    }
+
+    /// Provenance for a site, if the analysis saw it.
+    pub fn provenance_of(&self, site: SiteId) -> Option<&SiteProvenance> {
+        self.provenance.get(&site)
     }
 }
 
@@ -111,6 +214,7 @@ pub fn analyse(prog: &Program) -> Analysis {
                 verdicts: None,
                 ret_acc: ConstraintSet::contradiction(),
                 violations: None,
+                meets: Vec::new(),
             };
             let end = ctx.exec(&f.body, entry);
             // Output summary: the meet over all exits (explicit returns and
@@ -151,6 +255,7 @@ pub fn analyse(prog: &Program) -> Analysis {
     // Verdict pass with the stable summaries.
     let mut site_safe = HashMap::new();
     let mut site_states = HashMap::new();
+    let mut provenance = BTreeMap::new();
     for (i, f) in prog.funcs.iter().enumerate() {
         let entry = summaries[i].input.clone();
         let mut ctx = Ctx {
@@ -158,9 +263,10 @@ pub fn analyse(prog: &Program) -> Analysis {
             func: f,
             summaries: &summaries,
             in_acc: None,
-            verdicts: Some((&mut site_safe, &mut site_states)),
+            verdicts: Some((&mut site_safe, &mut site_states, &mut provenance)),
             ret_acc: ConstraintSet::contradiction(),
             violations: None,
+            meets: Vec::new(),
         };
         ctx.exec(&f.body, entry);
     }
@@ -169,7 +275,7 @@ pub fn analyse(prog: &Program) -> Analysis {
         site_safe.iter().filter(|&(_, &safe)| safe).map(|(&s, _)| s).collect();
     eliminated_sites.sort_unstable();
 
-    Analysis { summaries, site_safe, site_states, eliminated_sites, rounds }
+    Analysis { summaries, site_safe, site_states, eliminated_sites, provenance, rounds }
 }
 
 /// Validates a program against an inferred (or hand-written) analysis,
@@ -194,6 +300,7 @@ pub fn validate(prog: &Program, analysis: &Analysis) -> Vec<String> {
             verdicts: None,
             ret_acc: ConstraintSet::contradiction(),
             violations: Some(&mut violations),
+            meets: Vec::new(),
         };
         let end = ctx.exec(&f.body, entry);
         let exit = ctx.ret_acc.meet(&end);
@@ -269,8 +376,11 @@ fn project_call_site(
     ConstraintSet::from_facts(out)
 }
 
-type Verdicts<'a> =
-    (&'a mut HashMap<SiteId, bool>, &'a mut HashMap<SiteId, ConstraintSet>);
+type Verdicts<'a> = (
+    &'a mut HashMap<SiteId, bool>,
+    &'a mut HashMap<SiteId, ConstraintSet>,
+    &'a mut BTreeMap<SiteId, SiteProvenance>,
+);
 
 /// Per-function execution context.
 struct Ctx<'a> {
@@ -289,6 +399,10 @@ struct Ctx<'a> {
     /// violations recorded: call sites must entail the callee's input
     /// summary (fncall rule).
     violations: Option<&'a mut Vec<String>>,
+    /// Meets recorded during the verdict pass, in execution order
+    /// (function-local). Empty unless `verdicts` is active — the fixpoint
+    /// passes never pay for loss tracking.
+    meets: Vec<MeetEvent>,
 }
 
 impl Ctx<'_> {
@@ -316,10 +430,17 @@ impl Ctx<'_> {
                 }
                 let dt = self.exec(then_s, dt);
                 let de = self.exec(else_s, de);
-                dt.meet(&de)
+                if self.verdicts.is_some() {
+                    let (met, lost) = dt.meet_with_loss(&de);
+                    self.note_meet(MeetKind::IfJoin, lost);
+                    met
+                } else {
+                    dt.meet(&de)
+                }
             }
             Stmt::While { cond, body } => {
                 // Local descending fixpoint on the loop-entry state.
+                let pre_loop = if self.verdicts.is_some() { Some(d.clone()) } else { None };
                 let mut entry = d;
                 loop {
                     let refined = self.refine_true(*cond, entry.clone());
@@ -333,6 +454,13 @@ impl Ctx<'_> {
                         break;
                     }
                     entry = next;
+                }
+                if let Some(pre) = pre_loop {
+                    // Record what the loop-entry fixpoint cost relative to
+                    // the pre-loop state *before* the verdict-recording
+                    // pass, so checks inside the body can attribute to it.
+                    let lost: Vec<Fact> = pre.facts().filter(|&f| !entry.entails(f)).collect();
+                    self.note_meet(MeetKind::LoopEntry, lost);
                 }
                 if self.verdicts.is_some() {
                     let refined = self.refine_true(*cond, entry.clone());
@@ -426,9 +554,25 @@ impl Ctx<'_> {
                 ConstraintSet::contradiction()
             }
             Stmt::Chk { fact, site } => {
-                if let Some((safe, states)) = self.verdicts.as_mut() {
-                    safe.insert(*site, d.entails(*fact));
-                    states.insert(*site, d.clone());
+                if self.verdicts.is_some() {
+                    let is_safe = d.entails(*fact);
+                    let reason = if is_safe {
+                        if d.is_contradictory() {
+                            ProvenanceReason::Unreachable
+                        } else {
+                            ProvenanceReason::Entailed
+                        }
+                    } else {
+                        self.classify_retained(&d, *fact)
+                    };
+                    if let Some((safe, states, prov)) = self.verdicts.as_mut() {
+                        safe.insert(*site, is_safe);
+                        states.insert(*site, d.clone());
+                        prov.insert(
+                            *site,
+                            SiteProvenance { fact: *fact, safe: is_safe, reason },
+                        );
+                    }
                 }
                 // After a passing check, the property holds.
                 d.add(*fact);
@@ -436,6 +580,37 @@ impl Ctx<'_> {
             }
             Stmt::Call { dst, callee, args } => self.exec_call(*dst, *callee, args, d),
         }
+    }
+
+    /// Records a verdict-pass meet (no-op outside the verdict pass — the
+    /// fixpoint passes never track losses).
+    fn note_meet(&mut self, kind: MeetKind, lost: Vec<Fact>) {
+        if self.verdicts.is_some() {
+            let ordinal = self.meets.len() as u32;
+            self.meets.push(MeetEvent { kind, ordinal, lost });
+        }
+    }
+
+    /// Classifies why a retained check could not be eliminated: the most
+    /// recent meet whose discarded fact would have completed the proof, a
+    /// ⊤-weakened region expression in the obligation, or — failing both —
+    /// an obligation never established on any path.
+    fn classify_retained(&self, d: &ConstraintSet, fact: Fact) -> ProvenanceReason {
+        for m in self.meets.iter().rev() {
+            for &lost in &m.lost {
+                let mut with = d.clone();
+                with.add(lost);
+                if with.entails(fact) {
+                    return ProvenanceReason::MeetPoint { kind: m.kind, ordinal: m.ordinal, lost };
+                }
+            }
+        }
+        for expr in fact.exprs() {
+            if !d.entails(Fact::NotTop(expr)) {
+                return ProvenanceReason::TopWeakening { expr };
+            }
+        }
+        ProvenanceReason::NeverEstablished
     }
 
     fn refine_true(&self, cond: VarId, mut d: ConstraintSet) -> ConstraintSet {
@@ -955,6 +1130,153 @@ mod tests {
         let a = analyse(&p);
         assert!(a.eliminated_sites.is_empty());
         assert_eq!(a.site_count(), 1, "the kept site is still recorded in site_safe");
+    }
+
+    #[test]
+    fn provenance_labels_eliminated_and_top_weakened_sites() {
+        // Figure 1: both eliminated sites carry `Entailed`.
+        let p = figure1_program();
+        let a = analyse(&p);
+        for site in [SiteId(0), SiteId(1)] {
+            let prov = a.provenance_of(site).expect("every seen site has provenance");
+            assert!(prov.safe);
+            assert_eq!(prov.reason, ProvenanceReason::Entailed);
+        }
+        assert_eq!(a.provenance.len(), a.site_count(), "provenance covers site_safe");
+
+        // §5.2's havoc idiom: the retained site blames the ⊤-weakened
+        // source region (the array read yields an unknown region).
+        let mut p = Program::new();
+        let rlist = StructId(0);
+        p.add_struct(StructDecl {
+            name: "rlist".into(),
+            fields: vec![("next".into(), FieldType::Ptr { target: rlist, qual: FieldQual::SameRegion })],
+        });
+        let (r, x, y) = (VarId(0), VarId(1), VarId(2));
+        let body = Stmt::Seq(vec![
+            Stmt::Call { dst: Some(r), callee: Callee::NewRegion, args: vec![] },
+            Stmt::New { dst: x, ty: rlist, region: r },
+            Stmt::Havoc { dst: y },
+            Stmt::Chk {
+                fact: Fact::EqOrNull(RegionExpr::Abstract(y.rho()), RegionExpr::Abstract(x.rho())),
+                site: SiteId(0),
+            },
+            Stmt::WriteField { obj: x, field: 0, src: y },
+        ]);
+        p.add_func(FuncDef {
+            name: "main".into(),
+            exported: true,
+            params: vec![],
+            locals: vec![VarType::Region, VarType::Ptr(rlist), VarType::Ptr(rlist)],
+            result: None,
+            body,
+        });
+        let a = analyse(&p);
+        let prov = a.provenance_of(SiteId(0)).unwrap();
+        assert!(!prov.safe);
+        assert_eq!(
+            prov.reason,
+            ProvenanceReason::TopWeakening { expr: RegionExpr::Abstract(y.rho()) },
+            "the havoc'd variable's region is the blocking expression"
+        );
+        assert!(prov.reason.to_string().contains("⊤"));
+    }
+
+    #[test]
+    fn provenance_blames_the_if_join_that_lost_the_fact() {
+        // One arm allocates y in r, the other havocs it: the join discards
+        // the proof and the retained check downstream names that meet.
+        let mut p = Program::new();
+        let rlist = StructId(0);
+        p.add_struct(StructDecl {
+            name: "rlist".into(),
+            fields: vec![("next".into(), FieldType::Ptr { target: rlist, qual: FieldQual::SameRegion })],
+        });
+        let (r, x, y, c) = (VarId(0), VarId(1), VarId(2), VarId(3));
+        let body = Stmt::Seq(vec![
+            Stmt::Call { dst: Some(r), callee: Callee::NewRegion, args: vec![] },
+            Stmt::New { dst: x, ty: rlist, region: r },
+            Stmt::If {
+                cond: c,
+                then_s: Box::new(Stmt::New { dst: y, ty: rlist, region: r }),
+                else_s: Box::new(Stmt::Havoc { dst: y }),
+            },
+            Stmt::Chk {
+                fact: Fact::EqOrNull(RegionExpr::Abstract(y.rho()), RegionExpr::Abstract(x.rho())),
+                site: SiteId(0),
+            },
+            Stmt::WriteField { obj: x, field: 0, src: y },
+        ]);
+        p.add_func(FuncDef {
+            name: "main".into(),
+            exported: true,
+            params: vec![],
+            locals: vec![VarType::Region, VarType::Ptr(rlist), VarType::Ptr(rlist), VarType::Int],
+            result: None,
+            body,
+        });
+        let a = analyse(&p);
+        let prov = a.provenance_of(SiteId(0)).unwrap();
+        assert!(!prov.safe);
+        match prov.reason {
+            ProvenanceReason::MeetPoint { kind, lost, .. } => {
+                assert_eq!(kind, MeetKind::IfJoin);
+                // The lost fact really does complete the proof.
+                let mut with = a.site_states[&SiteId(0)].clone();
+                with.add(lost);
+                assert!(with.entails(prov.fact));
+            }
+            other => panic!("expected a meet-point reason, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn provenance_blames_the_loop_entry_meet() {
+        // y ∈ r before the loop, but the loop body havocs y: the
+        // loop-entry fixpoint discards the fact and the check inside the
+        // body (recorded on the final stable pass) attributes to it.
+        let mut p = Program::new();
+        let rlist = StructId(0);
+        p.add_struct(StructDecl {
+            name: "rlist".into(),
+            fields: vec![("next".into(), FieldType::Ptr { target: rlist, qual: FieldQual::SameRegion })],
+        });
+        let (r, x, y, c) = (VarId(0), VarId(1), VarId(2), VarId(3));
+        let body = Stmt::Seq(vec![
+            Stmt::Call { dst: Some(r), callee: Callee::NewRegion, args: vec![] },
+            Stmt::New { dst: x, ty: rlist, region: r },
+            Stmt::New { dst: y, ty: rlist, region: r },
+            Stmt::While {
+                cond: c,
+                body: Box::new(Stmt::Seq(vec![
+                    Stmt::Chk {
+                        fact: Fact::EqOrNull(
+                            RegionExpr::Abstract(y.rho()),
+                            RegionExpr::Abstract(x.rho()),
+                        ),
+                        site: SiteId(0),
+                    },
+                    Stmt::WriteField { obj: x, field: 0, src: y },
+                    Stmt::Havoc { dst: y },
+                ])),
+            },
+        ]);
+        p.add_func(FuncDef {
+            name: "main".into(),
+            exported: true,
+            params: vec![],
+            locals: vec![VarType::Region, VarType::Ptr(rlist), VarType::Ptr(rlist), VarType::Int],
+            result: None,
+            body,
+        });
+        let a = analyse(&p);
+        let prov = a.provenance_of(SiteId(0)).unwrap();
+        assert!(!prov.safe, "the back edge havocs y, so the check stays");
+        assert!(
+            matches!(prov.reason, ProvenanceReason::MeetPoint { kind: MeetKind::LoopEntry, .. }),
+            "expected loop-entry attribution, got {:?}",
+            prov.reason
+        );
     }
 
     #[test]
