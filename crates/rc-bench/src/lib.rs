@@ -16,6 +16,7 @@
 //! | All of the above → EXPERIMENTS.md   | `cargo run -p rc-bench --bin experiments` |
 //! | Fault-injection torture matrix      | `cargo run -p rc-bench --bin fault-matrix` |
 //! | Perfetto provenance trace           | `cargo run -p rc-bench --bin trace-export` |
+//! | Heap snapshot dump + analysis       | `cargo run -p rc-bench --bin rc-inspect` |
 //!
 //! Wall-clock benchmarks live in `benches/` (run with `cargo bench -p
 //! rc-bench`), on the dependency-free harness in [`microbench`]. Passing
@@ -25,6 +26,7 @@
 
 pub mod faultmatrix;
 pub mod fuzzreport;
+pub mod inspect;
 pub mod microbench;
 pub mod provenance;
 pub mod report;

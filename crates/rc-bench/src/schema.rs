@@ -19,15 +19,18 @@ pub enum Schema {
     FuzzReport,
     /// Perfetto-loadable provenance trace export.
     TraceExport,
+    /// Post-mortem heap snapshot (`rc-inspect` input).
+    Snapshot,
 }
 
 impl Schema {
     /// Every registered schema, in introduction order.
-    pub const ALL: [Schema; 4] = [
+    pub const ALL: [Schema; 5] = [
         Schema::Trajectory,
         Schema::FaultMatrix,
         Schema::FuzzReport,
         Schema::TraceExport,
+        Schema::Snapshot,
     ];
 
     /// The identifier embedded in the artifact; bumped on layout change.
@@ -37,6 +40,7 @@ impl Schema {
             Schema::FaultMatrix => "rc-bench-faultmatrix/v1",
             Schema::FuzzReport => "rc-fuzz-report/v1",
             Schema::TraceExport => "rc-trace-export/v1",
+            Schema::Snapshot => "rc-bench-snapshot/v1",
         }
     }
 }
@@ -58,6 +62,7 @@ mod tests {
                 Schema::FaultMatrix => s.id(),
                 Schema::FuzzReport => s.id(),
                 Schema::TraceExport => s.id(),
+                Schema::Snapshot => s.id(),
             };
             assert!(
                 id.rsplit_once("/v").and_then(|(_, v)| v.parse::<u32>().ok()).is_some(),
@@ -71,5 +76,9 @@ mod tests {
         assert_eq!(crate::faultmatrix::SCHEMA, Schema::FaultMatrix.id());
         assert_eq!(crate::fuzzreport::SCHEMA, Schema::FuzzReport.id());
         assert_eq!(crate::provenance::SCHEMA, Schema::TraceExport.id());
+        // The snapshot schema is defined in region-rt (the capture side);
+        // the registry and the runtime must agree on the string.
+        assert_eq!(crate::inspect::SCHEMA, Schema::Snapshot.id());
+        assert_eq!(region_rt::SNAPSHOT_SCHEMA, Schema::Snapshot.id());
     }
 }

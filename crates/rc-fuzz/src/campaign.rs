@@ -10,7 +10,7 @@ use std::path::PathBuf;
 use rc_bench::fuzzreport::{FuzzCase, FuzzReport};
 
 use crate::gen::{generate_source, statement_count, GenConfig};
-use crate::oracle::check_source;
+use crate::oracle::{check_source, config_by_name, Violation};
 use crate::shrink::shrink;
 
 /// Campaign parameters.
@@ -36,6 +36,30 @@ impl Default for CampaignConfig {
 /// The deterministic regression file name for a failing seed.
 pub fn repro_file_name(seed: u64, kind: &str) -> String {
     format!("seed{seed:04x}-{kind}.rc")
+}
+
+/// The deterministic file name of a post-mortem snapshot written next to
+/// a repro.
+pub fn snapshot_file_name(seed: u64, kind: &str, config: &str) -> String {
+    format!("seed{seed:04x}-{kind}.{config}.snapshot.json")
+}
+
+/// Reruns `src` under the named oracle configuration with heap snapshots
+/// on and returns the final (exit or trap) snapshot rendered as
+/// `rc-bench-snapshot/v1` JSON, labeled `seedXXXX/config`. `None` when
+/// the config is unknown, the shrunk source no longer compiles, or the
+/// run aborts without a capture — snapshot dumping is best-effort
+/// forensics and must never mask the original violation.
+fn render_snapshot(src: &str, seed: u64, config_name: &str, budget_steps: u64) -> Option<String> {
+    let mut config = config_by_name(config_name)?.with_spans().with_snapshots();
+    if budget_steps > 0 {
+        config.step_limit = budget_steps;
+    }
+    let compiled = rc_lang::prepare(src).ok()?;
+    let r = rc_lang::run(&compiled, &config);
+    let mut snap = r.snapshots.into_iter().next_back()?;
+    snap.label = format!("seed{seed:04x}/{config_name}");
+    Some(snap.render())
 }
 
 /// Renders a self-contained regression file: provenance header plus the
@@ -108,10 +132,30 @@ pub fn run_seed(seed: u64, cfg: &CampaignConfig) -> FuzzCase {
         case.shrunk_statements = Some(statement_count(&min) as u64);
         let name = repro_file_name(seed, kind);
         if let Some(dir) = &cfg.regressions_dir {
-            let body = render_repro(seed, &case.violations, &rc_lang::pretty::print_ast(&min));
+            let shrunk_src = rc_lang::pretty::print_ast(&min);
+            let body = render_repro(seed, &case.violations, &shrunk_src);
             let _ = std::fs::create_dir_all(dir);
             if std::fs::write(dir.join(&name), body).is_ok() {
                 case.repro = Some(name);
+            }
+            // Post-mortem pair: the baseline and the first implicated
+            // configuration, rerun on the shrunk program with snapshots
+            // on, written beside the repro for `rc-inspect diff`.
+            let implicated = report
+                .violations
+                .iter()
+                .find_map(|v| match v {
+                    Violation::Divergence { config, .. }
+                    | Violation::AuditFailure { config, .. } => Some(*config),
+                    _ => None,
+                })
+                .unwrap_or("inf");
+            for cname in ["lea", implicated] {
+                if let Some(rendered) =
+                    render_snapshot(&shrunk_src, seed, cname, cfg.budget_steps)
+                {
+                    let _ = std::fs::write(dir.join(snapshot_file_name(seed, kind, cname)), rendered);
+                }
             }
         } else {
             case.repro = Some(name);
@@ -149,6 +193,41 @@ mod tests {
         );
         let b = run_campaign(&cfg);
         assert_eq!(a.to_json().render(), b.to_json().render());
+    }
+
+    #[test]
+    fn snapshot_pair_renders_for_a_diverging_program() {
+        // The qualifier-matrix divergence program: qs traps the cross-
+        // region store, lea does not. Both post-mortems must render,
+        // deterministically, with the seed/config label stamped in.
+        let src = "
+struct node { int v; struct node *sameregion next; };
+
+int main() deletes {
+    region r0 = newregion();
+    region r1 = newregion();
+    struct node *a = ralloc(r0, struct node);
+    struct node *b = ralloc(r1, struct node);
+    b->next = a;
+    deleteregion(r1);
+    deleteregion(r0);
+    return 0;
+}
+";
+        for cname in ["lea", "qs"] {
+            let one = render_snapshot(src, 0x2a, cname, 0).expect("snapshot renders");
+            let two = render_snapshot(src, 0x2a, cname, 0).unwrap();
+            assert_eq!(one, two, "{cname} snapshot must be byte-deterministic");
+            assert!(one.contains(&format!("\"seed002a/{cname}\"")), "label stamped");
+            assert!(one.contains("rc-bench-snapshot/v1"));
+        }
+        // The counting alias and unknown names resolve sanely.
+        assert!(render_snapshot(src, 1, "nq+count", 0).is_some());
+        assert!(render_snapshot(src, 1, "bogus", 0).is_none());
+        assert_eq!(
+            snapshot_file_name(0x2a, "divergence", "qs"),
+            "seed002a-divergence.qs.snapshot.json"
+        );
     }
 
     #[test]

@@ -111,6 +111,15 @@ pub fn five_configs() -> Vec<(&'static str, RunConfig)> {
     ]
 }
 
+/// Resolves an oracle configuration name (as carried by
+/// [`Violation::Divergence`]/[`Violation::AuditFailure`]) back to its
+/// [`RunConfig`] — the counting rerun (`nq+count`) maps to plain `nq`,
+/// since the tally itself is not part of the heap state a snapshot shows.
+pub fn config_by_name(name: &str) -> Option<RunConfig> {
+    let name = name.strip_suffix("+count").unwrap_or(name);
+    five_configs().into_iter().find(|(n, _)| *n == name).map(|(_, c)| c)
+}
+
 /// Collapses an [`Outcome`] to an allocator-independent key. Abort and
 /// trap payloads keep only the error *kind*: the full error carries
 /// addresses and region identifiers that differ across backends.

@@ -126,6 +126,13 @@ pub struct RunConfig {
     /// [`crate::interp::RunResult::spans`]. Off by default (one
     /// predictable branch per instrumented operation).
     pub spans: bool,
+    /// Post-mortem heap snapshots ([`region_rt::snapshot`]): capture a
+    /// byte-deterministic [`region_rt::HeapSnapshot`] at program exit,
+    /// after every GC pause, and — on a trapped fault — of the pre-unwind
+    /// heap, returned in [`crate::interp::RunResult::snapshots`]. Off by
+    /// default; enabling it also publishes allocation sites so snapshots
+    /// can attribute retained words to source lines.
+    pub snapshots: bool,
 }
 
 impl RunConfig {
@@ -147,12 +154,19 @@ impl RunConfig {
             on_fault: OnFault::Abort,
             count_checks: false,
             spans: false,
+            snapshots: false,
         }
     }
 
     /// The same configuration with region lifecycle spans enabled.
     pub fn with_spans(mut self) -> RunConfig {
         self.spans = true;
+        self
+    }
+
+    /// The same configuration with post-mortem heap snapshots enabled.
+    pub fn with_snapshots(mut self) -> RunConfig {
+        self.snapshots = true;
         self
     }
 

@@ -12,7 +12,7 @@ use std::collections::HashMap;
 
 use region_rt::{
     Addr, EmuBackend, EmuRegionId, EmuRegions, FaultReport, Heap, HeapConfig, PtrKind, RegionId,
-    RtError, SlotKind, Stats, TypeId, TypeLayout, WriteMode,
+    RtError, SlotKind, SnapshotReason, Stats, TypeId, TypeLayout, WriteMode,
 };
 use rlang::SiteId;
 
@@ -105,6 +105,11 @@ pub struct RunResult {
     /// verified against the heap's region table (see
     /// [`region_rt::SpanTree::verification`]).
     pub spans: Option<Box<region_rt::SpanTree>>,
+    /// Post-mortem heap snapshots, when [`RunConfig::snapshots`] was on:
+    /// one per GC pause (reason `gc`), then either the pre-unwind trap
+    /// snapshot (reason `trap`, for [`Outcome::Trapped`]) or the final
+    /// heap state (reason `exit`), in capture order. Empty otherwise.
+    pub snapshots: Vec<region_rt::HeapSnapshot>,
 }
 
 impl RunResult {
@@ -151,6 +156,11 @@ fn run_on_this_stack(c: &Compiled, config: &RunConfig, audit: bool) -> RunResult
     let faults = interp.heap.take_faults();
     let outcome = match outcome {
         Outcome::Aborted(e) if config.on_fault == OnFault::TrapAndUnwind => {
+            // Dump the pre-unwind heap: the trap snapshot shows the state
+            // the fault left behind, not the cleaned-up aftermath.
+            if config.snapshots {
+                interp.snapshots.push(interp.heap.snapshot(SnapshotReason::Trap));
+            }
             interp.unwind_after_fault();
             Outcome::Trapped(e)
         }
@@ -171,6 +181,12 @@ fn run_on_this_stack(c: &Compiled, config: &RunConfig, audit: bool) -> RunResult
     // Verify the span tree against the heap's region table and stamp the
     // outcome into it (no-op when spans are off).
     let _ = interp.heap.seal_spans();
+    // The exit snapshot is captured after sealing so its span-derived
+    // aggregates are final; trapped runs keep the trap snapshot as their
+    // last word instead (the post-unwind heap is empty by construction).
+    if config.snapshots && !matches!(outcome, Outcome::Trapped(_)) {
+        interp.snapshots.push(interp.heap.snapshot(SnapshotReason::Exit));
+    }
     RunResult {
         outcome,
         cycles: interp.heap.clock.cycles() + base_extra,
@@ -182,6 +198,7 @@ fn run_on_this_stack(c: &Compiled, config: &RunConfig, audit: bool) -> RunResult
         timeline: interp.heap.take_timeline(),
         faults,
         spans: interp.heap.take_spans(),
+        snapshots: interp.snapshots,
     }
 }
 
@@ -291,6 +308,9 @@ struct Interp<'c> {
     /// tracing and sampling are off. Timeline samples reuse the trace
     /// site, which is how snapshots align with source `file:line` phases.
     observing: bool,
+    /// Heap snapshots accumulated during the run (GC pauses, then the
+    /// trap or exit capture); empty unless [`RunConfig::snapshots`].
+    snapshots: Vec<region_rt::HeapSnapshot>,
 }
 
 impl<'c> Interp<'c> {
@@ -432,7 +452,11 @@ impl<'c> Interp<'c> {
             steps: 0,
             base_ops: 0,
             startup_fault,
-            observing: config.trace_mask != 0 || config.sample_interval != 0 || config.spans,
+            observing: config.trace_mask != 0
+                || config.sample_interval != 0
+                || config.spans
+                || config.snapshots,
+            snapshots: Vec::new(),
         }
     }
 
@@ -1082,6 +1106,11 @@ impl<'c> Interp<'c> {
             roots.extend(emu.all_roots());
         }
         self.heap.gc_collect(&roots);
+        // A per-pause capture: what the collection kept alive, for the
+        // offline analyzer's gc-vs-lea retention diffs.
+        if self.config.snapshots {
+            self.snapshots.push(self.heap.snapshot(SnapshotReason::Gc));
+        }
     }
 
     // ---- deletes pinning -----------------------------------------------

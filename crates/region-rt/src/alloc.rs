@@ -25,6 +25,10 @@ pub struct AllocRecord {
     pub ty: TypeId,
     /// Number of elements (1 for a plain `ralloc`).
     pub count: u32,
+    /// Source line that performed the allocation (0 = unattributed);
+    /// stamped from the heap's telemetry site so post-mortem snapshots
+    /// can attribute retained words to `file:line`.
+    pub site: u32,
 }
 
 /// A bump allocator over whole pages.
@@ -88,6 +92,7 @@ impl BumpAlloc {
         words: usize,
         ty: TypeId,
         count: u32,
+        site: u32,
     ) -> Result<BumpOutcome, RtError> {
         debug_assert!(words > 0);
         let mut new_pages = 0;
@@ -128,7 +133,7 @@ impl BumpAlloc {
             self.fill[i] += words as u32;
             a
         };
-        self.objs.push(AllocRecord { addr, ty, count });
+        self.objs.push(AllocRecord { addr, ty, count, site });
         self.used_words += words as u64;
         Ok(BumpOutcome { addr, new_pages, recycled_pages })
     }
@@ -162,6 +167,12 @@ impl BumpAlloc {
         self.pages.len()
     }
 
+    /// The owned pages, in acquisition order (parallel to
+    /// [`BumpAlloc::page_fill`]); lets snapshots record region page lists.
+    pub fn pages(&self) -> &[u32] {
+        &self.pages
+    }
+
     /// Words handed out from each owned page, parallel to the page list —
     /// the input to the timeline's per-page occupancy histogram.
     pub fn page_fill(&self) -> &[u32] {
@@ -184,8 +195,8 @@ mod tests {
     #[test]
     fn sequential_allocs_pack_one_page() {
         let (mut store, mut a) = setup();
-        let x = a.alloc(&mut store, OWNER, 4, TY, 1).unwrap();
-        let y = a.alloc(&mut store, OWNER, 4, TY, 1).unwrap();
+        let x = a.alloc(&mut store, OWNER, 4, TY, 1, 0).unwrap();
+        let y = a.alloc(&mut store, OWNER, 4, TY, 1, 0).unwrap();
         assert_eq!(x.new_pages, 1);
         assert_eq!(y.new_pages, 0);
         assert_eq!(x.addr.page(), y.addr.page());
@@ -196,8 +207,8 @@ mod tests {
     #[test]
     fn page_overflow_gets_fresh_page() {
         let (mut store, mut a) = setup();
-        let x = a.alloc(&mut store, OWNER, 1000, TY, 1).unwrap();
-        let y = a.alloc(&mut store, OWNER, 100, TY, 1).unwrap();
+        let x = a.alloc(&mut store, OWNER, 1000, TY, 1, 0).unwrap();
+        let y = a.alloc(&mut store, OWNER, 100, TY, 1, 0).unwrap();
         assert_ne!(x.addr.page(), y.addr.page());
         assert_eq!(y.new_pages, 1);
     }
@@ -205,7 +216,7 @@ mod tests {
     #[test]
     fn large_object_spans_contiguous_pages() {
         let (mut store, mut a) = setup();
-        let x = a.alloc(&mut store, OWNER, 3000, TY, 1).unwrap();
+        let x = a.alloc(&mut store, OWNER, 3000, TY, 1, 0).unwrap();
         assert_eq!(x.new_pages, 3);
         assert_eq!(x.addr.word(), 0);
         for i in 0..3 {
@@ -216,9 +227,9 @@ mod tests {
     #[test]
     fn small_alloc_after_span_does_not_land_in_span_pages() {
         let (mut store, mut a) = setup();
-        let x = a.alloc(&mut store, OWNER, 4, TY, 1).unwrap();
-        let big = a.alloc(&mut store, OWNER, 1500, TY, 1).unwrap();
-        let y = a.alloc(&mut store, OWNER, 4, TY, 1).unwrap();
+        let x = a.alloc(&mut store, OWNER, 4, TY, 1, 0).unwrap();
+        let big = a.alloc(&mut store, OWNER, 1500, TY, 1, 0).unwrap();
+        let y = a.alloc(&mut store, OWNER, 4, TY, 1, 0).unwrap();
         // y continues packing the small-object page; it must never be
         // bumped into the span's tail page over the large object's data.
         assert_eq!(y.addr.page(), x.addr.page());
@@ -232,9 +243,9 @@ mod tests {
     #[test]
     fn page_fill_tracks_small_and_span_occupancy() {
         let (mut store, mut a) = setup();
-        a.alloc(&mut store, OWNER, 4, TY, 1).unwrap();
-        a.alloc(&mut store, OWNER, 6, TY, 1).unwrap();
-        a.alloc(&mut store, OWNER, 1500, TY, 1).unwrap();
+        a.alloc(&mut store, OWNER, 4, TY, 1, 0).unwrap();
+        a.alloc(&mut store, OWNER, 6, TY, 1, 0).unwrap();
+        a.alloc(&mut store, OWNER, 1500, TY, 1, 0).unwrap();
         // Small page holds 10 words; the span's pages hold 1024 + 476.
         assert_eq!(a.page_fill(), &[10, 1024, 476]);
         let total: u64 = a.page_fill().iter().map(|&f| f as u64).sum();
@@ -246,8 +257,8 @@ mod tests {
     #[test]
     fn release_all_returns_pages_and_words() {
         let (mut store, mut a) = setup();
-        a.alloc(&mut store, OWNER, 10, TY, 1).unwrap();
-        a.alloc(&mut store, OWNER, 2000, TY, 1).unwrap();
+        a.alloc(&mut store, OWNER, 10, TY, 1, 0).unwrap();
+        a.alloc(&mut store, OWNER, 2000, TY, 1, 0).unwrap();
         let pages_before = a.page_count();
         assert_eq!(pages_before, 3);
         let words = a.release_all(&mut store);
@@ -262,8 +273,8 @@ mod tests {
     #[test]
     fn log_records_all_allocations() {
         let (mut store, mut a) = setup();
-        a.alloc(&mut store, OWNER, 2, TypeId(7), 1).unwrap();
-        a.alloc(&mut store, OWNER, 6, TypeId(8), 3).unwrap();
+        a.alloc(&mut store, OWNER, 2, TypeId(7), 1, 0).unwrap();
+        a.alloc(&mut store, OWNER, 6, TypeId(8), 3, 0).unwrap();
         assert_eq!(a.objs().len(), 2);
         assert_eq!(a.objs()[1].ty, TypeId(8));
         assert_eq!(a.objs()[1].count, 3);

@@ -27,12 +27,18 @@ pub struct GcObj {
     pub count: u32,
     /// Allocated words (the size-class slot size, ≥ requested words).
     pub slot_words: u32,
+    /// Payload words actually requested (what the live-word gauge counts;
+    /// `slot_words - words` is this object's internal fragmentation).
+    pub words: u32,
     /// Size class, or `None` for a dedicated page span.
     pub class: Option<u8>,
     /// For spans: page count.
     pub span_pages: u32,
     /// Mark bit.
     pub marked: bool,
+    /// Source line that performed the allocation (0 = unattributed), for
+    /// snapshot retained-word attribution.
+    pub site: u32,
 }
 
 /// State of the GC baseline.
@@ -65,6 +71,19 @@ impl GcState {
     /// Number of live GC objects.
     pub fn live_count(&self) -> usize {
         self.objects.len()
+    }
+
+    /// Live GC objects keyed by start address, in address order (the
+    /// BTreeMap makes this deterministic), for the auditor and snapshots.
+    pub fn live_objects(&self) -> impl Iterator<Item = (Addr, &GcObj)> + '_ {
+        self.objects.iter().map(|(&a, o)| (Addr::from_raw(a), o))
+    }
+
+    /// Free slots per size class, parallel to
+    /// [`SIZE_CLASSES`](crate::malloc::SIZE_CLASSES) — the snapshot's
+    /// fragmentation breakdown for the GC heap.
+    pub fn free_list_depths(&self) -> Vec<u32> {
+        self.free_lists.iter().map(|l| l.len() as u32).collect()
     }
 
     /// Resolves a conservative root candidate to the start address of the
@@ -122,9 +141,11 @@ impl Heap {
                         ty,
                         count,
                         slot_words: slot_words as u32,
+                        words: words as u32,
                         class: Some(class as u8),
                         span_pages: 0,
                         marked: false,
+                        site: self.trace_site,
                     },
                 );
                 addr
@@ -143,9 +164,11 @@ impl Heap {
                         ty,
                         count,
                         slot_words: (span * WORDS_PER_PAGE) as u32,
+                        words: words as u32,
                         class: None,
                         span_pages: span as u32,
                         marked: false,
+                        site: self.trace_site,
                     },
                 );
                 addr
@@ -234,7 +257,7 @@ impl Heap {
                     }
                 }
                 reclaimed += 1;
-                freed_words += obj.slot_words as u64;
+                freed_words += obj.words as u64;
             }
         }
 
@@ -256,9 +279,10 @@ impl Heap {
         if self.span_on() {
             self.span_note_gc(marked_words, reclaimed as u64);
         }
-        // GC frees whole slots while the gauge tracked requested words, so
-        // clamp rather than trip the underflow check.
-        self.stats.sub_live(freed_words.min(self.stats.live_words));
+        // The gauge tracks requested words on both sides of an object's
+        // lifetime, so the identity live_words == region + malloc + gc
+        // requested words holds exactly (snapshots verify it).
+        self.stats.sub_live(freed_words);
         self.gc.allocated_since_gc = 0;
         // Tick after the pause so a due sample attributes these gc_cycles
         // to the window that ends here.

@@ -465,9 +465,10 @@ impl Heap {
         let layout = self.types.get(ty);
         let words = layout.size_words() * n as usize;
         let pointerfree = !layout.has_counted_ptrs();
+        let site = self.trace_site;
         let region = &mut self.regions[r.0 as usize];
         let alloc = if pointerfree { &mut region.pointerfree } else { &mut region.normal };
-        let out = match alloc.alloc(&mut self.store, PageOwner::Region(r), words, ty, n) {
+        let out = match alloc.alloc(&mut self.store, PageOwner::Region(r), words, ty, n, site) {
             Ok(out) => out,
             Err(e) => return Err(self.fault_stamp_oom(e)),
         };
@@ -733,6 +734,9 @@ impl Heap {
             tl.push(gauges, &self.stats, cycles, site);
             // Decimation may have doubled the interval; reschedule from it.
             self.sample_countdown = tl.interval();
+            // Surface lost resolution in the run's counters (assignment,
+            // not +=: both reset together via reset_metrics).
+            self.stats.samples_dropped = tl.samples_dropped();
         }
     }
 

@@ -92,6 +92,7 @@ pub mod page;
 pub mod profile;
 pub mod rcops;
 pub mod region;
+pub mod snapshot;
 pub mod span;
 pub mod stats;
 pub mod timeline;
@@ -110,6 +111,10 @@ pub use layout::{PtrKind, SlotKind, TypeId, TypeLayout};
 pub use profile::{Profile, ProfileTotals, RegionProfile, SiteProfile};
 pub use rcops::WriteMode;
 pub use region::{RegionId, TRADITIONAL};
+pub use snapshot::{
+    HeapSnapshot, PageSnapshot, RegionSnapshot, SiteRetained, SnapOwner, SnapshotReason,
+    SNAPSHOT_SCHEMA,
+};
 pub use span::{SiteFires, Span, SpanNote, SpanTree, DEFAULT_SPAN_NOTE_CAP};
 pub use stats::{AssignCategory, Stats};
 pub use timeline::{

@@ -39,6 +39,9 @@ pub struct MallocObj {
     pub span_pages: u32,
     /// Payload words actually requested.
     pub words: u32,
+    /// Source line that performed the allocation (0 = unattributed), for
+    /// snapshot retained-word attribution.
+    pub site: u32,
 }
 
 /// State of the malloc baseline allocator.
@@ -69,6 +72,12 @@ impl MallocState {
     /// or freed but not currently serving an allocation).
     pub fn free_list_depth(&self) -> usize {
         self.free_lists.iter().map(Vec::len).sum()
+    }
+
+    /// Free slots per size class, parallel to [`SIZE_CLASSES`] — the
+    /// snapshot's fragmentation breakdown.
+    pub fn free_list_depths(&self) -> Vec<u32> {
+        self.free_lists.iter().map(|l| l.len() as u32).collect()
     }
 }
 
@@ -115,6 +124,7 @@ impl Heap {
                         class: Some(class as u8),
                         span_pages: 0,
                         words: words as u32,
+                        site: self.trace_site,
                     },
                 );
                 addr
@@ -129,7 +139,14 @@ impl Heap {
                 let addr = Addr::from_parts(first, 0);
                 self.malloc.live.insert(
                     addr.raw(),
-                    MallocObj { ty, count, class: None, span_pages: span as u32, words: words as u32 },
+                    MallocObj {
+                        ty,
+                        count,
+                        class: None,
+                        span_pages: span as u32,
+                        words: words as u32,
+                        site: self.trace_site,
+                    },
                 );
                 addr
             }

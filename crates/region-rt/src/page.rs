@@ -98,6 +98,12 @@ impl PageStore {
         self.free.len()
     }
 
+    /// The free pool itself, in release order (the tail is recycled
+    /// first); snapshots record it so the page map round-trips exactly.
+    pub fn free_chain(&self) -> &[u32] {
+        &self.free
+    }
+
     /// Acquires one page for `owner`, recycling a free page if possible.
     ///
     /// # Errors

@@ -99,6 +99,10 @@ pub struct Stats {
     /// Faults injected by armed fault planes (see [`crate::fault`]);
     /// page-plane injections are folded in at harvest.
     pub faults_injected: u64,
+    /// Timeline samples discarded by decimation (see
+    /// [`crate::timeline::Timeline::samples_dropped`]): nonzero means the
+    /// exported timeline lost resolution, though window sums stay exact.
+    pub samples_dropped: u64,
 }
 
 impl Stats {
@@ -238,6 +242,12 @@ impl Stats {
         if self.faults_injected > 0 {
             out.push_str(&format!("faults     : {} injected\n", self.faults_injected));
         }
+        if self.samples_dropped > 0 {
+            out.push_str(&format!(
+                "timeline   : {} samples dropped by decimation\n",
+                self.samples_dropped
+            ));
+        }
         if self.live_underflows > 0 {
             out.push_str(&format!(
                 "WARNING    : {} live-gauge underflows (double free or allocator accounting bug)\n",
@@ -285,6 +295,7 @@ impl Stats {
             ("gc_cycles", Json::U(self.gc_cycles)),
             ("live_underflows", Json::U(self.live_underflows)),
             ("faults_injected", Json::U(self.faults_injected)),
+            ("samples_dropped", Json::U(self.samples_dropped)),
         ])
     }
 
@@ -338,6 +349,7 @@ impl Stats {
             gc_cycles: field("gc_cycles")?,
             live_underflows: field("live_underflows")?,
             faults_injected: field("faults_injected")?,
+            samples_dropped: field("samples_dropped")?,
         })
     }
 }
@@ -461,6 +473,7 @@ mod tests {
             gc_cycles: 30,
             live_underflows: 31,
             faults_injected: 32,
+            samples_dropped: 33,
         }
     }
 
@@ -470,15 +483,15 @@ mod tests {
         let json = s.to_json();
         // An unexpected shape fails the assertion instead of panicking.
         let fields = json.as_object().unwrap_or_default();
-        assert_eq!(fields.len(), 32, "one JSON key per Stats field (got {json:?})");
+        assert_eq!(fields.len(), 33, "one JSON key per Stats field (got {json:?})");
         for (key, val) in fields {
-            assert!(matches!(val, Json::U(v) if *v >= 1 && *v <= 32), "{key} lost its value");
+            assert!(matches!(val, Json::U(v) if *v >= 1 && *v <= 33), "{key} lost its value");
         }
         // Distinct values stay distinct: nothing is aliased or dropped.
         let mut vals: Vec<u64> =
             fields.iter().map(|(_, v)| if let Json::U(u) = v { *u } else { 0 }).collect();
         vals.sort_unstable();
-        assert_eq!(vals, (1..=32).collect::<Vec<u64>>());
+        assert_eq!(vals, (1..=33).collect::<Vec<u64>>());
     }
 
     #[test]
@@ -496,7 +509,7 @@ mod tests {
         assert!(err.contains("assigns_safe"), "{err}");
         // One key missing.
         let mut fields = fully_populated().to_json().as_object().unwrap_or_default().to_vec();
-        assert_eq!(fields.len(), 32);
+        assert_eq!(fields.len(), 33);
         fields.retain(|(k, _)| k != "gc_cycles");
         let err = Stats::from_json(&Json::O(fields.clone())).unwrap_err();
         assert!(err.contains("gc_cycles"), "{err}");
@@ -542,6 +555,7 @@ mod tests {
             "30 cycles",
             "31 live-gauge underflows",
             "32 injected",
+            "33 samples dropped",
         ] {
             assert!(text.contains(needle), "summary missing {needle:?}:\n{text}");
         }

@@ -192,6 +192,9 @@ pub struct Timeline {
     seq: u64,
     ticks: u64,
     last: Baseline,
+    /// Cumulative samples discarded by decimation (their deltas were
+    /// merged into survivors, so window sums remain exact).
+    samples_dropped: u64,
 }
 
 #[cfg_attr(not(feature = "telemetry"), allow(dead_code))]
@@ -208,6 +211,7 @@ impl Timeline {
             seq: 0,
             ticks: 0,
             last: Baseline::default(),
+            samples_dropped: 0,
         }
     }
 
@@ -242,6 +246,13 @@ impl Timeline {
         self.samples.is_empty()
     }
 
+    /// Cumulative samples discarded by decimation since the last reset.
+    /// Their deltas were folded into surviving samples, so this counts
+    /// lost *resolution*, not lost events.
+    pub fn samples_dropped(&self) -> u64 {
+        self.samples_dropped
+    }
+
     /// Extracts one metric as a series, for charting.
     pub fn series(&self, f: impl Fn(&MetricsSnapshot) -> u64) -> Vec<u64> {
         self.samples.iter().map(f).collect()
@@ -255,6 +266,7 @@ impl Timeline {
         self.ticks = 0;
         self.interval = self.initial_interval;
         self.last = Baseline::default();
+        self.samples_dropped = 0;
     }
 
     /// Records ticks observed by the heap between samples (keeps
@@ -304,6 +316,7 @@ impl Timeline {
     /// surviving sample absorb its dropped predecessor's so window sums
     /// stay exact.
     fn decimate(&mut self) {
+        let before = self.samples.len();
         let mut merged = Vec::with_capacity(self.samples.len() / 2 + 1);
         let mut carry: Option<MetricsSnapshot> = None;
         for (i, s) in self.samples.drain(..).enumerate() {
@@ -331,6 +344,7 @@ impl Timeline {
             merged.push(c);
         }
         self.samples = merged;
+        self.samples_dropped += (before - self.samples.len()) as u64;
         self.interval = self.interval.saturating_mul(2);
     }
 
@@ -398,6 +412,21 @@ mod tests {
         assert_eq!(total, 80, "window sums survive decimation");
         let seqs: Vec<u64> = tl.samples().iter().map(|s| s.seq).collect();
         assert_eq!(seqs, vec![1, 3, 5, 7]);
+        assert_eq!(tl.samples_dropped(), 4);
+    }
+
+    #[test]
+    fn samples_dropped_accumulates_across_decimations() {
+        let mut tl = Timeline::new(1, 8);
+        assert_eq!(tl.samples_dropped(), 0);
+        for i in 1..=16u64 {
+            tl.push(HeapGauges::default(), &tick_stats(i), i, 0);
+        }
+        // Three decimations: at pushes 8, 12, and 16 the buffer refills
+        // to cap and halves again, dropping 4 each time.
+        assert_eq!(tl.samples_dropped(), 12);
+        tl.reset();
+        assert_eq!(tl.samples_dropped(), 0);
     }
 
     #[test]
