@@ -21,16 +21,19 @@ pub enum Schema {
     TraceExport,
     /// Post-mortem heap snapshot (`rc-inspect` input).
     Snapshot,
+    /// Checkpoint-recovery matrix (supervised re-execution).
+    RecoveryMatrix,
 }
 
 impl Schema {
     /// Every registered schema, in introduction order.
-    pub const ALL: [Schema; 5] = [
+    pub const ALL: [Schema; 6] = [
         Schema::Trajectory,
         Schema::FaultMatrix,
         Schema::FuzzReport,
         Schema::TraceExport,
         Schema::Snapshot,
+        Schema::RecoveryMatrix,
     ];
 
     /// The identifier embedded in the artifact; bumped on layout change.
@@ -41,6 +44,7 @@ impl Schema {
             Schema::FuzzReport => "rc-fuzz-report/v1",
             Schema::TraceExport => "rc-trace-export/v1",
             Schema::Snapshot => "rc-bench-snapshot/v1",
+            Schema::RecoveryMatrix => "rc-bench-recoverymatrix/v1",
         }
     }
 }
@@ -63,6 +67,7 @@ mod tests {
                 Schema::FuzzReport => s.id(),
                 Schema::TraceExport => s.id(),
                 Schema::Snapshot => s.id(),
+                Schema::RecoveryMatrix => s.id(),
             };
             assert!(
                 id.rsplit_once("/v").and_then(|(_, v)| v.parse::<u32>().ok()).is_some(),
@@ -80,5 +85,6 @@ mod tests {
         // the registry and the runtime must agree on the string.
         assert_eq!(crate::inspect::SCHEMA, Schema::Snapshot.id());
         assert_eq!(region_rt::SNAPSHOT_SCHEMA, Schema::Snapshot.id());
+        assert_eq!(crate::recoverymatrix::SCHEMA, Schema::RecoveryMatrix.id());
     }
 }

@@ -1,5 +1,5 @@
 //! The differential oracle: one program, five allocator configurations,
-//! four families of assertions.
+//! six families of assertions.
 //!
 //! 1. **Conformance** — the observable outcome (exit code / trap kind /
 //!    assertion failure) is identical under `lea`, `GC`, `nq`, `qs` and
@@ -21,6 +21,11 @@
 //!    must verify against the heap's own region table
 //!    ([`region_rt::SpanTree::verification`]) and be identical between
 //!    the two replays.
+//! 6. **Restore fixpoint** — rerunning the baseline (`lea`) configuration
+//!    with post-mortem snapshots on, every captured snapshot must pass
+//!    [`region_rt::Heap::restore`]: the restored heap verifies, audits,
+//!    and re-snapshots byte-identically. A checkpoint that cannot be
+//!    turned back into a heap is forensics, not recovery.
 
 use rc_lang::{CheckMode, Outcome, RunConfig};
 use rlang::SiteId;
@@ -62,6 +67,14 @@ pub enum Violation {
         /// The first invariant the verifier found broken.
         detail: String,
     },
+    /// A snapshot captured by the baseline run failed to restore as an
+    /// exact fixpoint ([`region_rt::Heap::restore`]).
+    RestoreDivergence {
+        /// The snapshot's capture reason (`exit`, `gc` or `trap`).
+        reason: String,
+        /// The restore error, rendered for humans.
+        detail: String,
+    },
 }
 
 impl Violation {
@@ -73,6 +86,7 @@ impl Violation {
             Violation::UnsoundElimination { .. } => "unsound-elim",
             Violation::NonDeterministic { .. } => "nondet",
             Violation::MalformedSpans { .. } => "malformed_spans",
+            Violation::RestoreDivergence { .. } => "restore_divergence",
         }
     }
 }
@@ -94,6 +108,9 @@ impl std::fmt::Display for Violation {
             }
             Violation::MalformedSpans { detail } => {
                 write!(f, "malformed span tree: {detail}")
+            }
+            Violation::RestoreDivergence { reason, detail } => {
+                write!(f, "snapshot ({reason}) is not restorable: {detail}")
             }
         }
     }
@@ -276,6 +293,23 @@ pub fn check_source(src: &str, step_budget: u64) -> Result<CaseReport, rc_lang::
         }
     }
 
+    // (6): restore fixpoint — every snapshot the baseline allocator
+    // captures (GC pauses and the exit/trap state) must restore, which
+    // transitively gates verification, audit, and byte-identical
+    // re-capture.
+    let lea_snap = budgeted(RunConfig::lea().with_snapshots());
+    let r = rc_lang::run_audited(&compiled, &lea_snap);
+    steps += r.steps;
+    for snap in &r.snapshots {
+        if let Err(e) = region_rt::Heap::restore(snap) {
+            violations.push(Violation::RestoreDivergence {
+                reason: snap.reason.as_str().to_string(),
+                detail: e.to_string(),
+            });
+            break;
+        }
+    }
+
     Ok(CaseReport {
         outcome_key: baseline_key,
         violations,
@@ -417,6 +451,48 @@ int main() deletes {
         let v = Violation::MalformedSpans { detail: "span 3 never closed".into() };
         assert_eq!(v.kind(), "malformed_spans");
         assert!(v.to_string().contains("malformed span tree"));
+    }
+
+    #[test]
+    fn restore_oracle_tags_are_stable() {
+        let v = Violation::RestoreDivergence {
+            reason: "exit".into(),
+            detail: "corrupt".into(),
+        };
+        assert_eq!(v.kind(), "restore_divergence");
+        assert!(v.to_string().contains("not restorable"));
+    }
+
+    #[test]
+    fn baseline_snapshots_restore_for_a_leaking_program() {
+        // The program exits with objects still live in the malloc-emulated
+        // region, so the exit snapshot carries non-trivial retained state
+        // the restore oracle must reconstruct.
+        let src = "
+struct node { int v; struct node *next; };
+
+int main() {
+    region r = newregion();
+    struct node *head = null;
+    int i;
+    for (i = 0; i < 20; i = i + 1) {
+        struct node *n = ralloc(r, struct node);
+        n->v = i;
+        n->next = head;
+        head = n;
+    }
+    return 0;
+}
+";
+        let report = check_source(src, 0).expect("compiles");
+        assert!(
+            !report
+                .violations
+                .iter()
+                .any(|v| matches!(v, Violation::RestoreDivergence { .. })),
+            "restore oracle violated: {:?}",
+            report.violations
+        );
     }
 
     #[test]

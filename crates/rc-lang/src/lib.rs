@@ -32,7 +32,12 @@ pub fn compile(src: &str) -> Result<Module, CompileError> {
 pub mod config;
 pub mod interp;
 pub mod liveness;
+pub mod supervise;
 
 pub use config::{Backend, CheckMode, DeleteSemantics, OnFault, RunConfig};
 pub use interp::{prepare, run, run_audited, Compiled, Outcome, RunResult};
+pub use supervise::{
+    supervise, supervise_compiled, AttemptReport, RecoveryPolicy, Rung, SupervisionOutcome,
+    SupervisionReport,
+};
 pub use to_rlang::{site_verdicts, SiteVerdict};

@@ -1,0 +1,745 @@
+//! Supervised re-execution: checkpoints as *recovery*, not just forensics.
+//!
+//! [`supervise`] runs a program under trap-and-unwind recovery with
+//! post-mortem snapshots armed. When a run traps — an injected fault, an
+//! organic out-of-memory under a page budget, a saturated reference
+//! count — the supervisor:
+//!
+//! 1. takes the **checkpoint**: the pre-unwind trap snapshot (or, for
+//!    other endings, the last GC/exit capture) from
+//!    [`RunResult::snapshots`](crate::interp::RunResult::snapshots);
+//! 2. **validates** it by round-tripping through
+//!    [`region_rt::Heap::restore`] — the restored heap must verify,
+//!    audit and re-snapshot byte-identically, proving the checkpoint is
+//!    actionable state and not just a log line;
+//! 3. applies the next rung of the [`RecoveryPolicy`] — a page-budget
+//!    escalation or a step down the `qs → nq → norc` degradation
+//!    ladder — burns the scheduled virtual-cycle backoff, and
+//!    re-executes.
+//!
+//! Every attempt is recorded in a typed, JSON-exportable
+//! [`SupervisionReport`]: the trigger fault, the rung applied, the
+//! cycles burned, the checkpoint verdict and the outcome. The report
+//! ends [`Completed`](SupervisionOutcome::Completed) (an attempt
+//! exited), [`PolicyExhausted`](SupervisionOutcome::PolicyExhausted)
+//! (attempts or rungs ran out while still trapping) or
+//! [`Unrecoverable`](SupervisionOutcome::Unrecoverable) (an ending
+//! re-execution cannot help: abort, assertion failure, step limit).
+//! Everything is virtual-clock deterministic: the same source, config
+//! and policy produce a byte-identical rendered report. The
+//! `recovery-matrix` binary in rc-bench sweeps this over the Figure 7
+//! workloads; see `docs/ROBUSTNESS.md`.
+
+use std::fmt;
+
+use region_rt::{Heap, Json};
+
+use crate::config::{Backend, CheckMode, RunConfig};
+use crate::error::CompileError;
+use crate::interp::{prepare, run_audited, Compiled, Outcome};
+
+/// One rung of the recovery ladder: the configuration adjustment applied
+/// before a re-execution attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Rung {
+    /// Raise the heap page budget to this many pages (0 lifts it).
+    PageBudget(usize),
+    /// Step down the degradation ladder: `qs` re-runs with annotations
+    /// unchecked (`nq`).
+    DegradeNq,
+    /// Final ladder step: reference counting off entirely (`norc`) —
+    /// gives up safety checks to let the program complete.
+    DegradeNoRc,
+}
+
+impl Rung {
+    /// Applies the rung to a configuration.
+    fn apply(self, cfg: &mut RunConfig) {
+        match self {
+            Rung::PageBudget(pages) => cfg.page_budget = pages,
+            Rung::DegradeNq => cfg.checks = CheckMode::Nq,
+            Rung::DegradeNoRc => {
+                cfg.backend = Backend::NoRc;
+                cfg.checks = CheckMode::Nc;
+            }
+        }
+    }
+}
+
+impl fmt::Display for Rung {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Rung::PageBudget(0) => write!(f, "page-budget=unlimited"),
+            Rung::PageBudget(pages) => write!(f, "page-budget={pages}"),
+            Rung::DegradeNq => write!(f, "degrade=nq"),
+            Rung::DegradeNoRc => write!(f, "degrade=norc"),
+        }
+    }
+}
+
+/// A recovery policy: how many attempts the supervisor may spend, the
+/// virtual-cycle backoff between them, and the rungs it may climb.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecoveryPolicy {
+    /// Total attempts allowed, including the first (min 1).
+    pub max_attempts: u32,
+    /// Virtual-cycle backoff before retry *n* (`backoff_cycles[n-1]`;
+    /// the last entry repeats; empty = no backoff). Backoff burns the
+    /// supervisor's virtual clock, not wall time.
+    pub backoff_cycles: Vec<u64>,
+    /// Page-budget escalation steps, tried in order. Steps that do not
+    /// actually loosen the starting budget are skipped (raising an
+    /// unlimited budget is meaningless).
+    pub page_budget_steps: Vec<usize>,
+    /// Whether to walk the `qs → nq → norc` degradation ladder after the
+    /// page-budget rungs are spent.
+    pub degrade: bool,
+}
+
+impl RecoveryPolicy {
+    /// The standard policy: five attempts, exponential virtual backoff,
+    /// no page-budget escalation, degradation ladder on.
+    pub fn standard() -> RecoveryPolicy {
+        RecoveryPolicy {
+            max_attempts: 5,
+            backoff_cycles: vec![1_000, 10_000, 100_000],
+            page_budget_steps: Vec::new(),
+            degrade: true,
+        }
+    }
+
+    /// A bare policy: one attempt, no rungs — supervision as observation.
+    pub fn none() -> RecoveryPolicy {
+        RecoveryPolicy {
+            max_attempts: 1,
+            backoff_cycles: Vec::new(),
+            page_budget_steps: Vec::new(),
+            degrade: false,
+        }
+    }
+
+    /// The same policy with the given attempt cap.
+    pub fn with_max_attempts(mut self, n: u32) -> RecoveryPolicy {
+        self.max_attempts = n;
+        self
+    }
+
+    /// The same policy with page-budget escalation steps.
+    pub fn with_page_budget_steps(mut self, steps: Vec<usize>) -> RecoveryPolicy {
+        self.page_budget_steps = steps;
+        self
+    }
+
+    /// The backoff burned before retry `n` (1-based; 0 = the first run,
+    /// which never waits).
+    pub fn backoff_for(&self, retry: u32) -> u64 {
+        if retry == 0 || self.backoff_cycles.is_empty() {
+            return 0;
+        }
+        let i = (retry as usize - 1).min(self.backoff_cycles.len() - 1);
+        self.backoff_cycles[i]
+    }
+
+    /// The rung sequence for a run starting from `config`: applicable
+    /// page-budget escalations first, then the degradation ladder from
+    /// the configuration's position on it.
+    pub fn rungs_for(&self, config: &RunConfig) -> Vec<Rung> {
+        let mut rungs = Vec::new();
+        if config.page_budget != 0 {
+            let mut budget = config.page_budget;
+            for &step in &self.page_budget_steps {
+                if step == 0 || step > budget {
+                    rungs.push(Rung::PageBudget(step));
+                    budget = step;
+                    if step == 0 {
+                        break;
+                    }
+                }
+            }
+        }
+        if self.degrade && config.backend == Backend::Rc {
+            if config.checks == CheckMode::Qs {
+                rungs.push(Rung::DegradeNq);
+            }
+            rungs.push(Rung::DegradeNoRc);
+        }
+        rungs
+    }
+
+    /// Encodes the policy as one JSON object (embedded in the report).
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("max_attempts", Json::U(self.max_attempts as u64)),
+            ("backoff_cycles", Json::A(self.backoff_cycles.iter().map(|&c| Json::U(c)).collect())),
+            (
+                "page_budget_steps",
+                Json::A(self.page_budget_steps.iter().map(|&p| Json::U(p as u64)).collect()),
+            ),
+            ("degrade", Json::Bool(self.degrade)),
+        ])
+    }
+}
+
+impl fmt::Display for RecoveryPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "attempts<={}", self.max_attempts)?;
+        if !self.backoff_cycles.is_empty() {
+            write!(f, " backoff={:?}", self.backoff_cycles)?;
+        }
+        if !self.page_budget_steps.is_empty() {
+            write!(f, " budgets={:?}", self.page_budget_steps)?;
+        }
+        if self.degrade {
+            write!(f, " ladder=qs>nq>norc")?;
+        }
+        Ok(())
+    }
+}
+
+/// How a supervised execution ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SupervisionOutcome {
+    /// Some attempt ran to an orderly exit.
+    Completed,
+    /// Every allowed attempt trapped; the policy has no rungs (or
+    /// attempts) left.
+    PolicyExhausted,
+    /// An attempt ended in a way re-execution cannot help: an abort, an
+    /// assertion failure, or the step limit.
+    Unrecoverable,
+}
+
+impl SupervisionOutcome {
+    /// The serialized tag.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            SupervisionOutcome::Completed => "completed",
+            SupervisionOutcome::PolicyExhausted => "policy-exhausted",
+            SupervisionOutcome::Unrecoverable => "unrecoverable",
+        }
+    }
+}
+
+impl fmt::Display for SupervisionOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One supervised attempt: what ran, what triggered recovery, and the
+/// checkpoint verdict.
+#[derive(Debug, Clone)]
+pub struct AttemptReport {
+    /// 1-based attempt number.
+    pub attempt: u32,
+    /// The rung applied before this attempt (`"initial"` for the first).
+    pub rung: String,
+    /// Virtual-cycle backoff burned before this attempt started.
+    pub backoff_cycles: u64,
+    /// How the attempt ended: `exit`, `trapped`, `aborted`,
+    /// `assert-failed` or `step-limit`.
+    pub outcome: String,
+    /// The typed error's stable kind tag, for trapped/aborted attempts.
+    pub error_kind: Option<String>,
+    /// Total fault injections that fired during the attempt.
+    pub injected: u64,
+    /// Ordinal of the triggering injection on its plane (0 = organic).
+    pub trigger_op: u64,
+    /// Virtual time of the triggering injection (0 = organic).
+    pub trigger_at: u64,
+    /// Whether the end-of-attempt heap audit passed.
+    pub audit_clean: bool,
+    /// Virtual cycles the attempt itself burned.
+    pub cycles: u64,
+    /// Interpreter steps executed.
+    pub steps: u64,
+    /// The checkpoint's capture reason (`trap`, `exit` or `gc`), if the
+    /// attempt produced any snapshot.
+    pub checkpoint: Option<String>,
+    /// Whether the checkpoint restored: [`Heap::restore`] succeeded,
+    /// which gates verification, audit and the re-snapshot fixpoint.
+    pub checkpoint_ok: bool,
+    /// Live words captured in the checkpoint (0 without one).
+    pub checkpoint_live_words: u64,
+}
+
+impl AttemptReport {
+    /// Encodes the attempt as one JSON object.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("attempt", Json::U(self.attempt as u64)),
+            ("rung", Json::s(&*self.rung)),
+            ("backoff_cycles", Json::U(self.backoff_cycles)),
+            ("outcome", Json::s(&*self.outcome)),
+            (
+                "error_kind",
+                match &self.error_kind {
+                    Some(k) => Json::s(&**k),
+                    None => Json::Null,
+                },
+            ),
+            ("injected", Json::U(self.injected)),
+            ("trigger_op", Json::U(self.trigger_op)),
+            ("trigger_at", Json::U(self.trigger_at)),
+            ("audit_clean", Json::Bool(self.audit_clean)),
+            ("cycles", Json::U(self.cycles)),
+            ("steps", Json::U(self.steps)),
+            (
+                "checkpoint",
+                match &self.checkpoint {
+                    Some(r) => Json::s(&**r),
+                    None => Json::Null,
+                },
+            ),
+            ("checkpoint_ok", Json::Bool(self.checkpoint_ok)),
+            ("checkpoint_live_words", Json::U(self.checkpoint_live_words)),
+        ])
+    }
+}
+
+impl fmt::Display for AttemptReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "#{} [{}] {}{}",
+            self.attempt,
+            self.rung,
+            self.outcome,
+            match &self.error_kind {
+                Some(k) => format!(" ({k})"),
+                None => String::new(),
+            },
+        )?;
+        if let Some(ck) = &self.checkpoint {
+            write!(
+                f,
+                " checkpoint={ck}:{}",
+                if self.checkpoint_ok { "restored" } else { "UNRESTORABLE" }
+            )?;
+        }
+        write!(f, " cycles={}", self.cycles)
+    }
+}
+
+/// The full supervision record: every attempt plus the verdict.
+#[derive(Debug, Clone)]
+pub struct SupervisionReport {
+    /// How supervision ended.
+    pub outcome: SupervisionOutcome,
+    /// Exit code of the completing attempt, when [`SupervisionOutcome::Completed`].
+    pub final_exit: Option<i64>,
+    /// Every attempt, in execution order (never empty).
+    pub attempts: Vec<AttemptReport>,
+    /// Virtual cycles burned executing attempts.
+    pub run_cycles: u64,
+    /// Virtual cycles burned backing off between attempts.
+    pub backoff_cycles: u64,
+    /// The policy that governed the run (echoed into the artifact).
+    pub policy: RecoveryPolicy,
+}
+
+impl SupervisionReport {
+    /// Total virtual cycles the supervised execution consumed.
+    pub fn total_cycles(&self) -> u64 {
+        self.run_cycles + self.backoff_cycles
+    }
+
+    /// Whether the program completed only *because* of recovery (a retry
+    /// exited after at least one trap).
+    pub fn recovered(&self) -> bool {
+        self.outcome == SupervisionOutcome::Completed && self.attempts.len() > 1
+    }
+
+    /// Whether every checkpoint taken along the way proved restorable.
+    pub fn checkpoints_ok(&self) -> bool {
+        self.attempts.iter().all(|a| a.checkpoint.is_none() || a.checkpoint_ok)
+    }
+
+    /// Encodes the report as one JSON object.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("outcome", Json::s(self.outcome.as_str())),
+            (
+                "final_exit",
+                match self.final_exit {
+                    Some(c) => Json::I(c),
+                    None => Json::Null,
+                },
+            ),
+            ("run_cycles", Json::U(self.run_cycles)),
+            ("backoff_cycles", Json::U(self.backoff_cycles)),
+            ("total_cycles", Json::U(self.total_cycles())),
+            ("recovered", Json::Bool(self.recovered())),
+            ("checkpoints_ok", Json::Bool(self.checkpoints_ok())),
+            ("policy", self.policy.to_json()),
+            ("attempts", Json::A(self.attempts.iter().map(AttemptReport::to_json).collect())),
+        ])
+    }
+}
+
+impl fmt::Display for SupervisionReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "supervision: {} after {} attempt(s), {} cycles ({} backoff)",
+            self.outcome,
+            self.attempts.len(),
+            self.total_cycles(),
+            self.backoff_cycles,
+        )?;
+        for a in &self.attempts {
+            writeln!(f, "  {a}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Compiles `source` and supervises its execution under `policy`.
+///
+/// # Errors
+///
+/// Returns the first compile error; execution failures are *data* — they
+/// land in the report, never in `Err`.
+pub fn supervise(
+    source: &str,
+    config: &RunConfig,
+    policy: &RecoveryPolicy,
+) -> Result<SupervisionReport, CompileError> {
+    Ok(supervise_compiled(&prepare(source)?, config, policy))
+}
+
+/// Supervises an already-compiled program (the recovery matrix compiles
+/// each workload once and sweeps policies).
+///
+/// Snapshots and trap-and-unwind recovery are forced on regardless of
+/// `config`: without them there is no checkpoint to recover from.
+pub fn supervise_compiled(
+    c: &Compiled,
+    config: &RunConfig,
+    policy: &RecoveryPolicy,
+) -> SupervisionReport {
+    let base = config.clone().with_snapshots().trapping();
+    let mut rungs = policy.rungs_for(&base).into_iter();
+    let mut cfg = base.clone();
+    let mut attempts: Vec<AttemptReport> = Vec::new();
+    let mut run_cycles = 0u64;
+    let mut backoff_total = 0u64;
+    let mut next_rung = "initial".to_string();
+    let mut next_backoff = 0u64;
+    let mut outcome = SupervisionOutcome::PolicyExhausted;
+    let mut final_exit = None;
+    let max = policy.max_attempts.max(1);
+
+    for attempt in 1..=max {
+        // The fault plan's arm state is consumed by a run; every attempt
+        // re-installs the original plan so injections replay identically.
+        let mut acfg = cfg.clone();
+        acfg.faults = base.faults.clone();
+        let r = run_audited(c, &acfg);
+        run_cycles += r.cycles;
+
+        let (tag, error_kind) = match &r.outcome {
+            Outcome::Exit(_) => ("exit", None),
+            Outcome::Trapped(e) => ("trapped", Some(e.kind_name().to_string())),
+            Outcome::Aborted(e) => ("aborted", Some(e.kind_name().to_string())),
+            Outcome::AssertFailed => ("assert-failed", None),
+            Outcome::StepLimit => ("step-limit", None),
+        };
+        let first = r.faults.as_ref().and_then(|f| f.first());
+        // The checkpoint is the last capture: the pre-unwind trap
+        // snapshot for trapped runs, else the exit/GC state.
+        let checkpoint = r.snapshots.last();
+        let (ck_reason, ck_ok, ck_words) = match checkpoint {
+            Some(s) => (
+                Some(s.reason.as_str().to_string()),
+                Heap::restore(s).is_ok(),
+                s.stats.live_words,
+            ),
+            None => (None, false, 0),
+        };
+        attempts.push(AttemptReport {
+            attempt,
+            rung: next_rung.clone(),
+            backoff_cycles: next_backoff,
+            outcome: tag.to_string(),
+            error_kind,
+            injected: r.faults.as_ref().map_or(0, |f| f.total_injected() as u64),
+            trigger_op: first.map_or(0, |f| f.op),
+            trigger_at: first.map_or(0, |f| f.at),
+            audit_clean: matches!(r.audit, Some(Ok(()))),
+            cycles: r.cycles,
+            steps: r.steps,
+            checkpoint: ck_reason,
+            checkpoint_ok: ck_ok,
+            checkpoint_live_words: ck_words,
+        });
+
+        match &r.outcome {
+            Outcome::Exit(code) => {
+                final_exit = Some(*code);
+                outcome = SupervisionOutcome::Completed;
+                break;
+            }
+            Outcome::Trapped(_) => {
+                if attempt == max {
+                    outcome = SupervisionOutcome::PolicyExhausted;
+                    break;
+                }
+                match rungs.next() {
+                    Some(rung) => {
+                        rung.apply(&mut cfg);
+                        next_rung = rung.to_string();
+                        next_backoff = policy.backoff_for(attempt);
+                        backoff_total += next_backoff;
+                    }
+                    None => {
+                        outcome = SupervisionOutcome::PolicyExhausted;
+                        break;
+                    }
+                }
+            }
+            _ => {
+                outcome = SupervisionOutcome::Unrecoverable;
+                break;
+            }
+        }
+    }
+
+    SupervisionReport {
+        outcome,
+        final_exit,
+        attempts,
+        run_cycles,
+        backoff_cycles: backoff_total,
+        policy: policy.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use region_rt::{FaultMode, FaultPlan};
+
+    const LOOPER: &str = r#"
+        struct cell { int v; };
+        int main() deletes {
+            int i;
+            int total = 0;
+            for (i = 0; i < 40; i = i + 1) {
+                region r = newregion();
+                struct cell *p = ralloc(r, struct cell);
+                p->v = i;
+                total = total + p->v;
+                deleteregion(r);
+            }
+            return 0;
+        }
+    "#;
+
+    #[test]
+    fn clean_run_completes_on_the_first_attempt() {
+        let rep =
+            supervise(LOOPER, &RunConfig::rc_inf(), &RecoveryPolicy::standard()).unwrap();
+        assert_eq!(rep.outcome, SupervisionOutcome::Completed);
+        assert_eq!(rep.final_exit, Some(0));
+        assert_eq!(rep.attempts.len(), 1);
+        assert_eq!(rep.attempts[0].rung, "initial");
+        assert_eq!(rep.attempts[0].outcome, "exit");
+        assert_eq!(rep.attempts[0].checkpoint.as_deref(), Some("exit"));
+        assert!(rep.attempts[0].checkpoint_ok, "exit checkpoint must restore");
+        assert!(!rep.recovered());
+        assert!(rep.checkpoints_ok());
+        assert_eq!(rep.backoff_cycles, 0);
+    }
+
+    #[test]
+    fn sticky_fault_exhausts_the_policy_with_restorable_checkpoints() {
+        let cfg = RunConfig::rc_inf()
+            .with_faults(FaultPlan::new().fail_alloc(FaultMode::Schedule(vec![5])).sticky());
+        let policy = RecoveryPolicy::standard().with_max_attempts(3);
+        let rep = supervise(LOOPER, &cfg, &policy).unwrap();
+        assert_eq!(rep.outcome, SupervisionOutcome::PolicyExhausted);
+        // inf has a single ladder rung (norc), so the policy is out of
+        // rungs after the second trap even though attempts remain.
+        assert_eq!(rep.attempts.len(), 2);
+        for a in &rep.attempts {
+            assert_eq!(a.outcome, "trapped", "{a}");
+            assert!(a.audit_clean, "post-trap audit must pass");
+            assert_eq!(a.checkpoint.as_deref(), Some("trap"));
+            assert!(a.checkpoint_ok, "trap checkpoint must restore: {a}");
+            assert!(a.injected > 0);
+            assert_eq!(a.trigger_op, 5);
+        }
+        // Rungs applied in order: the qs ladder was skipped (config is
+        // inf), so norc came first.
+        assert_eq!(rep.attempts[1].rung, "degrade=norc");
+        // Backoff schedule consumed.
+        assert_eq!(rep.attempts[1].backoff_cycles, 1_000);
+        assert_eq!(rep.backoff_cycles, 1_000);
+        assert!(rep.final_exit.is_none());
+    }
+
+    #[test]
+    fn one_shot_fault_recovers_on_retry() {
+        // Non-sticky: the injection fires once per armed plan; the retry
+        // re-installs the plan, but degradation to norc skips the RC
+        // allocation path sufficiency differently — what matters is the
+        // schedule replays deterministically and the retry completes.
+        let cfg = RunConfig::rc_inf()
+            .with_faults(FaultPlan::new().fail_alloc(FaultMode::Schedule(vec![10_000])).sticky());
+        let rep = supervise(LOOPER, &cfg, &RecoveryPolicy::standard()).unwrap();
+        // The schedule never fires (op 10000 unreached): clean completion.
+        assert_eq!(rep.outcome, SupervisionOutcome::Completed);
+        assert_eq!(rep.attempts.len(), 1);
+        assert_eq!(rep.attempts[0].injected, 0);
+        assert_eq!(rep.attempts[0].trigger_op, 0);
+    }
+
+    #[test]
+    fn page_budget_escalation_recovers_an_organic_oom() {
+        let cfg = RunConfig::rc_inf().with_page_budget(1);
+        let policy = RecoveryPolicy::standard().with_page_budget_steps(vec![2, 64, 0]);
+        let rep = supervise(LOOPER, &cfg, &policy).unwrap();
+        assert_eq!(rep.outcome, SupervisionOutcome::Completed, "{rep}");
+        assert!(rep.recovered(), "completion must come from an escalated retry");
+        assert!(rep.attempts[0].outcome == "trapped");
+        assert!(rep.attempts.iter().any(|a| a.rung.starts_with("page-budget=")));
+        assert!(rep.checkpoints_ok());
+    }
+
+    #[test]
+    fn qs_ladder_walks_nq_before_norc() {
+        let policy = RecoveryPolicy::standard();
+        let rungs = policy.rungs_for(&RunConfig::rc(CheckMode::Qs));
+        assert_eq!(rungs, vec![Rung::DegradeNq, Rung::DegradeNoRc]);
+        let rungs = policy.rungs_for(&RunConfig::rc(CheckMode::Nq));
+        assert_eq!(rungs, vec![Rung::DegradeNoRc]);
+        let rungs = policy.rungs_for(&RunConfig::lea());
+        assert!(rungs.is_empty(), "non-RC backends have no ladder");
+        // Budget steps that don't loosen the budget are skipped; 0
+        // (unlimited) terminates the escalation.
+        let cfg = RunConfig::rc(CheckMode::Qs).with_page_budget(8);
+        let policy = policy.with_page_budget_steps(vec![4, 16, 0, 9999]);
+        assert_eq!(
+            policy.rungs_for(&cfg),
+            vec![
+                Rung::PageBudget(16),
+                Rung::PageBudget(0),
+                Rung::DegradeNq,
+                Rung::DegradeNoRc,
+            ]
+        );
+    }
+
+    #[test]
+    fn backoff_schedule_clamps_to_its_last_entry() {
+        let p = RecoveryPolicy::standard();
+        assert_eq!(p.backoff_for(0), 0);
+        assert_eq!(p.backoff_for(1), 1_000);
+        assert_eq!(p.backoff_for(3), 100_000);
+        assert_eq!(p.backoff_for(99), 100_000);
+        assert_eq!(RecoveryPolicy::none().backoff_for(5), 0);
+    }
+
+    #[test]
+    fn display_and_json_cover_every_variant() {
+        // Exhaustive: every Rung and SupervisionOutcome variant has a
+        // stable rendering (no wildcard — adding a variant fails here or
+        // fails to compile).
+        for rung in [
+            Rung::PageBudget(0),
+            Rung::PageBudget(64),
+            Rung::DegradeNq,
+            Rung::DegradeNoRc,
+        ] {
+            let s = match rung {
+                Rung::PageBudget(_) | Rung::DegradeNq | Rung::DegradeNoRc => rung.to_string(),
+            };
+            assert!(!s.is_empty());
+        }
+        assert_eq!(Rung::PageBudget(0).to_string(), "page-budget=unlimited");
+        assert_eq!(Rung::PageBudget(64).to_string(), "page-budget=64");
+        assert_eq!(Rung::DegradeNq.to_string(), "degrade=nq");
+        assert_eq!(Rung::DegradeNoRc.to_string(), "degrade=norc");
+        for o in [
+            SupervisionOutcome::Completed,
+            SupervisionOutcome::PolicyExhausted,
+            SupervisionOutcome::Unrecoverable,
+        ] {
+            let tag = match o {
+                SupervisionOutcome::Completed => "completed",
+                SupervisionOutcome::PolicyExhausted => "policy-exhausted",
+                SupervisionOutcome::Unrecoverable => "unrecoverable",
+            };
+            assert_eq!(o.as_str(), tag);
+            assert_eq!(o.to_string(), tag);
+        }
+
+        // The policy's Display and JSON carry every field.
+        let policy = RecoveryPolicy::standard()
+            .with_max_attempts(7)
+            .with_page_budget_steps(vec![8, 0]);
+        let shown = policy.to_string();
+        for needle in ["attempts<=7", "backoff=", "budgets=", "ladder=qs>nq>norc"] {
+            assert!(shown.contains(needle), "{shown:?} missing {needle}");
+        }
+        let pj = policy.to_json();
+        for key in ["max_attempts", "backoff_cycles", "page_budget_steps", "degrade"] {
+            assert!(pj.get(key).is_some(), "policy JSON missing {key}");
+        }
+
+        // A real report round-trips every attempt field through JSON and
+        // renders each attempt line.
+        let rep = supervise(LOOPER, &RunConfig::rc_inf(), &policy).unwrap();
+        let shown = rep.to_string();
+        assert!(shown.contains("supervision: completed"));
+        assert!(shown.contains("#1 [initial] exit"));
+        let doc = rep.to_json();
+        for key in [
+            "outcome",
+            "final_exit",
+            "run_cycles",
+            "backoff_cycles",
+            "total_cycles",
+            "recovered",
+            "checkpoints_ok",
+            "policy",
+            "attempts",
+        ] {
+            assert!(doc.get(key).is_some(), "report JSON missing {key}");
+        }
+        let attempt = &doc.get("attempts").and_then(Json::as_array).unwrap()[0];
+        for key in [
+            "attempt",
+            "rung",
+            "backoff_cycles",
+            "outcome",
+            "error_kind",
+            "injected",
+            "trigger_op",
+            "trigger_at",
+            "audit_clean",
+            "cycles",
+            "steps",
+            "checkpoint",
+            "checkpoint_ok",
+            "checkpoint_live_words",
+        ] {
+            assert!(attempt.get(key).is_some(), "attempt JSON missing {key}");
+        }
+    }
+
+    #[test]
+    fn report_json_is_deterministic_and_self_describing() {
+        let cfg = RunConfig::rc_inf()
+            .with_faults(FaultPlan::new().fail_alloc(FaultMode::Schedule(vec![5])).sticky());
+        let policy = RecoveryPolicy::standard().with_max_attempts(2);
+        let a = supervise(LOOPER, &cfg, &policy).unwrap().to_json().render_pretty();
+        let b = supervise(LOOPER, &cfg, &policy).unwrap().to_json().render_pretty();
+        assert_eq!(a, b, "same inputs must produce byte-identical reports");
+        let doc = Json::parse(&a).unwrap();
+        assert_eq!(doc.get("outcome").and_then(Json::as_str), Some("policy-exhausted"));
+        assert!(doc.get("policy").is_some());
+        assert_eq!(doc.get("attempts").and_then(Json::as_array).map(|a| a.len()), Some(2));
+    }
+}

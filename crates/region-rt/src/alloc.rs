@@ -76,6 +76,21 @@ impl BumpAlloc {
         }
     }
 
+    /// Rebuilds an allocator from snapshot state (restore path). The
+    /// current-page cursor is deliberately left closed (`cur = None`): the
+    /// next small allocation takes a fresh page rather than guessing at
+    /// the old packing, which keeps restored heaps allocation-ready
+    /// without risking overlap with restored objects.
+    pub(crate) fn from_snapshot(
+        pages: Vec<u32>,
+        fill: Vec<u32>,
+        objs: Vec<AllocRecord>,
+        used_words: u64,
+    ) -> BumpAlloc {
+        debug_assert_eq!(pages.len(), fill.len());
+        BumpAlloc { pages, fill, cur: None, cursor: WORDS_PER_PAGE, objs, used_words }
+    }
+
     /// Allocates `words` words for `count` elements of type `ty`.
     ///
     /// Objects up to a page fit in the current page or a fresh one; larger

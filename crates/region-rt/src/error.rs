@@ -68,6 +68,16 @@ pub enum RtError {
     },
     /// The configured page budget was exhausted.
     OutOfMemory,
+    /// A [`HeapSnapshot`](crate::snapshot::HeapSnapshot) failed structural
+    /// validation during [`Heap::restore`](crate::heap::Heap::restore):
+    /// internally inconsistent accounting, an unsatisfiable page/object
+    /// placement, or a restored heap that failed its own verify/audit/
+    /// fixpoint gates. `detail` names the first offending field or
+    /// invariant.
+    SnapshotCorrupt {
+        /// Human-readable description of the first violated invariant.
+        detail: String,
+    },
 }
 
 impl std::fmt::Display for RtError {
@@ -96,6 +106,9 @@ impl std::fmt::Display for RtError {
                 write!(f, "reference count of {region:?} saturated")
             }
             RtError::OutOfMemory => write!(f, "heap page budget exhausted"),
+            RtError::SnapshotCorrupt { detail } => {
+                write!(f, "corrupt snapshot: {detail}")
+            }
         }
     }
 }
@@ -115,6 +128,7 @@ impl RtError {
             RtError::WildPointer { .. } => "wild_pointer",
             RtError::RcOverflow { .. } => "rc_overflow",
             RtError::OutOfMemory => "out_of_memory",
+            RtError::SnapshotCorrupt { .. } => "snapshot_corrupt",
         }
     }
 
@@ -150,6 +164,9 @@ impl RtError {
                 fields.push(("region", Json::U(region.0 as u64)));
             }
             RtError::OutOfMemory => {}
+            RtError::SnapshotCorrupt { detail } => {
+                fields.push(("detail", Json::s(detail)));
+            }
         }
         Json::obj(fields)
     }
@@ -179,6 +196,7 @@ mod tests {
             RtError::WildPointer { addr: Addr::from_parts(1, 2) },
             RtError::RcOverflow { region: RegionId(2) },
             RtError::OutOfMemory,
+            RtError::SnapshotCorrupt { detail: "regions[1].parent out of range".into() },
         ]
     }
 
@@ -198,6 +216,7 @@ mod tests {
                 RtError::WildPointer { .. } => 1,
                 RtError::RcOverflow { .. } => 1,
                 RtError::OutOfMemory => 0,
+                RtError::SnapshotCorrupt { .. } => 1,
             }
         }
         let variants = all_variants();

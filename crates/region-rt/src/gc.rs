@@ -68,6 +68,27 @@ impl GcState {
         }
     }
 
+    /// Rebuilds GC state from a snapshot (restore path). The bump page is
+    /// left closed so the next allocation takes a fresh page instead of
+    /// guessing at the old packing; `allocated_since_gc` restarts at 0
+    /// (the snapshot does not record it, and a restored heap starting a
+    /// fresh collection epoch is the conservative choice).
+    pub(crate) fn from_snapshot(
+        objects: BTreeMap<u64, GcObj>,
+        free_lists: Vec<Vec<Addr>>,
+        threshold: u64,
+    ) -> GcState {
+        debug_assert_eq!(free_lists.len(), SIZE_CLASSES.len());
+        GcState {
+            objects,
+            free_lists,
+            bump_page: None,
+            bump_cursor: WORDS_PER_PAGE,
+            allocated_since_gc: 0,
+            threshold,
+        }
+    }
+
     /// Number of live GC objects.
     pub fn live_count(&self) -> usize {
         self.objects.len()

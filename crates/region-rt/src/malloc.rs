@@ -57,6 +57,19 @@ impl MallocState {
         MallocState { free_lists: vec![Vec::new(); SIZE_CLASSES.len()], live: HashMap::new() }
     }
 
+    /// Rebuilds malloc state from a snapshot (restore path). Free-list
+    /// entries are placeholder slots on the reserved page 0 that only
+    /// reproduce per-class depths; a restored heap is for validation and
+    /// inspection, and its free lists are depth-faithful, not
+    /// address-faithful (snapshots record depths only).
+    pub(crate) fn from_snapshot(
+        free_lists: Vec<Vec<Addr>>,
+        live: HashMap<u64, MallocObj>,
+    ) -> MallocState {
+        debug_assert_eq!(free_lists.len(), SIZE_CLASSES.len());
+        MallocState { free_lists, live }
+    }
+
     /// Live allocation metadata for the auditor.
     pub fn live_objects(&self) -> impl Iterator<Item = (Addr, &MallocObj)> + '_ {
         self.live.iter().map(|(&a, o)| (Addr::from_raw(a), o))

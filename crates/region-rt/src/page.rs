@@ -52,6 +52,31 @@ impl PageStore {
         }
     }
 
+    /// Rebuilds a store from a snapshot's page → owner map and free chain
+    /// (restore path). `owners` covers the committed pages `1..`; the
+    /// reserved page 0 is prepended here. Page *contents* are not part of
+    /// a snapshot, so every page comes back zeroed; the restore layer
+    /// rewrites the words it needs (counted holder slots) afterwards.
+    pub(crate) fn from_snapshot(
+        owners: Vec<PageOwner>,
+        free: Vec<u32>,
+        page_budget: usize,
+    ) -> PageStore {
+        let mut all = Vec::with_capacity(owners.len() + 1);
+        all.push(PageOwner::Free);
+        all.extend(owners);
+        PageStore {
+            pages: all
+                .iter()
+                .map(|_| vec![0u64; WORDS_PER_PAGE].into_boxed_slice())
+                .collect(),
+            owners: all,
+            free,
+            page_budget,
+            fault: None,
+        }
+    }
+
     /// Installs (or clears) the page-acquire fault arm.
     pub fn set_fault_arm(&mut self, arm: Option<Box<FaultArm>>) {
         self.fault = arm;

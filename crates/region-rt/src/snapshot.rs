@@ -14,6 +14,8 @@
 //! words` along three independent paths (region tree, page map, site
 //! table), so a snapshot that loads is also known to be self-consistent.
 
+mod restore;
+
 use std::collections::BTreeMap;
 
 use crate::addr::{Addr, WORDS_PER_PAGE};
@@ -587,6 +589,17 @@ impl HeapSnapshot {
                 })
             })
             .collect::<Result<Vec<_>, _>>()?;
+        // Structural checks the restore layer would otherwise trip over
+        // with a less precise message: region rows must be the identity
+        // sequence (a duplicated id is a classic splice corruption).
+        for (i, r) in regions.iter().enumerate() {
+            if r.region as usize != i {
+                return Err(format!(
+                    "regions[{i}].region is {} (duplicate or out-of-order region id)",
+                    r.region
+                ));
+            }
+        }
 
         let pages = doc
             .get("pages")
@@ -603,6 +616,20 @@ impl HeapSnapshot {
                 })
             })
             .collect::<Result<Vec<_>, _>>()?;
+        for (j, p) in pages.iter().enumerate() {
+            if p.page as usize != j + 1 {
+                return Err(format!(
+                    "pages[{j}].page is {} (pages must cover 1..=count in order)",
+                    p.page
+                ));
+            }
+            if p.used_words as usize > WORDS_PER_PAGE {
+                return Err(format!(
+                    "pages[{j}].used_words {} exceeds the page size",
+                    p.used_words
+                ));
+            }
+        }
 
         let sites = doc
             .get("sites")
@@ -618,6 +645,14 @@ impl HeapSnapshot {
                 })
             })
             .collect::<Result<Vec<_>, _>>()?;
+        for (k, w) in sites.windows(2).enumerate() {
+            if (w[1].region, w[1].site) <= (w[0].region, w[0].site) {
+                return Err(format!(
+                    "sites[{}] breaks the strict (region, site) sort order",
+                    k + 1
+                ));
+            }
+        }
 
         Ok(HeapSnapshot {
             reason,
@@ -636,6 +671,17 @@ impl HeapSnapshot {
             gc_slot_words: u64_field(doc, "gc_slot_words")?,
             sites,
         })
+    }
+
+    /// Re-captures `heap` with this snapshot's reason and label — the
+    /// restore fixpoint probe: for a heap rebuilt by
+    /// [`Heap::restore`](crate::heap::Heap::restore) from `self`,
+    /// `self.resnapshot(&restored).render()` must equal `self.render()`
+    /// byte for byte.
+    pub fn resnapshot(&self, heap: &Heap) -> HeapSnapshot {
+        let mut s = heap.snapshot(self.reason);
+        s.label = self.label.clone();
+        s
     }
 
     /// Cross-checks the snapshot against the live heap it was taken from

@@ -224,6 +224,21 @@ impl SpanTree {
         }
     }
 
+    /// Rebuilds a tree from snapshot-recorded span aggregates (restore
+    /// path). Raw notes are not part of a snapshot, so the restore layer
+    /// passes at most one synthetic note per region — just enough to
+    /// reproduce the snapshot's `last_touch` stamps.
+    pub(crate) fn from_snapshot(spans: Vec<Span>, notes: Vec<SpanNote>) -> SpanTree {
+        SpanTree {
+            spans,
+            notes,
+            note_cap: DEFAULT_SPAN_NOTE_CAP,
+            notes_dropped: 0,
+            check_sites: BTreeMap::new(),
+            verified: None,
+        }
+    }
+
     /// A tree seeded from an existing region table: every region already
     /// created gets a span (closed with zero duration if already dead,
     /// so the index invariant holds from the first recorded event).

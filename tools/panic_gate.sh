@@ -15,7 +15,7 @@ allowlist=tools/panic_allowlist.txt
 status=0
 shopt -s nullglob
 
-for f in crates/region-rt/src/*.rs; do
+for f in crates/region-rt/src/*.rs crates/region-rt/src/*/*.rs; do
     # Strip the trailing test module and comment lines, then scan.
     while IFS= read -r line; do
         trimmed=$(printf '%s' "$line" | sed 's/^[[:space:]]*//;s/[[:space:]]*$//')
