@@ -16,6 +16,7 @@
 //! | All of the above → EXPERIMENTS.md   | `cargo run -p rc-bench --bin experiments` |
 //! | Fault-injection torture matrix      | `cargo run -p rc-bench --bin fault-matrix` |
 //! | Checkpoint-recovery matrix          | `cargo run -p rc-bench --bin recovery-matrix` |
+//! | Parallel spawn/join matrix          | `cargo run -p rc-bench --bin parallel-matrix` |
 //! | Perfetto provenance trace           | `cargo run -p rc-bench --bin trace-export` |
 //! | Heap snapshot dump + analysis       | `cargo run -p rc-bench --bin rc-inspect` |
 //!
@@ -29,6 +30,7 @@ pub mod faultmatrix;
 pub mod fuzzreport;
 pub mod inspect;
 pub mod microbench;
+pub mod parallelmatrix;
 pub mod provenance;
 pub mod recoverymatrix;
 pub mod report;

@@ -23,17 +23,20 @@ pub enum Schema {
     Snapshot,
     /// Checkpoint-recovery matrix (supervised re-execution).
     RecoveryMatrix,
+    /// Parallel spawn/join execution matrix (scheduler equivalence).
+    ParallelMatrix,
 }
 
 impl Schema {
     /// Every registered schema, in introduction order.
-    pub const ALL: [Schema; 6] = [
+    pub const ALL: [Schema; 7] = [
         Schema::Trajectory,
         Schema::FaultMatrix,
         Schema::FuzzReport,
         Schema::TraceExport,
         Schema::Snapshot,
         Schema::RecoveryMatrix,
+        Schema::ParallelMatrix,
     ];
 
     /// The identifier embedded in the artifact; bumped on layout change.
@@ -45,6 +48,7 @@ impl Schema {
             Schema::TraceExport => "rc-trace-export/v1",
             Schema::Snapshot => "rc-bench-snapshot/v1",
             Schema::RecoveryMatrix => "rc-bench-recoverymatrix/v1",
+            Schema::ParallelMatrix => "rc-bench-parallelmatrix/v1",
         }
     }
 }
@@ -68,6 +72,7 @@ mod tests {
                 Schema::TraceExport => s.id(),
                 Schema::Snapshot => s.id(),
                 Schema::RecoveryMatrix => s.id(),
+                Schema::ParallelMatrix => s.id(),
             };
             assert!(
                 id.rsplit_once("/v").and_then(|(_, v)| v.parse::<u32>().ok()).is_some(),
@@ -86,5 +91,6 @@ mod tests {
         assert_eq!(crate::inspect::SCHEMA, Schema::Snapshot.id());
         assert_eq!(region_rt::SNAPSHOT_SCHEMA, Schema::Snapshot.id());
         assert_eq!(crate::recoverymatrix::SCHEMA, Schema::RecoveryMatrix.id());
+        assert_eq!(crate::parallelmatrix::SCHEMA, Schema::ParallelMatrix.id());
     }
 }

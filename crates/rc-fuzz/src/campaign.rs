@@ -76,7 +76,7 @@ pub fn render_repro(seed: u64, violations: &[String], shrunk_src: &str) -> Strin
 
 /// Runs one seed end to end: generate, replay-check, oracle, shrink.
 pub fn run_seed(seed: u64, cfg: &CampaignConfig) -> FuzzCase {
-    let gen_cfg = GenConfig { size: cfg.size, violations: false };
+    let gen_cfg = GenConfig { size: cfg.size, violations: false, spawn: true };
     let src = generate_source(seed, &gen_cfg);
     let mut case = FuzzCase {
         seed,

@@ -12,7 +12,8 @@
 //! three pointer qualifiers plus unannotated (counted) pointers, global
 //! variables, `deletes` functions, local and region int arrays
 //! (`rarrayalloc`), bounded `for`/`while` loops, `if` with null guards,
-//! straight and recursive calls, `regionof`, and `assert`.
+//! straight and recursive calls, `regionof`, `assert`, and (unless
+//! [`GenConfig::spawn`] is off) `spawn`/`join` tasks.
 //!
 //! ## The invariants behind "clean"
 //!
@@ -32,6 +33,14 @@
 //!   depth argument, and all arithmetic in the dialect is total
 //!   (wrapping; division by zero yields zero), so every program
 //!   terminates with a deterministic exit code.
+//! - **spawn** bodies are disjoint by construction: each task gets a
+//!   dedicated region (`s0`, `s1`, …) created just before its `spawn`
+//!   and never touched by any other statement arm (node and `rarray`
+//!   allocation only ever target the pre-spawn regions), captures only
+//!   that region handle plus read-only int scalars, builds and checks a
+//!   private list entirely inside its own shard, and the single `join`
+//!   lands before the region teardown — so the spawned regions delete
+//!   LIFO with everything else.
 //!
 //! With [`GenConfig::violations`] set, the generator *additionally*
 //! plants qualifier-violating stores (for example a cross-region
@@ -52,11 +61,14 @@ pub struct GenConfig {
     /// Plant qualifier-violating stores (mutation/shrinker mode; such
     /// programs abort under `qs` by design).
     pub violations: bool,
+    /// Allow `spawn`/`join` task sections (on by default; a coin flip
+    /// per program decides whether one is actually emitted).
+    pub spawn: bool,
 }
 
 impl Default for GenConfig {
     fn default() -> GenConfig {
-        GenConfig { size: 6, violations: false }
+        GenConfig { size: 6, violations: false, spawn: true }
     }
 }
 
@@ -84,7 +96,9 @@ pub fn generate_source(seed: u64, cfg: &GenConfig) -> String {
 pub fn statement_count(ast: &Ast) -> usize {
     fn stmt(s: &Stmt) -> usize {
         match s {
-            Stmt::Block(items) => items.iter().map(item).sum::<usize>(),
+            Stmt::Block(items) | Stmt::Spawn { body: items, .. } => {
+                items.iter().map(item).sum::<usize>()
+            }
             Stmt::If(_, t, e) => stmt(t) + e.as_deref().map_or(0, stmt),
             Stmt::While(_, b) | Stmt::For(_, _, _, b) => stmt(b),
             _ => 0,
@@ -141,6 +155,7 @@ struct Gen<'a> {
     use_helper: bool,
     use_recur: bool,
     use_mk: bool,
+    use_spawn: bool,
     called_helper: bool,
     called_recur: bool,
     called_mk: bool,
@@ -211,6 +226,7 @@ impl<'a> Gen<'a> {
             use_helper: false,
             use_recur: false,
             use_mk: false,
+            use_spawn: false,
             called_helper: false,
             called_recur: false,
             called_mk: false,
@@ -223,6 +239,7 @@ impl<'a> Gen<'a> {
         self.use_helper = self.rng.chance(70);
         self.use_recur = self.rng.chance(55);
         self.use_mk = self.rng.chance(70);
+        self.use_spawn = self.cfg.spawn && self.rng.chance(50);
 
         let main = self.gen_main();
 
@@ -515,6 +532,60 @@ impl<'a> Gen<'a> {
             };
             body.push(decl(TypeExpr::Region, &name, Some(init)));
             self.regions.push(RegionInfo { name, parent });
+        }
+
+        // Spawned tasks: each gets a fresh region whose subtree it owns
+        // exclusively until the single `join`. The task regions are
+        // *appended* after the `n_regions` ordinary ones, and every other
+        // arm draws regions via `below(n_regions)`, so nothing outside
+        // the spawn body ever touches them; the LIFO teardown deletes
+        // them first, which is legal once the join has merged the shards
+        // back. Bodies capture only the task's region handle and the
+        // read-only int `spv`, and assert their own list internally —
+        // shards are separate heaps, so the parent cannot inspect
+        // child-built data after the join.
+        if self.use_spawn {
+            let spv = self.rng.range(1, 7);
+            body.push(decl(TypeExpr::Int, "spv", Some(int(spv))));
+            let tasks = 1 + self.rng.below(2) as usize;
+            for t in 0..tasks {
+                let rname = format!("s{t}");
+                body.push(decl(TypeExpr::Region, &rname, Some(Expr::NewRegion)));
+                self.regions.push(RegionInfo { name: rname.clone(), parent: None });
+                let bound = self.rng.range(2, 6);
+                let loop_body = vec![
+                    decl(node_ptr(Qual::None), "m", Some(ralloc_node(var(&rname)))),
+                    estmt(assign(field(var("m"), "v"), bin(BinOp::Add, var("q"), var("spv")))),
+                    estmt(assign(field(var("m"), "next"), var("h"))),
+                    estmt(assign(var("h"), var("m"))),
+                    estmt(assign(var("w"), bin(BinOp::Add, var("w"), field(var("m"), "v")))),
+                ];
+                let sbody = vec![
+                    decl(node_ptr(Qual::None), "h", Some(Expr::Null)),
+                    decl(TypeExpr::Int, "w", Some(int(0))),
+                    decl(TypeExpr::Int, "q", None),
+                    BlockItem::Stmt(Stmt::For(
+                        Some(assign(var("q"), int(0))),
+                        Some(bin(BinOp::Lt, var("q"), int(bound))),
+                        Some(assign(var("q"), bin(BinOp::Add, var("q"), int(1)))),
+                        Box::new(Stmt::Block(loop_body)),
+                    )),
+                    BlockItem::Stmt(Stmt::If(
+                        bin(BinOp::Ne, var("h"), Expr::Null),
+                        Box::new(Stmt::Block(vec![estmt(Expr::Assert(
+                            Box::new(bin(
+                                BinOp::Eq,
+                                field(var("h"), "v"),
+                                int(bound - 1 + spv),
+                            )),
+                            0,
+                        ))])),
+                        None,
+                    )),
+                ];
+                body.push(BlockItem::Stmt(Stmt::Spawn { region: rname, body: sbody, line: 0 }));
+            }
+            body.push(BlockItem::Stmt(Stmt::Join(0)));
         }
 
         // The traditional-region handle and a node inside it.
@@ -1028,7 +1099,7 @@ mod tests {
 
     #[test]
     fn violation_mode_compiles_too() {
-        let cfg = GenConfig { size: 6, violations: true };
+        let cfg = GenConfig { size: 6, violations: true, spawn: true };
         for seed in 0..32 {
             let src = generate_source(seed, &cfg);
             rc_lang::compile(&src)
@@ -1038,8 +1109,22 @@ mod tests {
 
     #[test]
     fn sizes_scale_with_the_knob() {
-        let small = generate(1, &GenConfig { size: 2, violations: false });
-        let large = generate(1, &GenConfig { size: 20, violations: false });
+        let small = generate(1, &GenConfig { size: 2, violations: false, spawn: true });
+        let large = generate(1, &GenConfig { size: 20, violations: false, spawn: true });
         assert!(statement_count(&large) > statement_count(&small));
+    }
+
+    #[test]
+    fn default_sweep_reaches_spawn_and_the_knob_disables_it() {
+        let on = GenConfig::default();
+        let hits = (0..64)
+            .filter(|&seed| generate_source(seed, &on).contains("spawn "))
+            .count();
+        assert!(hits >= 8, "only {hits}/64 default-config seeds emitted spawn");
+        let off = GenConfig { spawn: false, ..GenConfig::default() };
+        for seed in 0..64 {
+            let src = generate_source(seed, &off);
+            assert!(!src.contains("spawn "), "spawn=false still emitted spawn:\n{src}");
+        }
     }
 }

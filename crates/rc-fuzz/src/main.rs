@@ -17,7 +17,8 @@
 //!   written (default `tests/corpus/regressions/` in the repository);
 //! - `--no-write` — do not write repro files;
 //! - `--dump SEED` — print the generated source for one seed and exit
-//!   (`--violations` switches the generator to violation-planting mode).
+//!   (`--violations` switches the generator to violation-planting mode,
+//!   `--no-spawn` suppresses `spawn`/`join` sections).
 //!
 //! The output is byte-deterministic for fixed options: CI runs the
 //! campaign twice and `cmp`s the reports. Exits 0 when every oracle
@@ -44,7 +45,11 @@ fn main() {
     };
 
     if let Some(seed) = value_from_args("--dump").and_then(|v| v.parse().ok()) {
-        let gen_cfg = rc_fuzz::GenConfig { size, violations: flag_from_args("--violations") };
+        let gen_cfg = rc_fuzz::GenConfig {
+            size,
+            violations: flag_from_args("--violations"),
+            spawn: !flag_from_args("--no-spawn"),
+        };
         print!("{}", rc_fuzz::generate_source(seed, &gen_cfg));
         return;
     }

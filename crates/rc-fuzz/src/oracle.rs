@@ -1,5 +1,5 @@
 //! The differential oracle: one program, five allocator configurations,
-//! six families of assertions.
+//! seven families of assertions.
 //!
 //! 1. **Conformance** — the observable outcome (exit code / trap kind /
 //!    assertion failure) is identical under `lea`, `GC`, `nq`, `qs` and
@@ -26,6 +26,13 @@
 //!    [`region_rt::Heap::restore`]: the restored heap verifies, audits,
 //!    and re-snapshots byte-identically. A checkpoint that cannot be
 //!    turned back into a heap is forensics, not recovery.
+//! 7. **Parallel equivalence** — for programs containing `spawn`, the
+//!    baseline configuration is rerun under the seeded deterministic
+//!    scheduler ([`rc_lang::RunConfig::det_sched`]); its outcome key must
+//!    equal the sequential baseline's and its merged post-join heap must
+//!    audit clean. Region ownership transfer makes task interleaving
+//!    unobservable, so any disagreement is a scheduler or shard-merge
+//!    bug.
 
 use rc_lang::{CheckMode, Outcome, RunConfig};
 use rlang::SiteId;
@@ -75,6 +82,14 @@ pub enum Violation {
         /// The restore error, rendered for humans.
         detail: String,
     },
+    /// A `spawn` program's outcome under the deterministic scheduler
+    /// disagreed with the sequential baseline.
+    ParallelDivergence {
+        /// The sequential baseline's outcome key.
+        baseline: String,
+        /// The deterministic-scheduler outcome key.
+        got: String,
+    },
 }
 
 impl Violation {
@@ -87,6 +102,7 @@ impl Violation {
             Violation::NonDeterministic { .. } => "nondet",
             Violation::MalformedSpans { .. } => "malformed_spans",
             Violation::RestoreDivergence { .. } => "restore_divergence",
+            Violation::ParallelDivergence { .. } => "parallel_divergence",
         }
     }
 }
@@ -112,6 +128,13 @@ impl std::fmt::Display for Violation {
             Violation::RestoreDivergence { reason, detail } => {
                 write!(f, "snapshot ({reason}) is not restorable: {detail}")
             }
+            Violation::ParallelDivergence { baseline, got } => {
+                write!(
+                    f,
+                    "parallel divergence: deterministic scheduler saw {got}, \
+                     sequential baseline saw {baseline}"
+                )
+            }
         }
     }
 }
@@ -128,13 +151,34 @@ pub fn five_configs() -> Vec<(&'static str, RunConfig)> {
     ]
 }
 
+/// The fixed baton seed assertion 7 hands the deterministic scheduler.
+pub const PAR_SEED: u64 = 0x5eed_ba70_0007;
+
 /// Resolves an oracle configuration name (as carried by
 /// [`Violation::Divergence`]/[`Violation::AuditFailure`]) back to its
-/// [`RunConfig`] — the counting rerun (`nq+count`) maps to plain `nq`,
-/// since the tally itself is not part of the heap state a snapshot shows.
+/// [`RunConfig`] — the counting rerun (`nq+count`) maps to plain `nq`
+/// and the parallel rerun (`lea+det`) to plain `lea`, since neither the
+/// tally nor the task schedule is part of the heap state a snapshot
+/// shows.
 pub fn config_by_name(name: &str) -> Option<RunConfig> {
     let name = name.strip_suffix("+count").unwrap_or(name);
+    let name = name.strip_suffix("+det").unwrap_or(name);
     five_configs().into_iter().find(|(n, _)| *n == name).map(|(_, c)| c)
+}
+
+/// Whether the checked module contains a `spawn` anywhere (assertion 7's
+/// trigger).
+fn has_spawn(module: &rc_lang::hir::Module) -> bool {
+    fn in_stmts(ss: &[rc_lang::hir::HStmt]) -> bool {
+        use rc_lang::hir::HStmt;
+        ss.iter().any(|s| match s {
+            HStmt::Spawn { .. } => true,
+            HStmt::If(_, t, e) => in_stmts(t) || in_stmts(e),
+            HStmt::While(_, b) => in_stmts(b),
+            HStmt::Expr(_) | HStmt::Return(_) | HStmt::Join => false,
+        })
+    }
+    module.funcs.iter().any(|f| in_stmts(&f.body))
 }
 
 /// Collapses an [`Outcome`] to an allocator-independent key. Abort and
@@ -220,6 +264,34 @@ pub fn check_source(src: &str, step_budget: u64) -> Result<CaseReport, rc_lang::
             Some(Ok(())) => {}
             None => violations.push(Violation::AuditFailure {
                 config: name,
+                detail: "audit did not run".to_string(),
+            }),
+        }
+    }
+
+    // (7): parallel equivalence — spawn programs rerun under the seeded
+    // deterministic scheduler; ownership transfer makes the interleaving
+    // unobservable, so the outcome key must match the sequential
+    // baseline and the merged post-join heap must still audit.
+    if has_spawn(&compiled.module) {
+        let det = budgeted(RunConfig::lea().det_sched(PAR_SEED));
+        let r = rc_lang::run_audited(&compiled, &det);
+        steps += r.steps;
+        let key = outcome_key(&r.outcome);
+        if key != baseline_key {
+            violations.push(Violation::ParallelDivergence {
+                baseline: baseline_key.clone(),
+                got: key,
+            });
+        }
+        match r.audit {
+            Some(Err(e)) => violations.push(Violation::AuditFailure {
+                config: "lea+det",
+                detail: format!("{e:?}"),
+            }),
+            Some(Ok(())) => {}
+            None => violations.push(Violation::AuditFailure {
+                config: "lea+det",
                 detail: "audit did not run".to_string(),
             }),
         }
@@ -493,6 +565,88 @@ int main() {
             "restore oracle violated: {:?}",
             report.violations
         );
+    }
+
+    #[test]
+    fn parallel_oracle_tags_are_stable() {
+        let v = Violation::ParallelDivergence {
+            baseline: "exit:7".into(),
+            got: "trap:region_moved".into(),
+        };
+        assert_eq!(v.kind(), "parallel_divergence");
+        assert!(v.to_string().contains("parallel divergence"));
+        assert!(v.to_string().contains("exit:7"));
+    }
+
+    #[test]
+    fn det_config_alias_resolves_to_the_baseline() {
+        let c = config_by_name("lea+det").expect("lea+det resolves");
+        assert_eq!(c.backend, RunConfig::lea().backend);
+    }
+
+    #[test]
+    fn spawn_program_passes_the_full_oracle() {
+        // Two disjoint task regions, each building and checking its own
+        // list — the shape the generator emits. Assertion 7 runs here
+        // (the module contains spawn) and must agree with the baseline.
+        let src = "
+struct node { int v; struct node *sameregion next; };
+
+int main() deletes {
+    region s0 = newregion();
+    region s1 = newregion();
+    spawn s0 {
+        struct node *h = null;
+        int q;
+        for (q = 0; q < 4; q = q + 1) {
+            struct node *m = ralloc(s0, struct node);
+            m->v = q;
+            m->next = h;
+            h = m;
+        }
+        if (h != null) { assert(h->v == 3); }
+    }
+    spawn s1 {
+        struct node *h = null;
+        struct node *m = ralloc(s1, struct node);
+        m->v = 9;
+        m->next = h;
+        h = m;
+        assert(h->v == 9);
+    }
+    join;
+    deleteregion(s1);
+    deleteregion(s0);
+    return 21;
+}
+";
+        let report = check_source(src, 0).expect("compiles");
+        assert!(report.passed(), "violations: {:?}", report.violations);
+        assert_eq!(report.outcome_key, "exit:21");
+    }
+
+    #[test]
+    fn spawned_task_failure_stays_conformant() {
+        // The failing assert fires inside the task; every configuration
+        // (and the deterministic scheduler) must agree on assert-failed.
+        let src = "
+struct node { int v; struct node *sameregion next; };
+
+int main() deletes {
+    region s0 = newregion();
+    spawn s0 {
+        struct node *m = ralloc(s0, struct node);
+        m->v = 5;
+        assert(m->v == 6);
+    }
+    join;
+    deleteregion(s0);
+    return 0;
+}
+";
+        let report = check_source(src, 0).expect("compiles");
+        assert!(report.passed(), "violations: {:?}", report.violations);
+        assert_eq!(report.outcome_key, "assert-failed");
     }
 
     #[test]

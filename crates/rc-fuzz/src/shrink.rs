@@ -14,8 +14,8 @@
 //!    chunk size down to single items (recursing through `if`/loop/block
 //!    bodies);
 //! 4. local simplifications: an `if` collapses to its then-branch, an
-//!    `else` drops, a loop unwraps to its body, initialisers decay to
-//!    `null`.
+//!    `else` drops, a loop unwraps to its body, a `spawn` inlines to a
+//!    plain block, initialisers decay to `null`.
 //!
 //! Every candidate is revalidated through [`rc_lang::sema::check`]
 //! *before* the (expensive) predicate runs, so the shrinker can never
@@ -67,7 +67,7 @@ fn edit_items(
 
 fn edit_stmt(s: &mut Stmt, ctr: &mut usize, f: &mut impl FnMut(usize, &BlockItem) -> Edit) {
     match s {
-        Stmt::Block(items) => edit_items(items, ctr, f),
+        Stmt::Block(items) | Stmt::Spawn { body: items, .. } => edit_items(items, ctr, f),
         Stmt::If(_, t, e) => {
             edit_stmt(t, ctr, f);
             if let Some(e) = e {
@@ -82,7 +82,9 @@ fn edit_stmt(s: &mut Stmt, ctr: &mut usize, f: &mut impl FnMut(usize, &BlockItem
 fn func_item_count(f: &FuncDefAst) -> usize {
     fn stmt(s: &Stmt) -> usize {
         match s {
-            Stmt::Block(items) => items.iter().map(item).sum::<usize>(),
+            Stmt::Block(items) | Stmt::Spawn { body: items, .. } => {
+                items.iter().map(item).sum::<usize>()
+            }
             Stmt::If(_, t, e) => stmt(t) + e.as_deref().map_or(0, stmt),
             Stmt::While(_, b) | Stmt::For(_, _, _, b) => stmt(b),
             _ => 0,
@@ -123,6 +125,13 @@ fn declared_names(f: &FuncDefAst) -> Vec<String> {
 /// them. Returns `None` when the variant does not apply.
 fn simplify(item: &BlockItem, variant: u32) -> Option<BlockItem> {
     match (item, variant) {
+        // A spawn inlines to a plain block — the body only uses the
+        // region handle and int captures, both still in scope. (A later
+        // `join` with nothing outstanding is a no-op, and candidates
+        // that break sema are rejected by `accept` anyway.)
+        (BlockItem::Stmt(Stmt::Spawn { body, .. }), 0) => {
+            Some(BlockItem::Stmt(Stmt::Block(body.clone())))
+        }
         (BlockItem::Stmt(Stmt::If(_, t, _)), 0) => Some(BlockItem::Stmt((**t).clone())),
         (BlockItem::Stmt(Stmt::If(c, t, Some(_))), 1) => {
             Some(BlockItem::Stmt(Stmt::If(c.clone(), t.clone(), None)))
@@ -340,5 +349,41 @@ int main() deletes {
         assert!(min.funcs.iter().all(|f| f.name == "main"), "helper survived");
         let printed = rc_lang::pretty::print_ast(&min);
         assert!(!printed.contains("for ("), "loop survived:\n{printed}");
+    }
+
+    #[test]
+    fn shrinks_spawn_padding_away() {
+        // The defect is the same cross-region sameregion store; the
+        // spawn/join task is pure padding the shrinker must strip (via
+        // the cascade on `s0` or the spawn-to-block unwrap).
+        let src = "
+struct node { int v; struct node *sameregion next; };
+
+int main() deletes {
+    region r0 = newregion();
+    region r1 = newregion();
+    region s0 = newregion();
+    struct node *a = ralloc(r0, struct node);
+    struct node *b = ralloc(r1, struct node);
+    spawn s0 {
+        struct node *m = ralloc(s0, struct node);
+        m->v = 4;
+        assert(m->v == 4);
+    }
+    join;
+    b->next = a;
+    deleteregion(s0);
+    deleteregion(r1);
+    deleteregion(r0);
+    return 0;
+}
+";
+        let ast = rc_lang::parser::parse(src).expect("parses");
+        assert!(qs_diverges(&ast), "the seed program must be interesting");
+        let min = shrink(&ast, &qs_diverges);
+        assert!(qs_diverges(&min), "shrinking must preserve the violation");
+        let printed = rc_lang::pretty::print_ast(&min);
+        assert!(!printed.contains("spawn"), "spawn survived:\n{printed}");
+        assert!(!printed.contains("join"), "join survived:\n{printed}");
     }
 }

@@ -37,7 +37,7 @@ fn a_check_fires(ast: &Ast) -> bool {
 
 #[test]
 fn broken_inference_is_caught_and_shrunk() {
-    let cfg = GenConfig { size: 8, violations: true };
+    let cfg = GenConfig { size: 8, violations: true, spawn: true };
     let mut caught = 0;
     let mut tested = 0;
 
@@ -85,7 +85,7 @@ fn broken_inference_is_caught_and_shrunk() {
 fn sound_inference_is_not_flagged() {
     // Control arm: on clean programs the *real* analysis' eliminated
     // sites never fire, so the same detector stays quiet.
-    let cfg = GenConfig { size: 8, violations: false };
+    let cfg = GenConfig { size: 8, violations: false, spawn: true };
     for seed in 0..8u64 {
         let src = rc_fuzz::generate_source(seed, &cfg);
         let compiled = rc_lang::prepare(&src).expect("clean programs compile");

@@ -32,7 +32,7 @@ fn assert_round_trips(seed: u64, cfg: &GenConfig) {
 
 #[test]
 fn clean_programs_round_trip() {
-    let cfg = GenConfig { size: 8, violations: false };
+    let cfg = GenConfig { size: 8, violations: false, spawn: true };
     for seed in 0..48 {
         assert_round_trips(seed, &cfg);
     }
@@ -40,7 +40,7 @@ fn clean_programs_round_trip() {
 
 #[test]
 fn violation_programs_round_trip() {
-    let cfg = GenConfig { size: 8, violations: true };
+    let cfg = GenConfig { size: 8, violations: true, spawn: true };
     for seed in 0..48 {
         assert_round_trips(seed, &cfg);
     }

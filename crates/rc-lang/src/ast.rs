@@ -125,6 +125,19 @@ pub enum Stmt {
     For(Option<Expr>, Option<Expr>, Option<Expr>, Box<Stmt>),
     /// `return e;`
     Return(Option<Expr>, u32),
+    /// `spawn r { ... }` — runs the block as a task owning region `r`'s
+    /// subtree exclusively (parallel extension; see `DESIGN.md`).
+    Spawn {
+        /// Name of the region variable handed to the task.
+        region: String,
+        /// The task body.
+        body: Vec<BlockItem>,
+        /// Source line.
+        line: u32,
+    },
+    /// `join;` — blocks until every task this function spawned has
+    /// finished and reclaims their regions.
+    Join(u32),
     /// `;`
     Empty,
 }

@@ -56,6 +56,37 @@ pub enum CheckMode {
     Nc,
 }
 
+/// How `spawn`ed tasks are scheduled (see [`crate::parallel`] and
+/// `region_rt::shard`). Because every task runs against its own isolated
+/// heap shard and sema forbids any data from crossing the task boundary
+/// except the handed-off region and int copies, all three modes produce
+/// byte-identical merged telemetry — the modes differ only in *when*
+/// bodies execute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SchedMode {
+    /// Execute each task body synchronously at its `spawn` point (the
+    /// conformance baseline; no threads).
+    #[default]
+    Inline,
+    /// Real threads serialized by a baton: exactly one task runs at a
+    /// time, preempted at step granularity with slice lengths drawn from
+    /// a per-task SplitMix64 stream seeded here. Different seeds explore
+    /// different interleavings; every run with the same seed replays the
+    /// same schedule.
+    Deterministic {
+        /// Root of the per-task slice-length streams.
+        seed: u64,
+    },
+    /// Real `std::thread` pool: at most `workers` tasks (including the
+    /// spawning parent) execute concurrently, admission-controlled by a
+    /// counting semaphore. Non-deterministic timing, deterministic
+    /// results.
+    Threads {
+        /// Concurrency cap (clamped to at least 1).
+        workers: u32,
+    },
+}
+
 /// Which allocator/runtime backs the execution (Figure 7's columns).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Backend {
@@ -126,6 +157,9 @@ pub struct RunConfig {
     /// [`crate::interp::RunResult::spans`]. Off by default (one
     /// predictable branch per instrumented operation).
     pub spans: bool,
+    /// How `spawn`ed tasks are scheduled; merged results are identical
+    /// across all modes (isolation makes the schedule unobservable).
+    pub sched: SchedMode,
     /// Post-mortem heap snapshots ([`region_rt::snapshot`]): capture a
     /// byte-deterministic [`region_rt::HeapSnapshot`] at program exit,
     /// after every GC pause, and — on a trapped fault — of the pre-unwind
@@ -154,8 +188,27 @@ impl RunConfig {
             on_fault: OnFault::Abort,
             count_checks: false,
             spans: false,
+            sched: SchedMode::Inline,
             snapshots: false,
         }
+    }
+
+    /// The same configuration with a chosen task scheduler.
+    pub fn with_sched(mut self, sched: SchedMode) -> RunConfig {
+        self.sched = sched;
+        self
+    }
+
+    /// The same configuration under the deterministic (seeded-baton)
+    /// scheduler.
+    pub fn det_sched(self, seed: u64) -> RunConfig {
+        self.with_sched(SchedMode::Deterministic { seed })
+    }
+
+    /// The same configuration under the real-thread scheduler with a
+    /// concurrency cap.
+    pub fn threaded(self, workers: u32) -> RunConfig {
+        self.with_sched(SchedMode::Threads { workers })
     }
 
     /// The same configuration with region lifecycle spans enabled.

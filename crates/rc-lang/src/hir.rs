@@ -170,6 +170,21 @@ pub enum HStmt {
     While(HExpr, Vec<HStmt>),
     /// `return`.
     Return(Option<HExpr>),
+    /// `spawn r { ... }`: run the body as a task with exclusive ownership
+    /// of `rvar`'s region subtree. Sema guarantees the body touches only
+    /// that subtree, int-typed captures (copied by value), and
+    /// spawn-safe callees — see [`crate::sema`].
+    Spawn {
+        /// The region variable handed to the task.
+        rvar: VarRef,
+        /// The task body.
+        body: Vec<HStmt>,
+        /// Source line, for telemetry attribution.
+        line: u32,
+    },
+    /// `join;`: block until every task spawned so far by this function
+    /// activation has finished, reclaiming their regions.
+    Join,
 }
 
 /// A typed expression.

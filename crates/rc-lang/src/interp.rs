@@ -8,18 +8,20 @@
 //! [`region_rt::Stats`] / virtual clock from which the evaluation's tables
 //! and figures are computed.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 use region_rt::{
-    Addr, EmuBackend, EmuRegionId, EmuRegions, FaultReport, Heap, HeapConfig, PtrKind, RegionId,
-    RtError, SlotKind, SnapshotReason, Stats, TypeId, TypeLayout, WriteMode,
+    audit_all, Addr, EmuBackend, EmuRegionId, EmuRegions, Facet, FaultReport, Handoff, Heap,
+    HeapConfig, PtrKind, RegionId, RtError, Shard, ShardId, SlotKind, SnapshotReason, Stats,
+    TypeId, TypeLayout, WriteMode,
 };
 use rlang::SiteId;
 
 use crate::ast::Qual;
-use crate::config::{Backend, CheckMode, DeleteSemantics, OnFault, RunConfig};
+use crate::config::{Backend, CheckMode, DeleteSemantics, OnFault, RunConfig, SchedMode};
 use crate::hir::*;
 use crate::liveness::{pin_sets, PinSets};
+use crate::parallel::Gate;
 
 /// A module prepared for execution: parsed, checked, analysed.
 #[derive(Debug)]
@@ -109,7 +111,15 @@ pub struct RunResult {
     /// one per GC pause (reason `gc`), then either the pre-unwind trap
     /// snapshot (reason `trap`, for [`Outcome::Trapped`]) or the final
     /// heap state (reason `exit`), in capture order. Empty otherwise.
+    /// Snapshots (like fault reports) cover the root task's heap only.
     pub snapshots: Vec<region_rt::HeapSnapshot>,
+    /// One region-ownership handoff per `spawn`, in deterministic merge
+    /// (DFS spawn) order — empty for programs without tasks. The
+    /// telemetry above (`stats`, `cycles`, `steps`, `spans`, the traced
+    /// profile, `timeline`, `check_counts`) is already the exact merge
+    /// of the root task and every shard in this order, so it is
+    /// byte-identical across schedulers and seeds.
+    pub handoffs: Vec<Handoff>,
 }
 
 impl RunResult {
@@ -133,12 +143,15 @@ pub fn run_audited(c: &Compiled, config: &RunConfig) -> RunResult {
 fn run_opts(c: &Compiled, config: &RunConfig, audit: bool) -> RunResult {
     // The tree-walking interpreter nests several host frames per RC frame;
     // deep RC recursion (parse trees, list walks) needs more than a test
-    // thread's default 2 MB. Run on a dedicated big-stack thread.
+    // thread's default 2 MB. Run on a dedicated big-stack thread. The
+    // same scope hosts task threads under the deterministic and
+    // real-thread schedulers, so every spawned task is joined before the
+    // result leaves this function.
     std::thread::scope(|s| {
         let handle = std::thread::Builder::new()
             .name("rc-interp".into())
             .stack_size(256 * 1024 * 1024)
-            .spawn_scoped(s, || run_on_this_stack(c, config, audit))
+            .spawn_scoped(s, || run_on_this_stack(c, config, audit, Some(s)))
             .expect("spawning the interpreter thread");
         match handle.join() {
             Ok(r) => r,
@@ -147,9 +160,38 @@ fn run_opts(c: &Compiled, config: &RunConfig, audit: bool) -> RunResult {
     })
 }
 
-fn run_on_this_stack(c: &Compiled, config: &RunConfig, audit: bool) -> RunResult {
+fn run_on_this_stack<'c, 'scope, 'env>(
+    c: &'c Compiled,
+    config: &'c RunConfig,
+    audit: bool,
+    scope: Option<&'scope std::thread::Scope<'scope, 'env>>,
+) -> RunResult
+where
+    'c: 'scope,
+{
     let mut interp = Interp::new(c, config);
+    interp.scope = scope;
+    interp.gate = Gate::root(config.sched);
+    interp.gate.start();
     let outcome = interp.run_main();
+    // A program may end (or abort) with tasks still outstanding; join
+    // them here so every shard is collected and no task thread outlives
+    // the run. The root's own failure wins; otherwise the
+    // earliest-spawned failed task decides the outcome, exactly as an
+    // explicit `join` would have.
+    let outcome = match interp.join_children() {
+        Ok(()) => outcome,
+        Err(h) if outcome.is_exit() => halt_outcome(h),
+        Err(_) => outcome,
+    };
+    interp.gate.finish();
+    // Stamp the merge ordinals now that the shard list is final (shard
+    // ids are DFS positions fixed by program order, not by timing).
+    for (i, s) in interp.shards.iter_mut().enumerate() {
+        debug_assert_eq!(s.id.0 as usize, i + 1, "DFS renumbering is dense");
+        s.handoff.seq = i as u64;
+    }
+    let handoffs: Vec<Handoff> = interp.shards.iter().map(|s| s.handoff).collect();
     // Harvest the fault arms before any recovery work so the unwind
     // itself is injection-free (a sticky arm would otherwise fail the
     // very operations that tear the heap down).
@@ -166,10 +208,15 @@ fn run_on_this_stack(c: &Compiled, config: &RunConfig, audit: bool) -> RunResult
         }
         o => o,
     };
-    let audit = audit.then(|| interp.heap.audit());
+    // The post-join cleanliness gate: the root heap and every shard must
+    // be independently audit-clean (isolation means no shard can excuse
+    // another).
+    let audit = audit.then(|| audit_all(&interp.heap, &interp.shards).map_err(|(_, e)| e));
     if let Some(res) = &audit {
         interp.heap.record_audit_run(res.is_ok());
     }
+    // `base_ops` already includes every joined task's contribution, so
+    // the C@ base-compiler factor covers the whole task tree.
     let base_extra = if config.backend == Backend::CAt {
         interp.base_ops * (config.costs.cat_base_factor_pct.saturating_sub(100)) / 100
     } else {
@@ -187,18 +234,69 @@ fn run_on_this_stack(c: &Compiled, config: &RunConfig, audit: bool) -> RunResult
     if config.snapshots && !matches!(outcome, Outcome::Trapped(_)) {
         interp.snapshots.push(interp.heap.snapshot(SnapshotReason::Exit));
     }
+    // Fold every shard into the global report in `Handoff::seq` order.
+    // Every merge below is exact and associative, so the report is
+    // byte-identical across schedulers, worker counts and seeds.
+    let mut stats = interp.heap.stats.clone();
+    let mut cycles = interp.heap.clock.cycles() + base_extra;
+    let mut steps = interp.steps;
+    let mut spans = interp.heap.take_spans();
+    let mut tracer = interp.heap.take_tracer();
+    let mut timeline = interp.heap.take_timeline();
+    let mut check_counts = interp.heap.take_check_counter();
+    for s in &mut interp.shards {
+        stats = stats.merge(&s.heap.stats);
+        cycles += s.heap.clock.cycles();
+        steps += s.steps;
+        if let Some(sh) = s.spans.take() {
+            match &mut spans {
+                Some(sp) => sp.merge(&sh),
+                None => spans = Some(sh),
+            }
+        }
+        if let Some(st) = s.tracer.take() {
+            match &mut tracer {
+                Some(t) => {
+                    let off = t.profile().max_region();
+                    t.absorb_profile(&st, off);
+                }
+                None => tracer = Some(st),
+            }
+        }
+        if let Some(stl) = s.timeline.take() {
+            match &mut timeline {
+                Some(tl) => tl.merge(&stl),
+                None => timeline = Some(stl),
+            }
+        }
+        if let Some(sc) = s.heap.take_check_counter() {
+            match &mut check_counts {
+                Some(cc) => cc.merge(&sc),
+                None => check_counts = Some(sc),
+            }
+        }
+    }
     RunResult {
         outcome,
-        cycles: interp.heap.clock.cycles() + base_extra,
-        stats: interp.heap.stats.clone(),
-        steps: interp.steps,
+        cycles,
+        stats,
+        steps,
         audit,
-        tracer: interp.heap.take_tracer(),
-        check_counts: interp.heap.take_check_counter(),
-        timeline: interp.heap.take_timeline(),
+        tracer,
+        check_counts,
+        timeline,
         faults,
-        spans: interp.heap.take_spans(),
+        spans,
         snapshots: interp.snapshots,
+        handoffs,
+    }
+}
+
+fn halt_outcome(h: Halt) -> Outcome {
+    match h {
+        Halt::Abort(e) => Outcome::Aborted(e),
+        Halt::AssertFailed => Outcome::AssertFailed,
+        Halt::StepLimit => Outcome::StepLimit,
     }
 }
 
@@ -250,6 +348,7 @@ impl Value {
 }
 
 /// Early exit from evaluation.
+#[derive(Debug)]
 enum Halt {
     Abort(RtError),
     AssertFailed,
@@ -274,7 +373,34 @@ struct Frame {
     arrays: Vec<Option<Addr>>,
 }
 
-struct Interp<'c> {
+/// What a finished task hands back to its parent: how the body ended
+/// (`None` = clean), its shard subtree — own shard first, then nested
+/// tasks' shards in DFS order, with ids local to this task — and the
+/// charged base operations (for the C@ base-compiler factor).
+struct TaskDone {
+    halt: Option<Halt>,
+    shards: Vec<Shard>,
+    base_ops: u64,
+}
+
+enum TaskState<'scope> {
+    /// Already ran, at the spawn point (inline scheduler).
+    Done(TaskDone),
+    /// Running on a scoped thread (deterministic or thread scheduler).
+    Running(std::thread::ScopedJoinHandle<'scope, TaskDone>),
+}
+
+/// An outstanding spawned task, from the parent's side.
+struct ChildTask<'scope> {
+    /// Parent-space descriptor of the moved region (answers
+    /// [`RtError::RegionMoved`] until the join).
+    region_desc: Addr,
+    /// Parent-space region number, recorded in the [`Handoff`].
+    region_id: RegionId,
+    state: TaskState<'scope>,
+}
+
+struct Interp<'c, 'scope, 'env> {
     c: &'c Compiled,
     config: &'c RunConfig,
     heap: Heap,
@@ -311,10 +437,34 @@ struct Interp<'c> {
     /// Heap snapshots accumulated during the run (GC pauses, then the
     /// trap or exit capture); empty unless [`RunConfig::snapshots`].
     snapshots: Vec<region_rt::HeapSnapshot>,
+    /// Host-thread scope task threads spawn on (`None` ⇒ tasks always
+    /// run inline, whatever the configured scheduler).
+    scope: Option<&'scope std::thread::Scope<'scope, 'env>>,
+    /// This task's scheduler handle (one [`Gate::tick`] per step).
+    gate: Gate,
+    /// Descriptors of regions currently handed off to running tasks;
+    /// every handle-level touch answers [`RtError::RegionMoved`] until
+    /// the join returns ownership.
+    moved: HashSet<Addr>,
+    /// Outstanding tasks spawned by this task, in spawn order.
+    children: Vec<ChildTask<'scope>>,
+    /// Collected shards, in deterministic DFS order, ids local to this
+    /// task (this task = 0, shards 1..; a parent offsets them on join).
+    shards: Vec<Shard>,
+    /// The facet region this task was handed (tasks only; NULL at root).
+    facet_desc: Addr,
+    /// The facet as the runtime sees it (tasks only).
+    facet: Option<Facet>,
+    /// Whether this task deleted its facet region (the parent then
+    /// deletes the original at join instead of reclaiming it).
+    facet_dead: bool,
 }
 
-impl<'c> Interp<'c> {
-    fn new(c: &'c Compiled, config: &'c RunConfig) -> Interp<'c> {
+impl<'c, 'scope, 'env> Interp<'c, 'scope, 'env>
+where
+    'c: 'scope,
+{
+    fn new(c: &'c Compiled, config: &'c RunConfig) -> Interp<'c, 'scope, 'env> {
         let rc_enabled = matches!(config.backend, Backend::Rc | Backend::CAt);
         let delete_policy = match config.delete_semantics {
             DeleteSemantics::Deferred => region_rt::DeletePolicy::Deferred,
@@ -457,6 +607,14 @@ impl<'c> Interp<'c> {
                 || config.spans
                 || config.snapshots,
             snapshots: Vec::new(),
+            scope: None,
+            gate: Gate::Inline,
+            moved: HashSet::new(),
+            children: Vec::new(),
+            shards: Vec::new(),
+            facet_desc: Addr::NULL,
+            facet: None,
+            facet_dead: false,
         }
     }
 
@@ -469,9 +627,7 @@ impl<'c> Interp<'c> {
                 Value::Int(n) => Outcome::Exit(n),
                 _ => Outcome::Exit(0),
             },
-            Err(Halt::Abort(e)) => Outcome::Aborted(e),
-            Err(Halt::AssertFailed) => Outcome::AssertFailed,
-            Err(Halt::StepLimit) => Outcome::StepLimit,
+            Err(h) => halt_outcome(h),
         }
     }
 
@@ -483,6 +639,10 @@ impl<'c> Interp<'c> {
         // land at regular points in program execution even when the
         // runtime is idle (one branch when sampling is off).
         self.heap.sample_tick();
+        // The deterministic scheduler's preemption point: every step
+        // burns one slice unit; an expired slice passes the baton (a
+        // no-op branch under the inline and thread schedulers).
+        self.gate.tick();
         if self.config.step_limit != 0 && self.steps > self.config.step_limit {
             return Err(Halt::StepLimit);
         }
@@ -569,7 +729,7 @@ impl<'c> Interp<'c> {
         }
     }
 
-    fn exec_block(&mut self, f: FuncRef, stmts: &[HStmt]) -> Result<Flow, Halt> {
+    fn exec_block(&mut self, f: FuncRef, stmts: &'c [HStmt]) -> Result<Flow, Halt> {
         for s in stmts {
             match self.exec_stmt(f, s)? {
                 Flow::Normal => {}
@@ -579,7 +739,7 @@ impl<'c> Interp<'c> {
         Ok(Flow::Normal)
     }
 
-    fn exec_stmt(&mut self, f: FuncRef, s: &HStmt) -> Result<Flow, Halt> {
+    fn exec_stmt(&mut self, f: FuncRef, s: &'c HStmt) -> Result<Flow, Halt> {
         self.step()?;
         match s {
             HStmt::Expr(e) => {
@@ -615,7 +775,190 @@ impl<'c> Interp<'c> {
                 }
                 Ok(Flow::Normal)
             }
+            HStmt::Spawn { rvar, body, line } => self.exec_spawn(f, *rvar, body, *line),
+            HStmt::Join => {
+                self.join_children()?;
+                Ok(Flow::Normal)
+            }
         }
+    }
+
+    /// `spawn r { ... }`: moves `r`'s region to a new task and launches
+    /// the body against a fresh heap shard. Under the inline scheduler
+    /// the body runs to completion right here; under the deterministic
+    /// and thread schedulers it runs on a scoped thread, admitted by
+    /// this task's [`Gate`] family. Either way the task's effects reach
+    /// the parent only at join, as a [`Shard`].
+    fn exec_spawn(
+        &mut self,
+        f: FuncRef,
+        rvar: VarRef,
+        body: &'c [HStmt],
+        line: u32,
+    ) -> Result<Flow, Halt> {
+        self.set_site(line);
+        let rv = self.frame().vals[rvar.0 as usize];
+        // Null, dangling and already-moved handles all refuse here, with
+        // the same error in every scheduler mode.
+        let rt = self.resolve_region(rv)?;
+        let desc = rv.addr();
+        if desc == self.trad_desc {
+            // The traditional region backs the globals block and every
+            // activation's stack arrays; it cannot be handed off.
+            return Err(Halt::Abort(RtError::WildPointer { addr: desc }));
+        }
+        let region_id = region_number(rt);
+        self.moved.insert(desc);
+        let captured = self.capture_frame(f, rvar);
+        let gate = if self.scope.is_none() { Gate::Inline } else { self.gate.child() };
+        let c = self.c;
+        let config = self.config;
+        let state = match (config.sched, self.scope) {
+            (SchedMode::Inline, _) | (_, None) => {
+                TaskState::Done(run_task(c, config, f, body, captured, rvar, gate, self.scope))
+            }
+            (_, Some(s)) => {
+                let handle = std::thread::Builder::new()
+                    .name("rc-task".into())
+                    .stack_size(64 * 1024 * 1024)
+                    .spawn_scoped(s, move || {
+                        run_task(c, config, f, body, captured, rvar, gate, Some(s))
+                    })
+                    .expect("spawning a task thread");
+                TaskState::Running(handle)
+            }
+        };
+        self.children.push(ChildTask { region_desc: desc, region_id, state });
+        Ok(Flow::Normal)
+    }
+
+    /// Builds the value snapshot a task starts from: int scalars are
+    /// copied, the spawned region variable is a placeholder the task
+    /// replaces with its facet handle, and every other slot is nulled —
+    /// sema guarantees the body never reads those.
+    fn capture_frame(&self, f: FuncRef, rvar: VarRef) -> Vec<Value> {
+        let func = self.func(f);
+        let frame = self.frame();
+        (0..func.var_count())
+            .map(|i| {
+                let v = VarRef(i as u32);
+                let hv = func.var(v);
+                if v == rvar {
+                    Value::Region(Addr::NULL)
+                } else if hv.ty == RcType::Int && hv.array_len.is_none() {
+                    frame.vals[i]
+                } else {
+                    Value::default_of(hv.ty)
+                }
+            })
+            .collect()
+    }
+
+    /// `join;` (and the implicit join at a body's or the program's end):
+    /// waits for every outstanding task, returns region ownership to
+    /// this task, and absorbs the tasks' shards in spawn order. The
+    /// earliest-spawned failure propagates; region returns happen for
+    /// all children regardless, so telemetry and audits stay complete.
+    fn join_children(&mut self) -> Result<(), Halt> {
+        if self.children.is_empty() {
+            return Ok(());
+        }
+        let children = std::mem::take(&mut self.children);
+        let any_running = children.iter().any(|ch| matches!(ch.state, TaskState::Running(_)));
+        // Hand our turn/permit back while blocked in OS joins so the
+        // children we are waiting on can actually run.
+        if any_running {
+            self.gate.begin_wait();
+        }
+        let collected: Vec<(Addr, RegionId, TaskDone)> = children
+            .into_iter()
+            .map(|ch| {
+                let done = match ch.state {
+                    TaskState::Done(d) => d,
+                    TaskState::Running(h) => match h.join() {
+                        Ok(d) => d,
+                        Err(payload) => std::panic::resume_unwind(payload),
+                    },
+                };
+                (ch.region_desc, ch.region_id, done)
+            })
+            .collect();
+        if any_running {
+            self.gate.end_wait();
+        }
+        let mut first_halt: Option<Halt> = None;
+        let mut dead_regions: Vec<Addr> = Vec::new();
+        for (desc, region_id, done) in collected {
+            self.moved.remove(&desc);
+            self.base_ops += done.base_ops;
+            let facet_dead = done.shards.first().is_some_and(|s| s.facet_dead);
+            absorb_child_shards(&mut self.shards, done.shards, region_id);
+            if let Some(h) = done.halt {
+                if first_halt.is_none() {
+                    first_halt = Some(h);
+                }
+            } else if facet_dead {
+                dead_regions.push(desc);
+            }
+        }
+        // A task that deleted its facet semantically deleted the whole
+        // moved region: mirror that on the original now that ownership
+        // is back (under `Fail` semantics an unsafe mirror delete is
+        // skipped, exactly like a failing `deleteregion`).
+        if first_halt.is_none() {
+            for desc in dead_regions {
+                if let Err(h) = self.delete_region(Value::Region(desc)) {
+                    if self.config.delete_semantics == DeleteSemantics::Fail
+                        && matches!(
+                            h,
+                            Halt::Abort(
+                                RtError::DeleteWithLiveRefs { .. }
+                                    | RtError::DeleteWithSubregions { .. }
+                            )
+                        )
+                    {
+                        continue;
+                    }
+                    first_halt = Some(h);
+                    break;
+                }
+            }
+        }
+        match first_halt {
+            None => Ok(()),
+            Some(h) => Err(h),
+        }
+    }
+
+    /// Finalizes a finished task into its [`TaskDone`]: one shard for
+    /// this task's own heap, then the already-collected nested shards.
+    fn into_task_done(mut self, halt: Option<Halt>) -> TaskDone {
+        self.heap.sample_now();
+        let _ = self.heap.seal_spans();
+        let spans = self.heap.take_spans();
+        let tracer = self.heap.take_tracer();
+        let timeline = self.heap.take_timeline();
+        let facet = self.facet.unwrap_or(Facet::Real(RegionId(0)));
+        let mut shards = Vec::with_capacity(1 + self.shards.len());
+        shards.push(Shard {
+            id: ShardId(0),
+            handoff: Handoff {
+                seq: 0,
+                from: ShardId(0),
+                to: ShardId(0),
+                region: RegionId(0),
+            },
+            heap: Box::new(self.heap),
+            emu: self.emu,
+            facet,
+            facet_dead: self.facet_dead,
+            spans,
+            tracer,
+            timeline,
+            steps: self.steps,
+        });
+        shards.append(&mut self.shards);
+        TaskDone { halt, shards, base_ops: self.base_ops }
     }
 
     fn frame(&self) -> &Frame {
@@ -971,12 +1314,18 @@ impl<'c> Interp<'c> {
                 let rid = match parent {
                     None => self.heap.new_region(),
                     Some(p) => {
-                        let pdesc = self.nonnull(p)?;
-                        match self.desc_map.get(&pdesc) {
-                            Some(RtRegion::Real(prid)) => {
-                                self.heap.new_subregion(*prid).map_err(Halt::Abort)?
+                        // `resolve_region` also refuses moved parents:
+                        // a subregion of a handed-off region would dodge
+                        // the ownership transfer.
+                        match self.resolve_region(p)? {
+                            RtRegion::Real(prid) => {
+                                self.heap.new_subregion(prid).map_err(Halt::Abort)?
                             }
-                            _ => return Err(Halt::Abort(RtError::WildPointer { addr: pdesc })),
+                            RtRegion::Emu(_) => {
+                                return Err(Halt::Abort(RtError::WildPointer {
+                                    addr: p.addr(),
+                                }))
+                            }
                         }
                     }
                 };
@@ -996,10 +1345,32 @@ impl<'c> Interp<'c> {
         if desc.is_null() {
             return Err(Halt::Abort(RtError::WildPointer { addr: desc }));
         }
-        self.desc_map
+        let rt = self
+            .desc_map
             .get(&desc)
             .copied()
-            .ok_or(Halt::Abort(RtError::WildPointer { addr: desc }))
+            .ok_or(Halt::Abort(RtError::WildPointer { addr: desc }))?;
+        self.check_not_moved(desc)?;
+        Ok(rt)
+    }
+
+    /// Refuses handle-level touches of a region whose ownership is
+    /// currently with a spawned task. (Ordinary loads/stores through
+    /// pre-spawn pointers need no check: the child works on its own
+    /// shard, so there is nothing to race with — this is the handle
+    /// chokepoint for `ralloc`/`deleteregion`/`newsubregion`/`regionof`
+    /// and re-`spawn`.)
+    fn check_not_moved(&self, desc: Addr) -> Result<(), Halt> {
+        if self.moved.contains(&desc) {
+            let region = self
+                .desc_map
+                .get(&desc)
+                .copied()
+                .map(region_number)
+                .unwrap_or(RegionId(0));
+            return Err(Halt::Abort(RtError::RegionMoved { region }));
+        }
+        Ok(())
     }
 
     fn alloc(&mut self, region: Value, ty: TypeId, n: u32) -> Result<Value, Halt> {
@@ -1019,7 +1390,8 @@ impl<'c> Interp<'c> {
     }
 
     fn delete_region(&mut self, region: Value) -> Result<(), Halt> {
-        match self.resolve_region(region)? {
+        let desc = region.addr();
+        let res = match self.resolve_region(region)? {
             RtRegion::Real(rid) => {
                 // C@ scanned the stack at deleteregion instead of pinning
                 // at deletes calls; charge that scan.
@@ -1046,16 +1418,24 @@ impl<'c> Interp<'c> {
                 self.maybe_collect();
                 Ok(())
             }
+        };
+        if res.is_ok() && desc == self.facet_desc {
+            // The task deleted the region it was handed; the joining
+            // parent mirrors the delete on the original.
+            self.facet_dead = true;
         }
+        res
     }
 
     fn descriptor_of(&mut self, obj: Addr) -> Result<Addr, Halt> {
         if self.emu.is_some() {
-            return self
+            let desc = self
                 .emu_owner
                 .get(&obj)
                 .copied()
-                .ok_or(Halt::Abort(RtError::WildPointer { addr: obj }));
+                .ok_or(Halt::Abort(RtError::WildPointer { addr: obj }))?;
+            self.check_not_moved(desc)?;
+            return Ok(desc);
         }
         let rid = self
             .heap
@@ -1063,6 +1443,7 @@ impl<'c> Interp<'c> {
             .ok_or(Halt::Abort(RtError::WildPointer { addr: obj }))?;
         if let Some(&d) = self.desc_of_real.get(rid.0 as usize) {
             if !d.is_null() {
+                self.check_not_moved(d)?;
                 return Ok(d);
             }
         }
@@ -1185,6 +1566,95 @@ impl<'c> Interp<'c> {
             self.emu_owner.clear();
         }
         self.heap.unwind_regions();
+    }
+}
+
+/// Executes one spawned task to completion: fresh interpreter (its own
+/// isolated heap shard), a facet region standing in for the moved one, a
+/// frame cloned from the captured values, the body, and an implicit join
+/// of any tasks the body spawned. Runs on the spawning thread (inline
+/// scheduler) or a scoped task thread (the other two) — the [`Gate`]
+/// makes both paths take the same schedule-visible transitions.
+#[allow(clippy::too_many_arguments)]
+fn run_task<'c, 'scope, 'env>(
+    c: &'c Compiled,
+    config: &'c RunConfig,
+    f: FuncRef,
+    body: &'c [HStmt],
+    mut captured: Vec<Value>,
+    rvar: VarRef,
+    gate: Gate,
+    scope: Option<&'scope std::thread::Scope<'scope, 'env>>,
+) -> TaskDone
+where
+    'c: 'scope,
+{
+    gate.start();
+    let mut interp = Interp::new(c, config);
+    interp.gate = gate;
+    interp.scope = scope;
+    let mut halt = interp.startup_fault.take().map(Halt::Abort);
+    if halt.is_none() {
+        match interp.new_region(None) {
+            Ok(v) => {
+                interp.facet = Some(match interp.resolve_region(v).expect("fresh region") {
+                    RtRegion::Real(r) => Facet::Real(r),
+                    RtRegion::Emu(e) => Facet::Emu(e),
+                });
+                interp.facet_desc = v.addr();
+                captured[rvar.0 as usize] = v;
+                let n = captured.len();
+                interp.frames.push(Frame { vals: captured, arrays: vec![None; n] });
+                halt = interp.exec_block(f, body).err();
+                interp.frames.pop();
+            }
+            Err(h) => halt = Some(h),
+        }
+    }
+    // A body that ends without `join` joins implicitly: nested tasks
+    // never outlive their parent task.
+    if let Err(h) = interp.join_children() {
+        halt.get_or_insert(h);
+    }
+    if matches!(halt, Some(Halt::Abort(_))) && config.on_fault == OnFault::TrapAndUnwind {
+        // Leave the shard audit-clean, like the root does before
+        // reporting `Trapped`; the root converts the outcome.
+        interp.unwind_after_fault();
+    }
+    interp.gate.finish();
+    interp.into_task_done(halt)
+}
+
+/// Appends a joined child's shard subtree to the collecting task's list,
+/// renumbering the child-local ids into the collector's space: the
+/// collector is 0, already-collected shards are 1..=len, the child's
+/// subtree lands right after. `from` links are child-local too and get
+/// the same offset — except the child's own shard, whose `from` is the
+/// collector (0). The scheme composes: when the collector is itself
+/// collected, one more uniform offset fixes everything up, so after the
+/// root's join the ids are the global DFS numbering, fixed entirely by
+/// program order.
+fn absorb_child_shards(dst: &mut Vec<Shard>, mut shards: Vec<Shard>, region: RegionId) {
+    let base = dst.len() as u32 + 1;
+    for (i, s) in shards.iter_mut().enumerate() {
+        s.id.0 += base;
+        s.handoff.to = s.id;
+        if i == 0 {
+            s.handoff.from = ShardId(0);
+            s.handoff.region = region;
+        } else {
+            s.handoff.from.0 += base;
+        }
+    }
+    dst.append(&mut shards);
+}
+
+/// The user-facing region number behind a descriptor, for error
+/// payloads (emulated regions report their emu index).
+fn region_number(rt: RtRegion) -> RegionId {
+    match rt {
+        RtRegion::Real(rid) => rid,
+        RtRegion::Emu(eid) => RegionId(eid.0),
     }
 }
 
@@ -1958,5 +2428,267 @@ mod delete_semantics_tests {
         // p is dead at the delete, so the region is reclaimed immediately.
         assert!(r.outcome.is_exit());
         assert_eq!(r.stats.regions_deleted, 1);
+    }
+}
+
+#[cfg(test)]
+mod spawn_tests {
+    use super::*;
+    use crate::config::{RunConfig, SchedMode};
+
+    fn go(src: &str, config: RunConfig) -> RunResult {
+        let c = prepare(src).unwrap();
+        let r = run_audited(&c, &config);
+        if let Some(Err(e)) = &r.audit {
+            panic!("audit failed: {e} (outcome {:?})", r.outcome);
+        }
+        r
+    }
+
+    /// Every scheduler the task machinery supports, with a few seeds and
+    /// worker counts.
+    fn all_scheds() -> Vec<(&'static str, SchedMode)> {
+        vec![
+            ("inline", SchedMode::Inline),
+            ("det-1", SchedMode::Deterministic { seed: 1 }),
+            ("det-42", SchedMode::Deterministic { seed: 42 }),
+            ("threads-1", SchedMode::Threads { workers: 1 }),
+            ("threads-4", SchedMode::Threads { workers: 4 }),
+        ]
+    }
+
+    const SPAWN_TWO: &str = r#"
+        struct cell { int v; struct cell *sameregion next; };
+        int main() deletes {
+            region a = newregion();
+            region b = newregion();
+            int n = 40;
+            spawn a {
+                struct cell *head = null;
+                int i;
+                i = 0;
+                while (i < n) {
+                    struct cell *c = ralloc(a, struct cell);
+                    c->v = i;
+                    c->next = head;
+                    head = c;
+                    i = i + 1;
+                }
+            }
+            spawn b {
+                struct cell *p = ralloc(b, struct cell);
+                p->v = n;
+            }
+            join;
+            deleteregion(a);
+            deleteregion(b);
+            return n;
+        }
+    "#;
+
+    #[test]
+    fn spawn_runs_under_every_scheduler_with_identical_reports() {
+        let mut results = Vec::new();
+        for (name, sched) in all_scheds() {
+            let r = go(SPAWN_TWO, RunConfig::rc_inf().with_sched(sched));
+            assert_eq!(r.outcome, Outcome::Exit(40), "sched {name}");
+            assert_eq!(r.handoffs.len(), 2, "sched {name}");
+            assert_eq!(r.handoffs[0].seq, 0);
+            assert_eq!(r.handoffs[1].seq, 1);
+            assert_eq!(r.handoffs[0].from, region_rt::ShardId::ROOT);
+            results.push((name, r));
+        }
+        let (base_name, base) = &results[0];
+        for (name, r) in &results[1..] {
+            assert_eq!(
+                r.stats, base.stats,
+                "stats must be schedule-invariant ({name} vs {base_name})"
+            );
+            assert_eq!(r.cycles, base.cycles, "{name} vs {base_name}");
+            assert_eq!(r.steps, base.steps, "{name} vs {base_name}");
+            assert_eq!(
+                r.stats.parallel_invariant_key().render(),
+                base.stats.parallel_invariant_key().render()
+            );
+        }
+    }
+
+    #[test]
+    fn spawn_runs_under_every_figure7_backend() {
+        for (name, cfg) in RunConfig::figure7() {
+            let r = go(SPAWN_TWO, cfg.det_sched(7));
+            assert_eq!(r.outcome, Outcome::Exit(40), "backend {name}");
+            assert_eq!(r.handoffs.len(), 2, "backend {name}");
+        }
+    }
+
+    #[test]
+    fn touching_a_moved_region_aborts_with_region_moved() {
+        let src = r#"
+            struct t { int x; };
+            int main() deletes {
+                region r = newregion();
+                int n = 500;
+                spawn r {
+                    struct t *q = ralloc(r, struct t);
+                    int i;
+                    i = 0;
+                    while (i < n) { i = i + 1; }
+                }
+                struct t *p = ralloc(r, struct t);
+                join;
+                return 0;
+            }
+        "#;
+        for (name, sched) in all_scheds() {
+            let r = go(src, RunConfig::rc_inf().with_sched(sched));
+            assert!(
+                matches!(r.outcome, Outcome::Aborted(RtError::RegionMoved { .. })),
+                "sched {name}: {:?}",
+                r.outcome
+            );
+        }
+    }
+
+    #[test]
+    fn deleting_and_subregioning_a_moved_region_also_abort() {
+        for body in ["deleteregion(r);", "region s = newsubregion(r);"] {
+            let src = format!(
+                r#"
+                struct t {{ int x; }};
+                int main() deletes {{
+                    region r = newregion();
+                    spawn r {{ struct t *q = ralloc(r, struct t); }}
+                    {body}
+                    join;
+                    return 0;
+                }}
+            "#
+            );
+            let r = go(&src, RunConfig::rc_inf());
+            assert!(
+                matches!(r.outcome, Outcome::Aborted(RtError::RegionMoved { .. })),
+                "{body}: {:?}",
+                r.outcome
+            );
+        }
+    }
+
+    #[test]
+    fn child_deleting_its_facet_deletes_the_parents_original() {
+        let src = r#"
+            struct t { int x; };
+            int main() deletes {
+                region r = newregion();
+                spawn r {
+                    struct t *p = ralloc(r, struct t);
+                    p->x = 1;
+                    deleteregion(r);
+                }
+                join;
+                return 0;
+            }
+        "#;
+        for (name, sched) in all_scheds() {
+            let r = go(src, RunConfig::rc_inf().with_sched(sched));
+            assert_eq!(r.outcome, Outcome::Exit(0), "sched {name}");
+            // Both the facet (child shard) and the original (root heap)
+            // are gone: two region deletions in the merged stats.
+            assert_eq!(r.stats.regions_deleted, 2, "sched {name}");
+        }
+    }
+
+    #[test]
+    fn child_failure_propagates_at_join() {
+        let src = r#"
+            int main() {
+                region r = newregion();
+                int n = 3;
+                spawn r { assert(n > 5); }
+                join;
+                return 0;
+            }
+        "#;
+        for (name, sched) in all_scheds() {
+            let c = prepare(src).unwrap();
+            let r = run(&c, &RunConfig::rc_inf().with_sched(sched));
+            assert_eq!(r.outcome, Outcome::AssertFailed, "sched {name}");
+        }
+    }
+
+    #[test]
+    fn program_end_joins_implicitly() {
+        let src = r#"
+            int main() {
+                region r = newregion();
+                int n = 3;
+                spawn r { assert(n > 5); }
+                return 0;
+            }
+        "#;
+        let c = prepare(src).unwrap();
+        for (name, sched) in all_scheds() {
+            let r = run(&c, &RunConfig::rc_inf().with_sched(sched));
+            assert_eq!(r.outcome, Outcome::AssertFailed, "sched {name}");
+            assert_eq!(r.handoffs.len(), 1, "the shard is still collected");
+        }
+    }
+
+    #[test]
+    fn nested_spawn_collects_shards_in_dfs_order() {
+        let src = r#"
+            struct t { int x; };
+            int main() deletes {
+                region outer = newregion();
+                spawn outer {
+                    struct t *p = ralloc(outer, struct t);
+                    region inner = newsubregion(outer);
+                    spawn inner {
+                        struct t *q = ralloc(inner, struct t);
+                        q->x = 5;
+                    }
+                    join;
+                    p->x = 1;
+                }
+                join;
+                deleteregion(outer);
+                return 0;
+            }
+        "#;
+        for (name, sched) in all_scheds() {
+            let r = go(src, RunConfig::rc_inf().with_sched(sched));
+            assert_eq!(r.outcome, Outcome::Exit(0), "sched {name}");
+            assert_eq!(r.handoffs.len(), 2, "sched {name}");
+            // DFS: the outer task is shard 1 (spawned by the root), the
+            // nested task shard 2 (spawned by shard 1).
+            assert_eq!(r.handoffs[0].from, region_rt::ShardId::ROOT);
+            assert_eq!(r.handoffs[0].to, region_rt::ShardId(1));
+            assert_eq!(r.handoffs[1].from, region_rt::ShardId(1));
+            assert_eq!(r.handoffs[1].to, region_rt::ShardId(2));
+        }
+    }
+
+    #[test]
+    fn telemetry_merges_across_shards() {
+        let cfg = RunConfig::rc(CheckMode::Qs)
+            .det_sched(11)
+            .with_spans()
+            .traced()
+            .sampled()
+            .counting_checks();
+        let r = go(SPAWN_TWO, cfg);
+        assert_eq!(r.outcome, Outcome::Exit(40));
+        let spans = r.spans.as_ref().expect("spans on");
+        spans.structurally_well_formed().expect("merged span tree is well-formed");
+        let profile = r.profile().expect("tracing on");
+        assert!(profile.totals.allocs >= 41, "both shards' allocs folded in");
+        assert!(r.timeline.is_some());
+        // The merged report is identical to the inline scheduler's.
+        let inline_r = go(
+            SPAWN_TWO,
+            RunConfig::rc(CheckMode::Qs).with_spans().traced().sampled().counting_checks(),
+        );
+        assert_eq!(r.stats, inline_r.stats);
+        assert_eq!(r.cycles, inline_r.cycles);
     }
 }

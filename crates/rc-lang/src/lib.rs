@@ -32,9 +32,10 @@ pub fn compile(src: &str) -> Result<Module, CompileError> {
 pub mod config;
 pub mod interp;
 pub mod liveness;
+pub mod parallel;
 pub mod supervise;
 
-pub use config::{Backend, CheckMode, DeleteSemantics, OnFault, RunConfig};
+pub use config::{Backend, CheckMode, DeleteSemantics, OnFault, RunConfig, SchedMode};
 pub use interp::{prepare, run, run_audited, Compiled, Outcome, RunResult};
 pub use supervise::{
     supervise, supervise_compiled, AttemptReport, RecoveryPolicy, Rung, SupervisionOutcome,

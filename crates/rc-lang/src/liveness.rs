@@ -67,6 +67,8 @@ fn visit_stmt(s: &HStmt, f: &mut impl FnMut(&HExpr)) {
             visit_expr(c, f);
             body.iter().for_each(|s| visit_stmt(s, f));
         }
+        HStmt::Spawn { body, .. } => body.iter().for_each(|s| visit_stmt(s, f)),
+        HStmt::Join => {}
     }
 }
 
@@ -183,6 +185,18 @@ impl Cx<'_> {
                 self.block(body, inner.clone());
                 inner
             }
+            HStmt::Spawn { rvar, body, .. } => {
+                // The body runs as a task over a cloned frame, so its call
+                // sites take pin sets from the body's own liveness (the
+                // task ends after the body — nothing is live out). Captured
+                // variables are regions and int scalars, which are never
+                // pinned; the parent just keeps the region handle live.
+                self.block(body, BTreeSet::new());
+                let mut live = live_out;
+                live.insert(*rvar);
+                live
+            }
+            HStmt::Join => live_out,
         }
     }
 

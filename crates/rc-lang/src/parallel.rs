@@ -1,0 +1,401 @@
+//! Task scheduling primitives for `spawn`/`join` (std-only).
+//!
+//! Three schedulers back [`crate::config::SchedMode`]:
+//!
+//! * **Inline** — no threads; a task body runs synchronously at its
+//!   `spawn` point. This is the conformance baseline every other mode is
+//!   compared against.
+//! * **Deterministic** — real threads serialized by a [`Baton`]: exactly
+//!   one task holds the baton at any instant, runs for a slice of
+//!   interpreter steps whose length comes from a per-task [`SplitMix64`]
+//!   stream, then hands the baton to the next runnable task round-robin.
+//!   The whole schedule is a pure function of the seed and the program,
+//!   so a seed *names* an interleaving and replaying it is exact.
+//! * **Threads** — a counting [`Semaphore`] admission-controls real
+//!   threads: at most `workers` tasks execute concurrently, timing is up
+//!   to the OS. Because heap shards are isolated (see
+//!   `region_rt::shard`), results are still deterministic; only wall
+//!   clock varies.
+//!
+//! The interpreter talks to all three through a per-task [`Gate`]: one
+//! cheap [`Gate::tick`] on every interpreter step, plus explicit
+//! blocked/unblocked transitions around `join` so a waiting parent never
+//! starves its children of the baton or a semaphore permit.
+
+use std::sync::{Arc, Condvar, Mutex};
+
+/// SplitMix64 — the tiny, well-distributed PRNG used for slice lengths
+/// (and by the interleaving test harness for seed derivation). One `u64`
+/// of state; every output is a bijection of the state, so distinct
+/// per-task streams never collapse onto each other.
+#[derive(Debug, Clone)]
+pub struct SplitMix64(pub u64);
+
+impl SplitMix64 {
+    /// The next pseudo-random word.
+    #[allow(clippy::should_implement_trait)] // not an Iterator: infinite, never None
+    pub fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
+/// Largest step slice the deterministic scheduler hands a task before
+/// forcing a baton pass. Small enough that short programs still context
+/// switch; large enough that the baton is not the dominant cost.
+const MAX_SLICE: u64 = 64;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum TaskState {
+    Runnable,
+    Blocked,
+    Finished,
+}
+
+/// No task currently holds the baton (everyone is blocked or finished).
+const IDLE: usize = usize::MAX;
+
+#[derive(Debug)]
+struct BatonInner {
+    states: Vec<TaskState>,
+    current: usize,
+}
+
+impl BatonInner {
+    /// Hands the baton to the next runnable task after `from`,
+    /// round-robin; parks it at [`IDLE`] when nobody is runnable (an
+    /// unblocking task will pick it up).
+    fn advance(&mut self, from: usize) {
+        let n = self.states.len();
+        for k in 1..=n {
+            let j = (from + k) % n;
+            if self.states[j] == TaskState::Runnable {
+                self.current = j;
+                return;
+            }
+        }
+        self.current = IDLE;
+    }
+}
+
+/// The deterministic scheduler's single token of execution. Tasks
+/// register at spawn (ids are spawn ordinals, hence deterministic), wait
+/// for their turn, and pass the baton either voluntarily (slice expiry,
+/// blocking in `join`) or terminally (task end). Built on
+/// `Mutex`+`Condvar` only.
+#[derive(Debug)]
+pub struct Baton {
+    inner: Mutex<BatonInner>,
+    cv: Condvar,
+    seed: u64,
+}
+
+impl Baton {
+    /// A baton whose task 0 (the registering root) holds the turn.
+    pub fn new(seed: u64) -> Baton {
+        Baton {
+            inner: Mutex::new(BatonInner { states: Vec::new(), current: 0 }),
+            cv: Condvar::new(),
+            seed,
+        }
+    }
+
+    /// Registers a task; returns its id (registration order).
+    pub fn register(&self) -> usize {
+        let mut g = self.inner.lock().unwrap();
+        g.states.push(TaskState::Runnable);
+        g.states.len() - 1
+    }
+
+    /// The slice-length stream for task `id`, derived from the baton
+    /// seed so every task gets an independent deterministic stream.
+    pub fn stream(&self, id: usize) -> SplitMix64 {
+        let mut s = SplitMix64(self.seed ^ (id as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        // One warm-up scrambles low-entropy (seed ^ small-id) states.
+        s.next();
+        s
+    }
+
+    /// Blocks until task `id` holds the baton.
+    pub fn wait_turn(&self, id: usize) {
+        let mut g = self.inner.lock().unwrap();
+        while g.current != id {
+            g = self.cv.wait(g).unwrap();
+        }
+    }
+
+    /// Passes the baton onward and blocks until it comes back (slice
+    /// expiry). A task that is the only runnable one keeps the baton and
+    /// returns immediately.
+    pub fn yield_turn(&self, id: usize) {
+        let mut g = self.inner.lock().unwrap();
+        g.advance(id);
+        if g.current == id {
+            return;
+        }
+        self.cv.notify_all();
+        while g.current != id {
+            g = self.cv.wait(g).unwrap();
+        }
+    }
+
+    /// Marks task `id` blocked (about to wait on something other than
+    /// the baton, e.g. an OS join) and passes the baton on.
+    pub fn block(&self, id: usize) {
+        let mut g = self.inner.lock().unwrap();
+        g.states[id] = TaskState::Blocked;
+        g.advance(id);
+        self.cv.notify_all();
+    }
+
+    /// Marks task `id` runnable again and blocks until it holds the
+    /// baton (taking over immediately if the baton is idle).
+    pub fn unblock(&self, id: usize) {
+        let mut g = self.inner.lock().unwrap();
+        g.states[id] = TaskState::Runnable;
+        if g.current == IDLE {
+            g.current = id;
+        }
+        self.cv.notify_all();
+        while g.current != id {
+            g = self.cv.wait(g).unwrap();
+        }
+    }
+
+    /// Marks task `id` finished and passes the baton on for good.
+    pub fn finish(&self, id: usize) {
+        let mut g = self.inner.lock().unwrap();
+        g.states[id] = TaskState::Finished;
+        g.advance(id);
+        self.cv.notify_all();
+    }
+}
+
+/// A hand-rolled counting semaphore (std has none): the thread
+/// scheduler's admission control.
+#[derive(Debug)]
+pub struct Semaphore {
+    permits: Mutex<u32>,
+    cv: Condvar,
+}
+
+impl Semaphore {
+    /// A semaphore with `permits` permits (clamped to at least 1).
+    pub fn new(permits: u32) -> Semaphore {
+        Semaphore { permits: Mutex::new(permits.max(1)), cv: Condvar::new() }
+    }
+
+    /// Takes a permit, blocking until one is free.
+    pub fn acquire(&self) {
+        let mut g = self.permits.lock().unwrap();
+        while *g == 0 {
+            g = self.cv.wait(g).unwrap();
+        }
+        *g -= 1;
+    }
+
+    /// Returns a permit.
+    pub fn release(&self) {
+        let mut g = self.permits.lock().unwrap();
+        *g += 1;
+        self.cv.notify_one();
+    }
+}
+
+/// A task's handle on its scheduler: the interpreter calls [`Gate::tick`]
+/// once per step and brackets `join` waits with
+/// [`Gate::begin_wait`]/[`Gate::end_wait`] so a blocked parent cannot
+/// starve its children.
+#[derive(Debug)]
+pub enum Gate {
+    /// No scheduling: bodies run at their spawn points.
+    Inline,
+    /// One turn of the shared [`Baton`] plus this task's slice stream.
+    Det {
+        /// The shared baton.
+        baton: Arc<Baton>,
+        /// This task's id (spawn ordinal).
+        id: usize,
+        /// Slice-length stream.
+        rng: SplitMix64,
+        /// Steps left in the current slice.
+        slice: u64,
+    },
+    /// A permit of the shared [`Semaphore`], held while running.
+    Threads {
+        /// The shared semaphore.
+        sem: Arc<Semaphore>,
+    },
+}
+
+impl Gate {
+    /// The root task's gate for a scheduler choice.
+    pub fn root(sched: crate::config::SchedMode) -> Gate {
+        match sched {
+            crate::config::SchedMode::Inline => Gate::Inline,
+            crate::config::SchedMode::Deterministic { seed } => {
+                let baton = Arc::new(Baton::new(seed));
+                let id = baton.register();
+                let mut rng = baton.stream(id);
+                let slice = 1 + rng.next() % MAX_SLICE;
+                Gate::Det { baton, id, rng, slice }
+            }
+            crate::config::SchedMode::Threads { workers } => {
+                Gate::Threads { sem: Arc::new(Semaphore::new(workers)) }
+            }
+        }
+    }
+
+    /// A gate for a task this task is about to spawn. Registration
+    /// happens here — at the spawn point, in program order — so
+    /// deterministic ids never depend on thread timing.
+    pub fn child(&self) -> Gate {
+        match self {
+            Gate::Inline => Gate::Inline,
+            Gate::Det { baton, .. } => {
+                let id = baton.register();
+                let mut rng = baton.stream(id);
+                let slice = 1 + rng.next() % MAX_SLICE;
+                Gate::Det { baton: Arc::clone(baton), id, rng, slice }
+            }
+            Gate::Threads { sem } => Gate::Threads { sem: Arc::clone(sem) },
+        }
+    }
+
+    /// Called once when the task starts executing: waits for its first
+    /// baton turn / semaphore permit.
+    pub fn start(&self) {
+        match self {
+            Gate::Inline => {}
+            Gate::Det { baton, id, .. } => baton.wait_turn(*id),
+            Gate::Threads { sem } => sem.acquire(),
+        }
+    }
+
+    /// One interpreter step: under the deterministic scheduler, burns a
+    /// slice step and passes the baton when the slice is spent.
+    #[inline]
+    pub fn tick(&mut self) {
+        if let Gate::Det { baton, id, rng, slice } = self {
+            *slice -= 1;
+            if *slice == 0 {
+                baton.yield_turn(*id);
+                *slice = 1 + rng.next() % MAX_SLICE;
+            }
+        }
+    }
+
+    /// About to block outside the scheduler (OS-joining children):
+    /// releases the turn/permit so those children can run.
+    pub fn begin_wait(&self) {
+        match self {
+            Gate::Inline => {}
+            Gate::Det { baton, id, .. } => baton.block(*id),
+            Gate::Threads { sem } => sem.release(),
+        }
+    }
+
+    /// Done blocking: reacquires the turn/permit.
+    pub fn end_wait(&self) {
+        match self {
+            Gate::Inline => {}
+            Gate::Det { baton, id, .. } => baton.unblock(*id),
+            Gate::Threads { sem } => sem.acquire(),
+        }
+    }
+
+    /// The task is done: gives the turn/permit up for good.
+    pub fn finish(&self) {
+        match self {
+            Gate::Inline => {}
+            Gate::Det { baton, id, .. } => baton.finish(*id),
+            Gate::Threads { sem } => sem.release(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn splitmix_is_deterministic_and_streams_differ() {
+        let mut a = SplitMix64(42);
+        let mut b = SplitMix64(42);
+        let first: Vec<u64> = (0..8).map(|_| a.next()).collect();
+        let second: Vec<u64> = (0..8).map(|_| b.next()).collect();
+        assert_eq!(first, second);
+        let baton = Baton::new(7);
+        let mut s0 = baton.stream(0);
+        let mut s1 = baton.stream(1);
+        assert_ne!(
+            (0..4).map(|_| s0.next()).collect::<Vec<_>>(),
+            (0..4).map(|_| s1.next()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn baton_serializes_and_interleaves_deterministically() {
+        // Two workers append their id under the baton; with one runner
+        // at a time the trace length is exact and replays identically.
+        let trace = |seed: u64| -> Vec<usize> {
+            let baton = Arc::new(Baton::new(seed));
+            let root = baton.register();
+            let out = Arc::new(Mutex::new(Vec::new()));
+            baton.wait_turn(root);
+            std::thread::scope(|s| {
+                let mut handles = Vec::new();
+                for _ in 0..2 {
+                    let id = baton.register();
+                    let baton = Arc::clone(&baton);
+                    let out = Arc::clone(&out);
+                    handles.push(s.spawn(move || {
+                        baton.wait_turn(id);
+                        for _ in 0..5 {
+                            out.lock().unwrap().push(id);
+                            baton.yield_turn(id);
+                        }
+                        baton.finish(id);
+                    }));
+                }
+                baton.block(root);
+                for h in handles {
+                    h.join().unwrap();
+                }
+                baton.unblock(root);
+            });
+            baton.finish(root);
+            Arc::try_unwrap(out).unwrap().into_inner().unwrap()
+        };
+        let a = trace(1);
+        assert_eq!(a.len(), 10);
+        assert_eq!(a, trace(1), "same seed, same schedule");
+    }
+
+    #[test]
+    fn semaphore_caps_concurrency() {
+        let sem = Arc::new(Semaphore::new(2));
+        let running = Arc::new(AtomicU64::new(0));
+        let peak = Arc::new(AtomicU64::new(0));
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let sem = Arc::clone(&sem);
+                let running = Arc::clone(&running);
+                let peak = Arc::clone(&peak);
+                s.spawn(move || {
+                    sem.acquire();
+                    let now = running.fetch_add(1, Ordering::SeqCst) + 1;
+                    peak.fetch_max(now, Ordering::SeqCst);
+                    std::thread::yield_now();
+                    running.fetch_sub(1, Ordering::SeqCst);
+                    sem.release();
+                });
+            }
+        });
+        assert!(peak.load(Ordering::SeqCst) <= 2, "cap respected");
+    }
+}

@@ -315,6 +315,19 @@ impl Parser {
                 self.expect(Token::Semi, "`;` after return")?;
                 Ok(Stmt::Return(e, line))
             }
+            Token::KwSpawn => {
+                let line = self.line();
+                self.bump();
+                let region = self.ident("region variable after `spawn`")?;
+                let body = self.block()?;
+                Ok(Stmt::Spawn { region, body, line })
+            }
+            Token::KwJoin => {
+                let line = self.line();
+                self.bump();
+                self.expect(Token::Semi, "`;` after join")?;
+                Ok(Stmt::Join(line))
+            }
             _ => {
                 let e = self.expr()?;
                 self.expect(Token::Semi, "`;` after expression")?;

@@ -140,6 +140,16 @@ fn print_stmt(out: &mut String, s: &Stmt, depth: usize) {
                 let _ = writeln!(out, "{pad}return;");
             }
         },
+        Stmt::Spawn { region, body, .. } => {
+            let _ = writeln!(out, "{pad}spawn {region} {{");
+            for item in body {
+                print_item(out, item, depth + 1);
+            }
+            let _ = writeln!(out, "{pad}}}");
+        }
+        Stmt::Join(_) => {
+            let _ = writeln!(out, "{pad}join;");
+        }
     }
 }
 
@@ -282,6 +292,11 @@ fn norm_stmt(s: &mut Stmt, next: &mut u32) {
                 norm_expr(e, next);
             }
         }
+        Stmt::Spawn { body, line, .. } => {
+            *line = 0;
+            body.iter_mut().for_each(|i| norm_item(i, next));
+        }
+        Stmt::Join(line) => *line = 0,
     }
 }
 

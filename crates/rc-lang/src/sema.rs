@@ -78,6 +78,15 @@ struct Checker {
     sigs: Vec<FuncSig>,
     n_sites: u32,
     site_lines: Vec<u32>,
+    /// Per function: whether its body touches a global directly (spawn
+    /// bodies may only call functions that are transitively global-free,
+    /// since a task runs against its own isolated heap).
+    touches_globals: Vec<bool>,
+    /// Per function: its direct callees (for the transitive closure).
+    callees: Vec<Vec<FuncRef>>,
+    /// Calls made from inside `spawn` bodies, validated after the
+    /// `touches_globals` closure is known: `(callee, line)`.
+    spawn_calls: Vec<(FuncRef, u32)>,
 }
 
 impl Checker {
@@ -91,6 +100,9 @@ impl Checker {
             sigs: Vec::new(),
             n_sites: 0,
             site_lines: Vec::new(),
+            touches_globals: Vec::new(),
+            callees: Vec::new(),
+            spawn_calls: Vec::new(),
         };
 
         // Pass 1: struct names (so fields may reference later structs).
@@ -137,6 +149,8 @@ impl Checker {
             let ret = f.ret.as_ref().map(|t| cx.resolve_type(t, f.line)).transpose()?;
             cx.sigs.push(FuncSig { params, ret, deletes: f.deletes });
         }
+        cx.touches_globals = vec![false; cx.sigs.len()];
+        cx.callees = vec![Vec::new(); cx.sigs.len()];
         Ok(cx)
     }
 
@@ -171,6 +185,35 @@ impl Checker {
                 "`main` must be `int main()` with no parameters",
             ));
         }
+
+        // Spawn-body purity: a task runs against its own isolated heap, so
+        // any function it calls must be transitively global-free. Close
+        // `touches_globals` over the call graph, then validate every call
+        // recorded inside a spawn body.
+        let mut tainted = std::mem::take(&mut self.touches_globals);
+        loop {
+            let mut changed = false;
+            for (i, callees) in self.callees.iter().enumerate() {
+                if !tainted[i] && callees.iter().any(|c| tainted[c.0 as usize]) {
+                    tainted[i] = true;
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        for &(f, line) in &self.spawn_calls {
+            if tainted[f.0 as usize] {
+                return Err(err(
+                    line,
+                    format!(
+                        "function `{}` touches globals (possibly via callees) and cannot be called from a spawn body",
+                        ast.funcs[f.0 as usize].name
+                    ),
+                ));
+            }
+        }
         Ok(Module {
             structs: std::mem::take(&mut self.structs),
             globals: std::mem::take(&mut self.globals),
@@ -188,12 +231,14 @@ impl Checker {
     fn check_func(&mut self, f: &ast::FuncDefAst, id: FuncRef) -> Result<HFunc, CompileError> {
         let mut fcx = FuncCx {
             cx: self,
+            id,
             params: Vec::new(),
             locals: Vec::new(),
             scopes: vec![HashMap::new()],
             ret: None,
             calls_deletes: false,
             next_pin: 0,
+            spawn_frames: Vec::new(),
         };
         for (ty, name) in &f.params {
             let rc = fcx.cx.resolve_type(ty, f.line)?;
@@ -216,7 +261,6 @@ impl Checker {
                 ),
             ));
         }
-        let _ = id;
         Ok(HFunc {
             name: f.name.clone(),
             deletes: f.deletes,
@@ -233,17 +277,71 @@ fn err(line: u32, msg: impl Into<String>) -> CompileError {
     CompileError::new(ErrorKind::Sema, line, msg)
 }
 
+/// One enclosing `spawn` body during checking. Variables numbered below
+/// `first_inner` were declared outside the body; the innermost frame
+/// governs which of them may be referenced.
+struct SpawnFrame {
+    first_inner: u32,
+    rvar: VarRef,
+}
+
 struct FuncCx<'a> {
     cx: &'a mut Checker,
+    id: FuncRef,
     params: Vec<HVar>,
     locals: Vec<HVar>,
     scopes: Vec<HashMap<String, VarRef>>,
     ret: Option<RcType>,
     calls_deletes: bool,
     next_pin: u32,
+    spawn_frames: Vec<SpawnFrame>,
 }
 
 impl FuncCx<'_> {
+    fn in_spawn(&self) -> bool {
+        !self.spawn_frames.is_empty()
+    }
+
+    /// Marks the current function as touching a global, for the spawn-body
+    /// callee closure, and rejects the access if it happens inside a spawn
+    /// body itself.
+    fn note_global_use(&mut self, name: &str, line: u32) -> Result<(), CompileError> {
+        self.cx.touches_globals[self.id.0 as usize] = true;
+        if self.in_spawn() {
+            return Err(err(
+                line,
+                format!("global `{name}` cannot be used inside a spawn body"),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Validates a reference to a local/param from inside a spawn body:
+    /// variables declared outside the body are visible only if they are the
+    /// spawned region variable or int-typed scalars (captured by value).
+    fn check_spawn_capture(
+        &self,
+        v: VarRef,
+        name: &str,
+        line: u32,
+    ) -> Result<(), CompileError> {
+        let Some(frame) = self.spawn_frames.last() else {
+            return Ok(());
+        };
+        if v.0 >= frame.first_inner || v == frame.rvar {
+            return Ok(());
+        }
+        let hv = self.var(v);
+        if hv.ty == RcType::Int && hv.array_len.is_none() {
+            return Ok(());
+        }
+        Err(err(
+            line,
+            format!(
+                "`{name}` cannot be captured by a spawn body (only the spawned region and int scalars may cross the task boundary)"
+            ),
+        ))
+    }
     fn fresh_pin(&mut self) -> u32 {
         let p = self.next_pin;
         self.next_pin += 1;
@@ -267,6 +365,12 @@ impl FuncCx<'_> {
         let ty = self.cx.resolve_type(&d.ty, d.line)?;
         if d.array_len.is_some() && d.init.is_some() {
             return Err(err(d.line, "array locals cannot have initialisers"));
+        }
+        if d.array_len.is_some() && self.in_spawn() {
+            return Err(err(
+                d.line,
+                "array locals cannot be declared inside a spawn body",
+            ));
         }
         let v = VarRef((self.params.len() + self.locals.len()) as u32);
         self.locals.push(HVar { name: d.name.clone(), ty, array_len: d.array_len });
@@ -352,7 +456,40 @@ impl FuncCx<'_> {
                 out.push(HStmt::While(cond, body));
                 Ok(())
             }
+            Stmt::Spawn { region, body, line } => {
+                let Some(rv) = self.lookup_var(region) else {
+                    return Err(err(
+                        *line,
+                        if self.cx.global_ids.contains_key(region) {
+                            format!("spawn region `{region}` must be a local or parameter, not a global")
+                        } else {
+                            format!("unknown variable `{region}`")
+                        },
+                    ));
+                };
+                self.check_spawn_capture(rv, region, *line)?;
+                let hv = self.var(rv);
+                if hv.ty != RcType::Region || hv.array_len.is_some() {
+                    return Err(err(
+                        *line,
+                        format!("spawn needs a region variable, `{region}` is not one"),
+                    ));
+                }
+                let first_inner = (self.params.len() + self.locals.len()) as u32;
+                self.spawn_frames.push(SpawnFrame { first_inner, rvar: rv });
+                let hbody = self.check_block(body);
+                self.spawn_frames.pop();
+                out.push(HStmt::Spawn { rvar: rv, body: hbody?, line: *line });
+                Ok(())
+            }
+            Stmt::Join(_) => {
+                out.push(HStmt::Join);
+                Ok(())
+            }
             Stmt::Return(e, line) => {
+                if self.in_spawn() {
+                    return Err(err(*line, "`return` cannot appear inside a spawn body"));
+                }
                 match (&self.ret, e) {
                     (None, None) => out.push(HStmt::Return(None)),
                     (None, Some(_)) => {
@@ -410,8 +547,10 @@ impl FuncCx<'_> {
                         return Err(err(*line, format!("array `{name}` used without an index")));
                     }
                     let ty = VTy::of(hv.ty);
+                    self.check_spawn_capture(v, name, *line)?;
                     Ok((HExpr::ReadLocal(v), ty))
                 } else if let Some(&g) = self.cx.global_ids.get(name) {
+                    self.note_global_use(name, *line)?;
                     let hg = &self.cx.globals[g.0 as usize];
                     if hg.array_len.is_some() {
                         return Err(err(*line, format!("array `{name}` used without an index")));
@@ -485,6 +624,7 @@ impl FuncCx<'_> {
                 // Array variable?
                 if let Expr::Var(name, _) = arr.as_ref() {
                     if let Some(base) = self.array_base(name) {
+                        self.check_base_access(base, name, *line)?;
                         let elem = self.base_elem(base);
                         let he = HExpr::ReadArraySlot { base, idx: Box::new(hidx), elem };
                         return Ok((he, VTy::of(elem)));
@@ -526,6 +666,10 @@ impl FuncCx<'_> {
                 }
                 if deletes {
                     self.calls_deletes = true;
+                }
+                self.cx.callees[self.id.0 as usize].push(f);
+                if self.in_spawn() {
+                    self.cx.spawn_calls.push((f, *line));
                 }
                 let vty = match ret {
                     None => VTy::Void,
@@ -611,6 +755,20 @@ impl FuncCx<'_> {
         Ok(he)
     }
 
+    /// Spawn-body / global-taint bookkeeping for indexing into a named
+    /// array (outer arrays never cross the task boundary).
+    fn check_base_access(
+        &mut self,
+        base: ArrayBase,
+        name: &str,
+        line: u32,
+    ) -> Result<(), CompileError> {
+        match base {
+            ArrayBase::Local(v) => self.check_spawn_capture(v, name, line),
+            ArrayBase::Global(_) => self.note_global_use(name, line),
+        }
+    }
+
     fn array_base(&self, name: &str) -> Option<ArrayBase> {
         if let Some(v) = self.lookup_var(name) {
             if self.var(v).array_len.is_some() {
@@ -671,10 +829,21 @@ impl FuncCx<'_> {
                     if self.var(v).array_len.is_some() {
                         return Err(err(line, format!("cannot assign whole array `{name}`")));
                     }
+                    if let Some(frame) = self.spawn_frames.last() {
+                        if v.0 < frame.first_inner {
+                            return Err(err(
+                                line,
+                                format!(
+                                    "`{name}` is captured by value and cannot be assigned inside a spawn body"
+                                ),
+                            ));
+                        }
+                    }
                     let ty = self.var(v).ty;
                     let val = self.check_against(rhs, ty, line)?;
                     Ok((HExpr::AssignLocal { v, val: Box::new(val) }, VTy::of(ty)))
                 } else if let Some(&g) = self.cx.global_ids.get(name) {
+                    self.note_global_use(name, line)?;
                     let hg = &self.cx.globals[g.0 as usize];
                     if hg.array_len.is_some() {
                         return Err(err(line, format!("cannot assign whole array `{name}`")));
@@ -707,6 +876,7 @@ impl FuncCx<'_> {
                 }
                 if let Expr::Var(name, _) = arr.as_ref() {
                     if let Some(base) = self.array_base(name) {
+                        self.check_base_access(base, name, line)?;
                         let elem = self.base_elem(base);
                         let val = self.check_against(rhs, elem, line)?;
                         return Ok((
@@ -883,6 +1053,193 @@ mod tests {
         assert!(!m.funcs[0].exported);
         assert!(m.funcs[1].exported);
         assert!(m.funcs[2].exported, "main is always exported");
+    }
+
+    #[test]
+    fn spawn_checks_and_lowers() {
+        let src = r#"
+            struct t { int x; };
+            int main() deletes {
+                region r = newregion();
+                int n = 8;
+                spawn r {
+                    struct t *p = ralloc(r, struct t);
+                    p->x = n;
+                    assert(p->x == n);
+                    deleteregion(r);
+                }
+                join;
+                return 0;
+            }
+        "#;
+        let m = compile(src).unwrap();
+        let body = &m.funcs[0].body;
+        assert!(
+            body.iter().any(|s| matches!(s, HStmt::Spawn { .. })),
+            "spawn survives lowering"
+        );
+        assert!(body.iter().any(|s| matches!(s, HStmt::Join)));
+    }
+
+    #[test]
+    fn spawn_capture_restrictions() {
+        // A pointer capture is the whole reason the shards can be isolated
+        // — it must be rejected.
+        let ptr_capture = r#"
+            struct t { int x; };
+            int main() {
+                region r = newregion();
+                struct t *p = ralloc(r, struct t);
+                spawn r { p->x = 1; }
+                join;
+                return 0;
+            }
+        "#;
+        let e = compile(ptr_capture).unwrap_err();
+        assert!(e.msg.contains("captured"), "{}", e.msg);
+
+        // A second region variable is just as bad.
+        let region_capture = r#"
+            int main() {
+                region r = newregion();
+                region q = newregion();
+                spawn r { int *a = rarrayalloc(q, 4, int); a[0] = 1; }
+                join;
+                return 0;
+            }
+        "#;
+        assert!(compile(region_capture).unwrap_err().msg.contains("captured"));
+
+        // Assigning an int capture writes to a by-value copy: rejected.
+        let int_write = r#"
+            int main() {
+                region r = newregion();
+                int n = 0;
+                spawn r { n = 1; }
+                join;
+                return 0;
+            }
+        "#;
+        assert!(compile(int_write).unwrap_err().msg.contains("captured by value"));
+
+        // Reading an int capture is fine.
+        let int_read = r#"
+            int main() {
+                region r = newregion();
+                int n = 3;
+                spawn r { int *a = rarrayalloc(r, n, int); a[0] = n; }
+                join;
+                return 0;
+            }
+        "#;
+        assert!(compile(int_read).is_ok(), "{:?}", compile(int_read));
+    }
+
+    #[test]
+    fn spawn_body_structure_restrictions() {
+        let with_return = r#"
+            int main() {
+                region r = newregion();
+                spawn r { return 1; }
+                return 0;
+            }
+        "#;
+        assert!(compile(with_return).unwrap_err().msg.contains("return"));
+
+        let with_global = r#"
+            int counter;
+            int main() {
+                region r = newregion();
+                spawn r { counter = 1; }
+                return 0;
+            }
+        "#;
+        assert!(compile(with_global).unwrap_err().msg.contains("global"));
+
+        let with_array_decl = r#"
+            int main() {
+                region r = newregion();
+                spawn r { int a[4]; a[0] = 1; }
+                return 0;
+            }
+        "#;
+        assert!(compile(with_array_decl).unwrap_err().msg.contains("array"));
+
+        let non_region = r#"
+            int main() {
+                int r = 0;
+                spawn r { int x = 1; }
+                return 0;
+            }
+        "#;
+        assert!(compile(non_region).unwrap_err().msg.contains("region variable"));
+    }
+
+    #[test]
+    fn spawn_callees_must_be_transitively_global_free() {
+        let tainted = r#"
+            int counter;
+            static void bump() { counter = counter + 1; }
+            static void helper() { bump(); }
+            int main() {
+                region r = newregion();
+                spawn r { helper(); }
+                join;
+                return 0;
+            }
+        "#;
+        let e = compile(tainted).unwrap_err();
+        assert!(e.msg.contains("globals"), "{}", e.msg);
+
+        let clean = r#"
+            struct t { int x; };
+            static int fill(region q, int n) {
+                struct t *p = ralloc(q, struct t);
+                p->x = n;
+                return p->x;
+            }
+            int main() {
+                region r = newregion();
+                spawn r { assert(fill(r, 4) == 4); }
+                join;
+                return 0;
+            }
+        "#;
+        assert!(compile(clean).is_ok(), "{:?}", compile(clean));
+    }
+
+    #[test]
+    fn nested_spawn_rejects_outer_region_reuse() {
+        // The inner task may not re-spawn (or touch) a region owned by an
+        // enclosing task's parent.
+        let src = r#"
+            int main() {
+                region r = newregion();
+                region q = newregion();
+                spawn r {
+                    spawn q { int x = 1; }
+                }
+                join;
+                return 0;
+            }
+        "#;
+        assert!(compile(src).unwrap_err().msg.contains("captured"));
+
+        // But a region created inside the body can be spawned.
+        let ok = r#"
+            int main() deletes {
+                region r = newregion();
+                spawn r {
+                    region q = newregion();
+                    spawn q { int *a = rarrayalloc(q, 2, int); a[1] = 5; }
+                    join;
+                    deleteregion(q);
+                }
+                join;
+                return 0;
+            }
+        "#;
+        assert!(compile(ok).is_ok(), "{:?}", compile(ok));
     }
 
     #[test]

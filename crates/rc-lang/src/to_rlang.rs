@@ -237,6 +237,18 @@ impl Tr<'_> {
                     out.push(RStmt::While { cond: tc, body: Box::new(RStmt::Seq(b)) });
                 }
             }
+            HStmt::Spawn { rvar, body, .. } => {
+                // The spawn body becomes an rlang task: analysed in
+                // isolation from the spawning context (only the region
+                // handle crosses the boundary), with no dataflow effects on
+                // the parent — exactly the sharded execution model.
+                let mut b = Vec::new();
+                self.tr_stmts(body, &mut b);
+                out.push(RStmt::Task { region: VarId(rvar.0), body: Box::new(RStmt::Seq(b)) });
+            }
+            // join has no region dataflow: the child regions never flow
+            // back (sema forbids pointer captures in either direction).
+            HStmt::Join => {}
         }
     }
 

@@ -62,6 +62,10 @@ pub enum Token {
     KwAssert,
     /// `traditionalregion`
     KwTraditionalRegion,
+    /// `spawn`
+    KwSpawn,
+    /// `join`
+    KwJoin,
 
     // Punctuation and operators.
     /// `{`
@@ -143,6 +147,8 @@ impl Token {
             "regionof" => Token::KwRegionOf,
             "assert" => Token::KwAssert,
             "traditionalregion" => Token::KwTraditionalRegion,
+            "spawn" => Token::KwSpawn,
+            "join" => Token::KwJoin,
             _ => return None,
         })
     }

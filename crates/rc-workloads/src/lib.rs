@@ -29,6 +29,7 @@ pub mod lcc;
 pub mod moss;
 pub mod mudlle;
 pub mod paper;
+pub mod parspawn;
 pub mod rcc;
 pub mod tile;
 

@@ -91,6 +91,18 @@ impl CheckCounter {
         self.counts.len()
     }
 
+    /// Folds another counter in, summing per-site tallies (shard → global
+    /// roll-up; see [`crate::shard`]). Site ids share one front-end space
+    /// across shards, so union-by-site is exact; commutative and
+    /// associative because `+` is.
+    pub fn merge(&mut self, other: &CheckCounter) {
+        for (site, c) in other.iter() {
+            let e = self.counts.entry(site).or_default();
+            e.runs += c.runs;
+            e.fails += c.fails;
+        }
+    }
+
     /// Whether nothing was recorded.
     pub fn is_empty(&self) -> bool {
         self.counts.is_empty()

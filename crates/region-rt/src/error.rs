@@ -66,6 +66,14 @@ pub enum RtError {
         /// The region whose count would have overflowed.
         region: RegionId,
     },
+    /// Touching a region whose ownership was handed off to a spawned task
+    /// and not yet reclaimed by `join` (see [`crate::shard`]): until the
+    /// parent joins, the region subtree belongs exclusively to the child
+    /// shard, so any parent-side access aborts deterministically.
+    RegionMoved {
+        /// The region currently owned by another shard.
+        region: RegionId,
+    },
     /// The configured page budget was exhausted.
     OutOfMemory,
     /// A [`HeapSnapshot`](crate::snapshot::HeapSnapshot) failed structural
@@ -105,6 +113,9 @@ impl std::fmt::Display for RtError {
             RtError::RcOverflow { region } => {
                 write!(f, "reference count of {region:?} saturated")
             }
+            RtError::RegionMoved { region } => {
+                write!(f, "use of {region:?} while owned by a spawned task")
+            }
             RtError::OutOfMemory => write!(f, "heap page budget exhausted"),
             RtError::SnapshotCorrupt { detail } => {
                 write!(f, "corrupt snapshot: {detail}")
@@ -127,6 +138,7 @@ impl RtError {
             RtError::InvalidFree { .. } => "invalid_free",
             RtError::WildPointer { .. } => "wild_pointer",
             RtError::RcOverflow { .. } => "rc_overflow",
+            RtError::RegionMoved { .. } => "region_moved",
             RtError::OutOfMemory => "out_of_memory",
             RtError::SnapshotCorrupt { .. } => "snapshot_corrupt",
         }
@@ -160,7 +172,7 @@ impl RtError {
             RtError::InvalidFree { addr } | RtError::WildPointer { addr } => {
                 fields.push(("addr", Json::U(addr.raw())));
             }
-            RtError::RcOverflow { region } => {
+            RtError::RcOverflow { region } | RtError::RegionMoved { region } => {
                 fields.push(("region", Json::U(region.0 as u64)));
             }
             RtError::OutOfMemory => {}
@@ -195,6 +207,7 @@ mod tests {
             RtError::InvalidFree { addr: Addr::from_parts(1, 1) },
             RtError::WildPointer { addr: Addr::from_parts(1, 2) },
             RtError::RcOverflow { region: RegionId(2) },
+            RtError::RegionMoved { region: RegionId(4) },
             RtError::OutOfMemory,
             RtError::SnapshotCorrupt { detail: "regions[1].parent out of range".into() },
         ]
@@ -215,6 +228,7 @@ mod tests {
                 RtError::InvalidFree { .. } => 1,
                 RtError::WildPointer { .. } => 1,
                 RtError::RcOverflow { .. } => 1,
+                RtError::RegionMoved { .. } => 1,
                 RtError::OutOfMemory => 0,
                 RtError::SnapshotCorrupt { .. } => 1,
             }

@@ -46,7 +46,11 @@
 //!   and a span tree modeling every region lifecycle as a
 //!   `newregion`…`deleteregion` interval with span-scoped alloc/RC/check
 //!   annotations for provenance export ([`span`]).
-//!   See `docs/OBSERVABILITY.md`.
+//!   See `docs/OBSERVABILITY.md`;
+//! - per-task heap shards with typed region handoff for the parallel
+//!   `spawn`/`join` extension, plus exact merge operations on every
+//!   telemetry aggregate so parallel runs report byte-deterministically
+//!   ([`shard`]).
 //!
 //! ## Example
 //!
@@ -92,6 +96,7 @@ pub mod page;
 pub mod profile;
 pub mod rcops;
 pub mod region;
+pub mod shard;
 pub mod snapshot;
 pub mod span;
 pub mod stats;
@@ -111,6 +116,7 @@ pub use layout::{PtrKind, SlotKind, TypeId, TypeLayout};
 pub use profile::{Profile, ProfileTotals, RegionProfile, SiteProfile};
 pub use rcops::WriteMode;
 pub use region::{RegionId, TRADITIONAL};
+pub use shard::{audit_all, Facet, Handoff, Shard, ShardId};
 pub use snapshot::{
     HeapSnapshot, PageSnapshot, RegionSnapshot, SiteRetained, SnapOwner, SnapshotReason,
     SNAPSHOT_SCHEMA,

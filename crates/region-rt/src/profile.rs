@@ -69,6 +69,31 @@ impl ProfileTotals {
     pub fn rc_updates_total(&self) -> u64 {
         self.rc_updates_full + self.rc_updates_same
     }
+
+    /// Exact fieldwise roll-up (shard → global; see [`crate::shard`]).
+    /// Commutative and associative: every field is a sum. The exhaustive
+    /// literal makes adding a totals field without a merge rule a
+    /// compile error.
+    #[must_use]
+    pub fn merge(&self, other: &ProfileTotals) -> ProfileTotals {
+        ProfileTotals {
+            regions_created: self.regions_created + other.regions_created,
+            subregions_created: self.subregions_created + other.subregions_created,
+            regions_deleted: self.regions_deleted + other.regions_deleted,
+            allocs: self.allocs + other.allocs,
+            alloc_words: self.alloc_words + other.alloc_words,
+            rc_updates_full: self.rc_updates_full + other.rc_updates_full,
+            rc_updates_same: self.rc_updates_same + other.rc_updates_same,
+            checks_sameregion: self.checks_sameregion + other.checks_sameregion,
+            checks_parentptr: self.checks_parentptr + other.checks_parentptr,
+            checks_traditional: self.checks_traditional + other.checks_traditional,
+            checks_failed: self.checks_failed + other.checks_failed,
+            gc_collections: self.gc_collections + other.gc_collections,
+            audit_runs: self.audit_runs + other.audit_runs,
+            audit_failures: self.audit_failures + other.audit_failures,
+            faults_injected: self.faults_injected + other.faults_injected,
+        }
+    }
 }
 
 /// Per-region accounting.
@@ -161,6 +186,80 @@ impl Profile {
 
     fn site_mut(&mut self, line: u32) -> &mut SiteProfile {
         self.sites.entry(line).or_insert_with(|| SiteProfile { line, ..SiteProfile::default() })
+    }
+
+    /// The largest region index this profile mentions (0 when none):
+    /// the offset base a merging parent passes to
+    /// [`Profile::offset_regions`] so shard indices never collide.
+    pub fn max_region(&self) -> u32 {
+        self.regions.keys().max().copied().unwrap_or(0)
+    }
+
+    /// Renumbers every region this profile mentions into a shard-global
+    /// namespace: raw region `r > 0` becomes `r + offset`, while region 0
+    /// (the traditional region, which every shard shares a facet of)
+    /// stays 0. Called before [`Profile::merge`] so per-shard region
+    /// indices cannot collide.
+    pub fn offset_regions(&mut self, offset: u32) {
+        let remap = |r: u32| if r == 0 { 0 } else { r + offset };
+        let old = std::mem::take(&mut self.regions);
+        for (r, mut p) in old {
+            let nr = remap(r);
+            p.region = nr;
+            p.parent = p.parent.map(remap);
+            self.regions.insert(nr, p);
+        }
+    }
+
+    /// Exact merge of two folded profiles (shard → global roll-up; see
+    /// [`crate::shard`]). Totals, per-site rows and the lifetime
+    /// histogram sum fieldwise; per-region rows union by region index,
+    /// summing counters when both sides observed the same region (only
+    /// region 0 after [`Profile::offset_regions`]). Commutative and
+    /// associative over well-formed inputs, i.e. inputs that agree on
+    /// any shared region's parent and creation time.
+    #[must_use]
+    pub fn merge(&self, other: &Profile) -> Profile {
+        let mut out = self.clone();
+        out.totals = self.totals.merge(&other.totals);
+        for (r, p) in &other.regions {
+            match out.regions.entry(*r) {
+                std::collections::btree_map::Entry::Vacant(e) => {
+                    e.insert(p.clone());
+                }
+                std::collections::btree_map::Entry::Occupied(mut e) => {
+                    let q = e.get_mut();
+                    q.parent = q.parent.or(p.parent);
+                    q.created_at += p.created_at;
+                    q.alloc_objects += p.alloc_objects;
+                    q.alloc_words += p.alloc_words;
+                    q.deleted |= p.deleted;
+                    q.live_words_at_delete += p.live_words_at_delete;
+                    q.lifetime_cycles += p.lifetime_cycles;
+                }
+            }
+        }
+        for (line, s) in &other.sites {
+            match out.sites.entry(*line) {
+                std::collections::btree_map::Entry::Vacant(e) => {
+                    e.insert(s.clone());
+                }
+                std::collections::btree_map::Entry::Occupied(mut e) => {
+                    let t = e.get_mut();
+                    t.allocs += s.allocs;
+                    t.alloc_words += s.alloc_words;
+                    t.checks_sameregion += s.checks_sameregion;
+                    t.checks_parentptr += s.checks_parentptr;
+                    t.checks_traditional += s.checks_traditional;
+                    t.checks_failed += s.checks_failed;
+                    t.rc_updates += s.rc_updates;
+                }
+            }
+        }
+        for (i, n) in other.lifetime_hist.iter().enumerate() {
+            out.lifetime_hist[i] += n;
+        }
+        out
     }
 
     /// Folds one event into the profile.
@@ -609,6 +708,62 @@ mod tests {
         assert_eq!(log2_bucket(3), 2);
         assert_eq!(log2_bucket(4), 3);
         assert_eq!(log2_bucket(u64::MAX), 64);
+    }
+
+    #[test]
+    fn offset_regions_shifts_everything_but_the_traditional_region() {
+        let mut p = Profile::new();
+        p.fold(&Event::RegionCreated { region: 1, at: 10 });
+        p.fold(&Event::SubregionCreated { region: 2, parent: 1, at: 20 });
+        p.fold(&alloc(0, 3, 4));
+        p.offset_regions(10);
+        let ids: Vec<u32> = p.regions().map(|r| r.region).collect();
+        assert_eq!(ids, vec![0, 11, 12]);
+        assert_eq!(p.regions().find(|r| r.region == 12).unwrap().parent, Some(11));
+        assert_eq!(p.regions().find(|r| r.region == 0).unwrap().alloc_words, 4);
+    }
+
+    #[test]
+    fn merge_unions_sites_and_regions_and_sums_totals() {
+        let mut a = Profile::new();
+        a.fold(&Event::RegionCreated { region: 1, at: 10 });
+        a.fold(&alloc(1, 5, 3));
+        a.fold(&Event::CheckRun { kind: PtrKind::SameRegion, site: 7, passed: false });
+        let mut b = Profile::new();
+        b.fold(&Event::RegionCreated { region: 1, at: 20 });
+        b.fold(&alloc(1, 5, 2));
+        b.fold(&alloc(1, 9, 4));
+        b.fold(&Event::RegionDeleted { region: 1, live_words: 6, lifetime_cycles: 100 });
+        // A shard merge always offsets the incoming profile first so only
+        // the shared traditional region collides.
+        b.offset_regions(1);
+        let m = a.merge(&b);
+        assert_eq!(m.totals.regions_created, 2);
+        assert_eq!(m.totals.allocs, 3);
+        assert_eq!(m.totals.alloc_words, 9);
+        assert_eq!(m.totals.checks_failed, 1);
+        let ids: Vec<u32> = m.regions().map(|r| r.region).collect();
+        assert_eq!(ids, vec![1, 2]);
+        assert!(m.regions().find(|r| r.region == 2).unwrap().deleted);
+        let site5 = m.sites().find(|s| s.line == 5).unwrap();
+        assert_eq!((site5.allocs, site5.alloc_words), (2, 5));
+        // lifetime 100 → bucket 7, carried through the histogram sum.
+        assert_eq!(m.lifetime_histogram()[7], 1);
+    }
+
+    #[test]
+    fn merge_is_associative() {
+        let mk = |region: u32, site: u32, at: u64| {
+            let mut p = Profile::new();
+            p.fold(&Event::RegionCreated { region, at });
+            p.fold(&alloc(region, site, site + 1));
+            p.fold(&Event::CheckRun { kind: PtrKind::ParentPtr, site, passed: true });
+            p
+        };
+        let (a, b, c) = (mk(1, 3, 5), mk(2, 4, 6), mk(1, 3, 7));
+        let left = a.merge(&b).merge(&c);
+        let right = a.merge(&b.merge(&c));
+        assert_eq!(left.to_json("x").render(), right.to_json("x").render());
     }
 
     #[test]

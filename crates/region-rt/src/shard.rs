@@ -1,0 +1,215 @@
+//! Per-task heap shards and typed region handoff.
+//!
+//! The paper's RC runtime is single-threaded; this module is the runtime
+//! half of the reproduction's parallel extension (`spawn r { ... }` /
+//! `join` in rc-lang). The design follows the Spegion line of work:
+//! parallelism is introduced *at region granularity*, and a region is
+//! exclusively owned by exactly one worker at any time. Ownership moves
+//! via a typed [`Handoff`] at `spawn` and returns at `join`.
+//!
+//! Concretely, each spawned task runs against its own isolated [`Heap`]
+//! — a *shard*. The front end (rc-lang's `sema`) guarantees a spawned
+//! body can only reach the region subtree that was handed to it and
+//! plain integer copies, so no address ever crosses a shard boundary and
+//! shards need no cross-heap barriers: every Figure 3 write barrier runs
+//! against the task's own heap exactly as in a sequential execution.
+//! The handed-off subtree is materialised in the child shard as a fresh
+//! *facet* region ([`Facet`]); on the parent side the moved descriptors
+//! answer every touch with [`RtError::RegionMoved`](crate::RtError)
+//! until the join, so a schedule can never leak access — the abort is
+//! identical under the inline, deterministic, and real-thread
+//! schedulers.
+//!
+//! After a task finishes, its shard is handed back whole (heap plus the
+//! telemetry the task accumulated) and the interpreter folds it into the
+//! global report with the exact `merge` operations on
+//! [`Stats`](crate::Stats), [`Profile`](crate::Profile),
+//! [`SpanTree`](crate::SpanTree), [`Timeline`](crate::Timeline) and
+//! [`CheckCounter`](crate::CheckCounter) — all associativity-tested, so
+//! the merged report is byte-deterministic in join order regardless of
+//! the schedule that ran the tasks.
+
+use crate::audit::AuditError;
+use crate::emu::{EmuRegionId, EmuRegions};
+use crate::heap::Heap;
+use crate::json::Json;
+use crate::region::RegionId;
+use crate::span::SpanTree;
+use crate::timeline::Timeline;
+use crate::trace::Tracer;
+
+/// Identifies one heap shard. Shard 0 is the root (the main task's
+/// heap); spawned tasks get ids in spawn order, which is deterministic
+/// because `spawn` is a program point, not a scheduler decision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ShardId(pub u32);
+
+impl ShardId {
+    /// The main task's shard.
+    pub const ROOT: ShardId = ShardId(0);
+}
+
+/// The typed ownership-transfer message a `spawn` sends: region
+/// `region` (with its whole subtree) moves from shard `from` to shard
+/// `to`. `seq` is the global spawn ordinal — it orders joins'
+/// telemetry merges so the global report does not depend on thread
+/// timing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Handoff {
+    /// Global spawn ordinal (0-based, program order).
+    pub seq: u64,
+    /// The shard giving the region up (the spawning task).
+    pub from: ShardId,
+    /// The shard receiving it (the spawned task).
+    pub to: ShardId,
+    /// The moved region, in the *parent's* id space; the child sees it
+    /// as its [`Facet`].
+    pub region: RegionId,
+}
+
+impl Handoff {
+    /// Report encoding, field order fixed for byte-determinism.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("seq", Json::U(self.seq)),
+            ("from", Json::U(self.from.0 as u64)),
+            ("to", Json::U(self.to.0 as u64)),
+            ("region", Json::U(self.region.0 as u64)),
+        ])
+    }
+}
+
+/// How the handed-off region appears inside the child shard: a real
+/// region on the region backends, or an emulated one on the malloc/gc
+/// baselines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Facet {
+    /// Fresh region in the child heap's region hierarchy.
+    Real(RegionId),
+    /// Fresh emulated region in the child's [`EmuRegions`] table.
+    Emu(EmuRegionId),
+}
+
+/// A finished task's shard, handed back to the joining parent: the
+/// task's whole heap plus the telemetry it accumulated. The parent
+/// folds these into the global report in `Handoff::seq` order.
+#[derive(Debug)]
+pub struct Shard {
+    /// This shard's id.
+    pub id: ShardId,
+    /// The grant that created it.
+    pub handoff: Handoff,
+    /// The task's isolated heap (boxed: a `Heap` is large and the shard
+    /// crosses a thread boundary).
+    pub heap: Box<Heap>,
+    /// Emulated-region table, on the malloc/gc baselines.
+    pub emu: Option<EmuRegions>,
+    /// The moved region as the child saw it.
+    pub facet: Facet,
+    /// Whether the task deleted its facet (then the parent deletes the
+    /// original region at join instead of reclaiming it).
+    pub facet_dead: bool,
+    /// The task's span tree, if span recording was on.
+    pub spans: Option<Box<SpanTree>>,
+    /// The task's event ring + profile, if tracing was on.
+    pub tracer: Option<Box<Tracer>>,
+    /// The task's timeline, if sampling was on.
+    pub timeline: Option<Box<Timeline>>,
+    /// Virtual steps the task executed (its contribution to the global
+    /// step count).
+    pub steps: u64,
+}
+
+impl Shard {
+    /// Audits this shard's heap (the same invariant check a sequential
+    /// run gets; isolation means each shard must be independently
+    /// clean).
+    pub fn audit(&self) -> Result<(), AuditError> {
+        self.heap.audit()
+    }
+}
+
+/// Audits the parent heap and every shard; the post-join cleanliness
+/// gate. The parent reports as [`ShardId::ROOT`].
+pub fn audit_all<'a>(
+    parent: &Heap,
+    shards: impl IntoIterator<Item = &'a Shard>,
+) -> Result<(), (ShardId, AuditError)> {
+    parent.audit().map_err(|e| (ShardId::ROOT, e))?;
+    for s in shards {
+        s.audit().map_err(|e| (s.id, e))?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layout::{PtrKind, SlotKind, TypeLayout};
+    use crate::rcops::WriteMode;
+
+    fn shard_with_list(id: u32, corrupt: bool) -> Shard {
+        let mut heap = Box::new(Heap::with_defaults());
+        let ty = heap.register_type(TypeLayout::new(
+            "node",
+            vec![SlotKind::Ptr(PtrKind::Counted), SlotKind::Data],
+        ));
+        let facet = heap.new_region();
+        let other = heap.new_region();
+        let a = heap.ralloc(facet, ty).unwrap();
+        let b = heap.ralloc(facet, ty).unwrap();
+        heap.write_ptr(a, 0, b, WriteMode::Counted).unwrap();
+        if corrupt {
+            // Cross-region store without its barrier: the audit must
+            // catch the missing count.
+            let c = heap.ralloc(other, ty).unwrap();
+            heap.write_ptr(a, 0, c, WriteMode::Raw).unwrap();
+        }
+        Shard {
+            id: ShardId(id),
+            handoff: Handoff {
+                seq: (id - 1) as u64,
+                from: ShardId::ROOT,
+                to: ShardId(id),
+                region: RegionId(7),
+            },
+            heap,
+            emu: None,
+            facet: Facet::Real(facet),
+            facet_dead: false,
+            spans: None,
+            tracer: None,
+            timeline: None,
+            steps: 3,
+        }
+    }
+
+    #[test]
+    fn audit_all_passes_on_clean_parent_and_shards() {
+        let parent = Heap::with_defaults();
+        let shards = vec![shard_with_list(1, false), shard_with_list(2, false)];
+        audit_all(&parent, &shards).unwrap();
+    }
+
+    #[test]
+    fn audit_all_attributes_failures_to_the_shard() {
+        let parent = Heap::with_defaults();
+        let shards = vec![shard_with_list(1, false), shard_with_list(2, true)];
+        let (id, _err) = audit_all(&parent, &shards).unwrap_err();
+        assert_eq!(id, ShardId(2));
+    }
+
+    #[test]
+    fn handoff_json_is_stable() {
+        let h = Handoff {
+            seq: 4,
+            from: ShardId::ROOT,
+            to: ShardId(3),
+            region: RegionId(9),
+        };
+        assert_eq!(
+            h.to_json().render(),
+            r#"{"seq":4,"from":0,"to":3,"region":9}"#
+        );
+    }
+}

@@ -260,6 +260,99 @@ impl SpanTree {
         self.spans.push(Span::new(region, parent, at));
     }
 
+    /// Grafts another tree's spans into this one under a shard-global
+    /// region namespace (shard → global roll-up; see [`crate::shard`]).
+    ///
+    /// The other tree's region 0 — its facet of the shared traditional
+    /// region — folds its counters into this tree's root span; every
+    /// other region `r ≥ 1` is renumbered to `len(self) + r - 1`, which
+    /// keeps the `spans[i].region == i` index invariant dense. Notes are
+    /// appended in emission order with the same renumbering (still
+    /// bounded by this tree's note cap), and per-check-site tallies sum.
+    /// The merge is associative: `(a ⊔ b) ⊔ c` and `a ⊔ (b ⊔ c)` assign
+    /// every region the same global index and the same counters. It is
+    /// deliberately *not* commutative — shard order is join order.
+    ///
+    /// Verification is per-heap (a merged tree spans several region
+    /// tables): each side is expected to carry its own
+    /// [`SpanTree::verification`] verdict, and the merged tree keeps the
+    /// first failure.
+    pub fn merge(&mut self, other: &SpanTree) {
+        debug_assert!(
+            !self.spans.is_empty() || other.spans.is_empty(),
+            "merge target must already hold its root span"
+        );
+        let base = self.spans.len() as u32;
+        let remap = |r: u32| {
+            if r == TRADITIONAL.0 || r == NO_REGION {
+                r
+            } else {
+                base + r - 1
+            }
+        };
+        for s in &other.spans {
+            if s.region == TRADITIONAL.0 {
+                if let Some(root) = self.spans.get_mut(TRADITIONAL.0 as usize) {
+                    root.allocs += s.allocs;
+                    root.alloc_words += s.alloc_words;
+                    root.rc_updates += s.rc_updates;
+                    root.checks += s.checks;
+                    root.checks_failed += s.checks_failed;
+                    root.faults += s.faults;
+                    root.freed_words += s.freed_words;
+                }
+                continue;
+            }
+            let mut ns = *s;
+            ns.region = remap(s.region);
+            ns.parent = remap(s.parent);
+            self.spans.push(ns);
+        }
+        for n in &other.notes {
+            let mut nn = *n;
+            match &mut nn {
+                SpanNote::Alloc { region, .. }
+                | SpanNote::Rc { region, .. }
+                | SpanNote::Check { region, .. } => *region = remap(*region),
+                SpanNote::Gc { .. } | SpanNote::Fault { .. } => {}
+            }
+            self.push_note(nn);
+        }
+        self.notes_dropped += other.notes_dropped;
+        for (site, f) in &other.check_sites {
+            let e = self.check_sites.entry(*site).or_default();
+            e.fires += f.fires;
+            e.fails += f.fails;
+            e.statically_safe = f.statically_safe;
+        }
+        if let Some(Err(e)) = &other.verified {
+            if !matches!(self.verified, Some(Err(_))) {
+                self.verified = Some(Err(e.clone()));
+            }
+        }
+    }
+
+    /// The table-free subset of [`SpanTree::verify`]: index and parent
+    /// integrity plus lifetime nesting, checkable on a merged tree that
+    /// spans several heaps (and therefore has no single region table to
+    /// verify against).
+    pub fn structurally_well_formed(&self) -> Result<(), String> {
+        for (i, s) in self.spans.iter().enumerate() {
+            if s.region as usize != i {
+                return Err(format!("span {i} records region {}", s.region));
+            }
+            if let Some(c) = s.closed_at {
+                if c < s.opened_at {
+                    return Err(format!("span {i}: closed at {c} before open {}", s.opened_at));
+                }
+            }
+            if s.parent != NO_REGION && self.spans.get(s.parent as usize).is_none() {
+                return Err(format!("span {i}: parent {} out of range", s.parent));
+            }
+        }
+        Ok(())
+    }
+
     /// Closes a span at reclamation time.
     pub fn close(&mut self, region: u32, at: Cycles, freed_words: u64) {
         if let Some(s) = self.spans.get_mut(region as usize) {
@@ -757,6 +850,87 @@ mod tests {
         assert!(h.seal_spans().is_ok());
         let t = h.take_spans().unwrap();
         assert_eq!(t.open_count(), 1, "only the traditional span survives");
+    }
+
+    /// A shard-shaped tree: root span plus `extra` regions with distinct
+    /// counters, one alloc note each, and some traditional-region
+    /// activity to exercise the root fold.
+    fn shard_tree(extra: u32, salt: u64) -> SpanTree {
+        let mut t = SpanTree::new(64);
+        t.open(0, NO_REGION, 0);
+        t.note_alloc(0, salt, 1, salt as u32 + 1);
+        for r in 1..=extra {
+            t.open(r, r - 1, salt + r as u64);
+            t.note_alloc(r, salt + r as u64, r, r);
+            t.note_check(r, salt + r as u64, r, 10 + r, PtrKind::SameRegion, r % 2 == 0, false);
+            t.close(r, salt + 100 + r as u64, r as u64);
+        }
+        t
+    }
+
+    #[test]
+    fn merge_grafts_spans_densely_and_folds_the_root() {
+        let mut a = shard_tree(2, 0);
+        let b = shard_tree(3, 50);
+        let (root_allocs, root_words) = (a.spans()[0].allocs, a.spans()[0].alloc_words);
+        a.merge(&b);
+        // 1 root + 2 own + 3 grafted, regions renumbered densely.
+        assert_eq!(a.spans().len(), 6);
+        a.structurally_well_formed().unwrap();
+        // b's regions 1..=3 landed at 3..=5; b's region 2 (parent 1) now
+        // has parent 3.
+        assert_eq!(a.spans()[4].parent, 3);
+        assert_eq!(a.spans()[3].parent, TRADITIONAL.0, "grafted top region hangs off the root");
+        // b's traditional activity folded into a's root span.
+        assert_eq!(a.spans()[0].allocs, root_allocs + 1);
+        assert_eq!(a.spans()[0].alloc_words, root_words + 51);
+        // Exact tallies: site 11 fired once in each tree.
+        assert_eq!(a.site_fires(11).unwrap().fires, 2);
+        // Grafted notes kept emission order with remapped regions.
+        let last = *a.notes().last().unwrap();
+        assert!(matches!(last, SpanNote::Check { region: 5, .. }), "{last:?}");
+    }
+
+    #[test]
+    fn merge_is_associative_but_not_commutative() {
+        let (a, b, c) = (shard_tree(1, 0), shard_tree(2, 10), shard_tree(3, 20));
+        let mut left = a.clone();
+        left.merge(&b);
+        left.merge(&c);
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut right = a.clone();
+        right.merge(&bc);
+        assert_eq!(left, right);
+        let mut swapped = a.clone();
+        swapped.merge(&c);
+        swapped.merge(&b);
+        assert_ne!(left, swapped, "join order is part of the result");
+    }
+
+    #[test]
+    fn merge_keeps_the_first_verification_failure() {
+        let mut a = shard_tree(1, 0);
+        a.set_verified(Ok(()));
+        let mut b = shard_tree(1, 5);
+        b.set_verified(Err("shard 1: misnested".into()));
+        let mut c = shard_tree(1, 9);
+        c.set_verified(Err("shard 2: misnested".into()));
+        a.merge(&b);
+        a.merge(&c);
+        assert_eq!(a.verification(), Some(&Err("shard 1: misnested".into())));
+    }
+
+    #[test]
+    fn structurally_well_formed_rejects_broken_indexing() {
+        let mut t = shard_tree(2, 0);
+        t.structurally_well_formed().unwrap();
+        t.close(2, 1000, 0);
+        t.structurally_well_formed().unwrap();
+        let mut bad = SpanTree::new(16);
+        bad.open(0, NO_REGION, 0);
+        bad.spans[0].region = 7;
+        assert!(bad.structurally_well_formed().is_err());
     }
 
     #[test]

@@ -175,6 +175,132 @@ impl Stats {
         }
     }
 
+    /// Exact fieldwise roll-up of two counter sets, used when per-shard
+    /// heaps report into one global `Stats` (see [`crate::shard`]).
+    ///
+    /// Every field is summed, so `merge` is commutative and associative
+    /// and the shard join order cannot change the global report. Two
+    /// gauges deserve a note: `live_words` sums to the true global gauge
+    /// (shards partition the live heap), while `peak_live_words` sums the
+    /// *per-shard* peaks — an upper bound on the true concurrent peak,
+    /// since shards need not peak at the same instant.
+    ///
+    /// The exhaustive struct literal (no `..`) makes adding a `Stats`
+    /// field without deciding its merge a compile error.
+    #[must_use]
+    pub fn merge(&self, other: &Stats) -> Stats {
+        Stats {
+            assigns_safe: self.assigns_safe + other.assigns_safe,
+            assigns_checked: self.assigns_checked + other.assigns_checked,
+            assigns_counted: self.assigns_counted + other.assigns_counted,
+            assigns_local: self.assigns_local + other.assigns_local,
+            assigns_raw: self.assigns_raw + other.assigns_raw,
+            rc_updates_full: self.rc_updates_full + other.rc_updates_full,
+            rc_updates_same: self.rc_updates_same + other.rc_updates_same,
+            checks_sameregion: self.checks_sameregion + other.checks_sameregion,
+            checks_traditional: self.checks_traditional + other.checks_traditional,
+            checks_parentptr: self.checks_parentptr + other.checks_parentptr,
+            objects_allocated: self.objects_allocated + other.objects_allocated,
+            words_allocated: self.words_allocated + other.words_allocated,
+            peak_live_words: self.peak_live_words + other.peak_live_words,
+            live_words: self.live_words + other.live_words,
+            regions_created: self.regions_created + other.regions_created,
+            regions_deleted: self.regions_deleted + other.regions_deleted,
+            regions_deferred: self.regions_deferred + other.regions_deferred,
+            renumber_fallbacks: self.renumber_fallbacks + other.renumber_fallbacks,
+            unscan_words: self.unscan_words + other.unscan_words,
+            local_pins: self.local_pins + other.local_pins,
+            malloc_calls: self.malloc_calls + other.malloc_calls,
+            free_calls: self.free_calls + other.free_calls,
+            gc_collections: self.gc_collections + other.gc_collections,
+            gc_marked_words: self.gc_marked_words + other.gc_marked_words,
+            gc_swept_objects: self.gc_swept_objects + other.gc_swept_objects,
+            rc_cycles: self.rc_cycles + other.rc_cycles,
+            check_cycles: self.check_cycles + other.check_cycles,
+            unscan_cycles: self.unscan_cycles + other.unscan_cycles,
+            alloc_cycles: self.alloc_cycles + other.alloc_cycles,
+            gc_cycles: self.gc_cycles + other.gc_cycles,
+            live_underflows: self.live_underflows + other.live_underflows,
+            faults_injected: self.faults_injected + other.faults_injected,
+            samples_dropped: self.samples_dropped + other.samples_dropped,
+        }
+    }
+
+    /// The counters that are invariant between a sequential (inline) run
+    /// of a `spawn`/`join` program and the shard-merged parallel run of
+    /// the same program, rendered as a canonical JSON object.
+    ///
+    /// Excluded, with reasons:
+    /// - `peak_live_words` / `live_words`: per-shard peaks sum to an
+    ///   upper bound, and end-of-run residency is attributed per shard;
+    /// - `regions_created` / `regions_deleted` / `malloc_calls` /
+    ///   `free_calls` / `objects_allocated` / `words_allocated` /
+    ///   `unscan_words` / `alloc_cycles`: each task materialises its
+    ///   transferred region as a fresh facet (one descriptor allocation
+    ///   and one region create/delete pair per handoff);
+    /// - `renumber_fallbacks` and every `*_cycles` total: hierarchy
+    ///   renumbering visits only the owning shard's regions, so virtual
+    ///   time diverges from the single-heap schedule;
+    /// - `gc_collections` / `gc_marked_words` / `gc_swept_objects`:
+    ///   per-shard heaps cross the collection threshold at different
+    ///   points than one shared heap would;
+    /// - `samples_dropped` / `faults_injected` / `live_underflows`:
+    ///   per-heap instrumentation, not program behaviour.
+    ///
+    /// The exhaustive destructuring (no `..`) forces every future field
+    /// to be classified as invariant or excluded.
+    pub fn parallel_invariant_key(&self) -> Json {
+        let Stats {
+            assigns_safe,
+            assigns_checked,
+            assigns_counted,
+            assigns_local,
+            assigns_raw,
+            rc_updates_full,
+            rc_updates_same,
+            checks_sameregion,
+            checks_traditional,
+            checks_parentptr,
+            objects_allocated: _,
+            words_allocated: _,
+            peak_live_words: _,
+            live_words: _,
+            regions_created: _,
+            regions_deleted: _,
+            regions_deferred,
+            renumber_fallbacks: _,
+            unscan_words: _,
+            local_pins,
+            malloc_calls: _,
+            free_calls: _,
+            gc_collections: _,
+            gc_marked_words: _,
+            gc_swept_objects: _,
+            rc_cycles: _,
+            check_cycles: _,
+            unscan_cycles: _,
+            alloc_cycles: _,
+            gc_cycles: _,
+            live_underflows: _,
+            faults_injected: _,
+            samples_dropped: _,
+        } = self;
+        Json::obj(vec![
+            ("assigns_safe", Json::U(*assigns_safe)),
+            ("assigns_checked", Json::U(*assigns_checked)),
+            ("assigns_counted", Json::U(*assigns_counted)),
+            ("assigns_local", Json::U(*assigns_local)),
+            ("assigns_raw", Json::U(*assigns_raw)),
+            ("rc_updates_full", Json::U(*rc_updates_full)),
+            ("rc_updates_same", Json::U(*rc_updates_same)),
+            ("checks_sameregion", Json::U(*checks_sameregion)),
+            ("checks_traditional", Json::U(*checks_traditional)),
+            ("checks_parentptr", Json::U(*checks_parentptr)),
+            ("regions_deferred", Json::U(*regions_deferred)),
+            ("local_pins", Json::U(*local_pins)),
+        ])
+    }
+
     /// A one-screen human-readable dump of the counters, skipping groups
     /// that are all zero. Also available through `{}` formatting.
     pub fn summary(&self) -> String {
@@ -474,6 +600,59 @@ mod tests {
             live_underflows: 31,
             faults_injected: 32,
             samples_dropped: 33,
+        }
+    }
+
+    /// A second distinct population for merge tests: field `i` holds
+    /// `(i + 1) * k`, built through the JSON round trip so it stays
+    /// exhaustive without a second literal.
+    fn shifted(k: u64) -> Stats {
+        let doc: Vec<(String, Json)> = fully_populated()
+            .to_json()
+            .as_object()
+            .unwrap_or_default()
+            .iter()
+            .enumerate()
+            .map(|(i, (key, _))| (key.clone(), Json::U((i as u64 + 1) * k)))
+            .collect();
+        Stats::from_json(&Json::O(doc)).expect("round trip")
+    }
+
+    #[test]
+    fn merge_sums_every_field_exactly() {
+        let a = fully_populated();
+        let m = a.merge(&a);
+        let fields = m.to_json().as_object().unwrap_or_default().to_vec();
+        let orig = a.to_json().as_object().unwrap_or_default().to_vec();
+        assert_eq!(fields.len(), orig.len());
+        for ((k, v), (ok, ov)) in fields.iter().zip(orig.iter()) {
+            assert_eq!(k, ok);
+            let (Json::U(v), Json::U(ov)) = (v, ov) else { panic!("non-integer counter") };
+            assert_eq!(*v, 2 * ov, "{k} not summed");
+        }
+    }
+
+    #[test]
+    fn merge_is_commutative_and_associative_with_zero_identity() {
+        let (a, b, c) = (fully_populated(), shifted(3), shifted(7));
+        assert_eq!(a.merge(&b), b.merge(&a));
+        assert_eq!(a.merge(&b).merge(&c), a.merge(&b.merge(&c)));
+        assert_eq!(a.merge(&Stats::new()), a);
+    }
+
+    #[test]
+    fn parallel_invariant_key_is_a_strict_projection() {
+        let key = fully_populated().parallel_invariant_key();
+        let fields = key.as_object().unwrap_or_default();
+        assert!(!fields.is_empty());
+        assert!(fields.len() < 33, "key must exclude shard-dependent gauges");
+        let full = fully_populated().to_json();
+        for (k, v) in fields {
+            assert_eq!(full.get(k), Some(v), "{k} drifted from the counter it projects");
+        }
+        // The headline exclusions stay excluded.
+        for gone in ["peak_live_words", "gc_collections", "rc_cycles", "malloc_calls"] {
+            assert!(key.get(gone).is_none(), "{gone} must not be in the invariant key");
         }
     }
 

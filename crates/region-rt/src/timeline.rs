@@ -180,7 +180,7 @@ impl Baseline {
 
 /// The virtual-clock sampler: a bounded, deterministic series of
 /// [`MetricsSnapshot`]s.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Timeline {
     /// Ticks between samples as originally configured.
     initial_interval: u64,
@@ -274,6 +274,40 @@ impl Timeline {
     /// heap for one-branch emission).
     pub(crate) fn note_ticks(&mut self, n: u64) {
         self.ticks += n;
+    }
+
+    /// Exact interleave of two timelines (shard → global roll-up; see
+    /// [`crate::shard`]): samples merge-sort stably by virtual time —
+    /// each shard's clock starts at zero, so this aligns shards on
+    /// elapsed virtual work — with this timeline's samples winning ties,
+    /// then renumber densely. Tick and drop totals sum; the interval and
+    /// cap stay this timeline's. Associative (stable k-way merge with
+    /// left-preference over per-shard monotone inputs), and window sums
+    /// remain exact because every sample keeps its own deltas.
+    pub fn merge(&mut self, other: &Timeline) {
+        let mut merged = Vec::with_capacity(self.samples.len() + other.samples.len());
+        let (mut i, mut j) = (0, 0);
+        while i < self.samples.len() || j < other.samples.len() {
+            let take_left = match (self.samples.get(i), other.samples.get(j)) {
+                (Some(a), Some(b)) => a.at_cycles <= b.at_cycles,
+                (Some(_), None) => true,
+                (None, _) => false,
+            };
+            if take_left {
+                merged.push(self.samples[i]);
+                i += 1;
+            } else {
+                merged.push(other.samples[j]);
+                j += 1;
+            }
+        }
+        for (n, s) in merged.iter_mut().enumerate() {
+            s.seq = n as u64;
+        }
+        self.samples = merged;
+        self.seq = self.samples.len() as u64;
+        self.ticks += other.ticks;
+        self.samples_dropped += other.samples_dropped;
     }
 
     /// Takes a sample from the current gauges and cumulative counters.
@@ -427,6 +461,60 @@ mod tests {
         assert_eq!(tl.samples_dropped(), 12);
         tl.reset();
         assert_eq!(tl.samples_dropped(), 0);
+    }
+
+    #[test]
+    fn merge_interleaves_by_virtual_time_and_renumbers() {
+        let mut a = Timeline::new(1, 16);
+        a.push(HeapGauges::default(), &tick_stats(10), 100, 1);
+        a.push(HeapGauges::default(), &tick_stats(20), 300, 1);
+        a.note_ticks(2);
+        let mut b = Timeline::new(1, 16);
+        b.push(HeapGauges::default(), &tick_stats(5), 100, 2);
+        b.push(HeapGauges::default(), &tick_stats(9), 200, 2);
+        b.note_ticks(2);
+        a.merge(&b);
+        assert_eq!(a.len(), 4);
+        let at: Vec<u64> = a.series(|s| s.at_cycles);
+        assert_eq!(at, vec![100, 100, 200, 300]);
+        // Tie at 100: the left (merge target) sample comes first.
+        assert_eq!(a.samples()[0].site, 1);
+        assert_eq!(a.samples()[1].site, 2);
+        let seqs: Vec<u64> = a.series(|s| s.seq);
+        assert_eq!(seqs, vec![0, 1, 2, 3]);
+        assert_eq!(a.ticks(), 4);
+        // Window sums stay exact: every sample kept its own deltas.
+        let total: u64 = a.series(|s| s.d_allocs).iter().sum();
+        assert_eq!(total, 20 + 9);
+    }
+
+    #[test]
+    fn merge_is_associative() {
+        let mk = |base: u64, site: u32| {
+            let mut tl = Timeline::new(1, 16);
+            for i in 1..=3u64 {
+                tl.push(HeapGauges::default(), &tick_stats(i), base + i * 10, site);
+            }
+            tl
+        };
+        let (a, b, c) = (mk(0, 1), mk(5, 2), mk(11, 3));
+        let mut left = {
+            let mut t = a.clone();
+            t.merge(&b);
+            t.merge(&c);
+            t
+        };
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut right = a.clone();
+        right.merge(&bc);
+        assert_eq!(left.to_json().render(), right.to_json().render());
+        assert_eq!(left.ticks(), right.ticks());
+        // And stability actually matters: swapping merge order reorders
+        // equal-time samples, so the result differs.
+        left.merge(&a);
+        right.merge(&a);
+        assert_eq!(left.to_json().render(), right.to_json().render());
     }
 
     #[test]

@@ -317,6 +317,20 @@ impl Tracer {
         &self.profile
     }
 
+    /// Folds another tracer's exact profile into this one's, renumbering
+    /// the other side's regions past `region_offset` first (shard →
+    /// global roll-up, see [`crate::shard`]). The raw-event rings are
+    /// not merged — recent events stay attributed to their own tracer —
+    /// but the recorded/dropped totals sum so coverage accounting stays
+    /// exact.
+    pub fn absorb_profile(&mut self, other: &Tracer, region_offset: u32) {
+        let mut p = other.profile.clone();
+        p.offset_regions(region_offset);
+        self.profile = self.profile.merge(&p);
+        self.recorded += other.recorded;
+        self.dropped += other.dropped;
+    }
+
     /// Renders the retained raw events as JSONL, one event per line. When
     /// `tag` is non-empty each line carries a `"run"` field, letting
     /// several runs share one file.

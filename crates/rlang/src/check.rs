@@ -160,6 +160,13 @@ fn check_stmt(prog: &Program, f: &FuncDef, s: &Stmt) -> Result<(), WfError> {
             None => Ok(()),
             Some(v) => wrap(check_var(f, *v)),
         },
+        Stmt::Task { region, body } => {
+            wrap(check_var(f, *region))?;
+            if f.var_type(*region) != VarType::Region {
+                return wrap(Err(format!("task through non-region variable v{}", region.0)));
+            }
+            check_stmt(prog, f, body)
+        }
     }
 }
 

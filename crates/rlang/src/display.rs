@@ -140,6 +140,11 @@ fn stmt(out: &mut String, p: &Program, f: &FuncDef, s: &Stmt, depth: usize) {
             let fs: Vec<String> = facts.iter().map(|f| f.to_string()).collect();
             let _ = writeln!(out, "{pad}assume {};", fs.join(" ∧ "));
         }
+        Stmt::Task { region, body } => {
+            let _ = writeln!(out, "{pad}task {} {{", v(*region));
+            stmt(out, p, f, body, depth + 1);
+            let _ = writeln!(out, "{pad}}}");
+        }
         Stmt::Return { src } => match src {
             Some(s) => {
                 let _ = writeln!(out, "{pad}return {};", v(*s));

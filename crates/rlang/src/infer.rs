@@ -579,6 +579,22 @@ impl Ctx<'_> {
                 d
             }
             Stmt::Call { dst, callee, args } => self.exec_call(*dst, *callee, args, d),
+            Stmt::Task { region, body } => {
+                // spawn: the handle must designate a real region, exactly
+                // as for `new`.
+                d.add(Fact::NotTop(self.rho(*region)));
+                // The body runs in its own shard against a fresh facet of
+                // `region`; the translation guarantees it only touches
+                // task-local variables, so its effects are invisible here.
+                // Analyse it from scratch (no parent facts carry over —
+                // the facet is a different concrete region, only non-⊤ is
+                // known) purely for its own check verdicts, then discard
+                // the resulting state.
+                let mut task_d = ConstraintSet::empty();
+                task_d.add(Fact::NotTop(self.rho(*region)));
+                let _ = self.exec(body, task_d);
+                d
+            }
         }
     }
 
@@ -837,6 +853,78 @@ mod tests {
         });
         let a = analyse(&p);
         assert!(!a.is_safe(SiteId(0)), "array reads yield unknown regions");
+    }
+
+    #[test]
+    fn task_body_is_analysed_in_isolation() {
+        // r = newregion(); task r { x = new(r); chk same(x, x); }
+        // y = new(r);  // after the task: parent facts flow through it
+        let mut p = Program::new();
+        let rlist = StructId(0);
+        p.add_struct(StructDecl {
+            name: "rlist".into(),
+            fields: vec![("next".into(), FieldType::Ptr { target: rlist, qual: FieldQual::SameRegion })],
+        });
+        let (r, x, y, z) = (VarId(0), VarId(1), VarId(2), VarId(3));
+        let body = Stmt::Seq(vec![
+            Stmt::Call { dst: Some(r), callee: Callee::NewRegion, args: vec![] },
+            Stmt::New { dst: z, ty: rlist, region: r },
+            Stmt::Task {
+                region: r,
+                body: Box::new(Stmt::Seq(vec![
+                    Stmt::New { dst: x, ty: rlist, region: r },
+                    // Same-variable store: provable inside the task from
+                    // the task's own facts alone.
+                    Stmt::Chk {
+                        fact: Fact::EqOrNull(
+                            RegionExpr::Abstract(x.rho()),
+                            RegionExpr::Abstract(x.rho()),
+                        ),
+                        site: SiteId(0),
+                    },
+                    Stmt::WriteField { obj: x, field: 0, src: x },
+                    // Parent-derived obligation: `z` was allocated before
+                    // the spawn, but that fact must not leak into the
+                    // task body (the facet is a different concrete
+                    // region), so this stays unproven.
+                    Stmt::Chk {
+                        fact: Fact::EqOrNull(
+                            RegionExpr::Abstract(z.rho()),
+                            RegionExpr::Abstract(x.rho()),
+                        ),
+                        site: SiteId(1),
+                    },
+                ])),
+            },
+            // After the task, parent facts still hold: y = new(r) then a
+            // check against z is provable exactly as without the task.
+            Stmt::New { dst: y, ty: rlist, region: r },
+            Stmt::Chk {
+                fact: Fact::EqOrNull(
+                    RegionExpr::Abstract(z.rho()),
+                    RegionExpr::Abstract(y.rho()),
+                ),
+                site: SiteId(2),
+            },
+            Stmt::WriteField { obj: y, field: 0, src: z },
+        ]);
+        p.add_func(FuncDef {
+            name: "main".into(),
+            exported: true,
+            params: vec![],
+            locals: vec![
+                VarType::Region,
+                VarType::Ptr(rlist),
+                VarType::Ptr(rlist),
+                VarType::Ptr(rlist),
+            ],
+            result: None,
+            body,
+        });
+        let a = analyse(&p);
+        assert!(a.is_safe(SiteId(0)), "task-local facts prove task-local checks");
+        assert!(!a.is_safe(SiteId(1)), "parent facts must not leak into the task body");
+        assert!(a.is_safe(SiteId(2)), "the task is effect-free for the parent's state");
     }
 
     #[test]

@@ -156,6 +156,18 @@ pub enum Stmt {
         /// Returned variable (None for void).
         src: Option<VarId>,
     },
+    /// `task r s` — the lowering of RC's `spawn r { ... }`: `s` runs in
+    /// another heap shard that receives exclusive ownership of `region`'s
+    /// subtree (see the `region-rt` shard module). The front end
+    /// guarantees `s` touches only that subtree and task-local state, so
+    /// from the parent's perspective the statement has no dataflow
+    /// effects; the body is analysed in isolation for its own checks.
+    Task {
+        /// The region handle whose subtree moves to the task.
+        region: VarId,
+        /// The task body.
+        body: Box<Stmt>,
+    },
 }
 
 impl Stmt {
@@ -285,7 +297,7 @@ fn collect_sites(s: &Stmt, out: &mut Vec<SiteId>) {
             collect_sites(then_s, out);
             collect_sites(else_s, out);
         }
-        Stmt::While { body, .. } => collect_sites(body, out),
+        Stmt::While { body, .. } | Stmt::Task { body, .. } => collect_sites(body, out),
         Stmt::Chk { site, .. } => out.push(*site),
         _ => {}
     }
