@@ -1,21 +1,31 @@
-//! Exports one workload run as a Perfetto-loadable provenance trace.
+//! Exports one workload run as a Perfetto-loadable trace.
 //!
 //! Usage: `cargo run -p rc-bench --bin trace-export -- [--workload cfrac]
-//! [--config nq|qs|inf|nc] [--scale N] [--out PATH]`.
+//! [--config nq|qs|inf|nc] [--scale N] [--out PATH]`, or, for a parallel
+//! run, `-- --parallel [--workload moss] [--tasks 4] [--det-seed N]
+//! [--scale N] [--out PATH]`.
 //!
-//! Runs the workload with region lifecycle spans on, joins every dynamic
-//! check against the static inference verdict and reason, and writes
-//! Chrome trace-event JSON (open in <https://ui.perfetto.dev>). The
-//! export is byte-deterministic — CI runs it twice and `cmp`s — and the
-//! per-site coverage table is printed to stdout. Exits 0 on success, 2 on
-//! bad arguments or I/O errors.
+//! The default mode runs the workload with region lifecycle spans on,
+//! joins every dynamic check against the static inference verdict and
+//! reason, and writes Chrome trace-event JSON (open in
+//! <https://ui.perfetto.dev>) — one track per region.
+//!
+//! `--parallel` instead runs the workload's spawn/join variant under the
+//! seeded deterministic scheduler and writes a *multi-track* trace: one
+//! track per task (an `"X"` slice over the task's shared-clock lifetime,
+//! scheduler events as instants), with the work/span headline numbers in
+//! `otherData`. Both exports are byte-deterministic — CI runs them twice
+//! and `cmp`s. Exits 0 on success, 2 on bad arguments or I/O errors.
 
 use std::process::ExitCode;
 
-use rc_bench::provenance;
+use rc_bench::{critpath, provenance};
 use rc_lang::{CheckMode, RunConfig};
 
 fn main() -> ExitCode {
+    if rc_bench::flag_from_args("--parallel") {
+        return parallel();
+    }
     let scale = rc_bench::scale_from_args();
     let wname = rc_bench::value_from_args("--workload").unwrap_or_else(|| "cfrac".to_string());
     let cname = rc_bench::value_from_args("--config").unwrap_or_else(|| "qs".to_string());
@@ -48,14 +58,61 @@ fn main() -> ExitCode {
         export.spans.notes_dropped()
     );
 
-    let json = provenance::chrome_trace(&export).render_pretty();
-    if let Some(dir) = std::path::Path::new(&out).parent() {
+    write_trace(&out, provenance::chrome_trace(&export).render_pretty())
+}
+
+/// The `--parallel` mode: multi-track task/scheduler trace.
+fn parallel() -> ExitCode {
+    let scale = rc_bench::scale_from_args();
+    let wname = rc_bench::value_from_args("--workload").unwrap_or_else(|| "moss".to_string());
+    let tasks: u32 = match rc_bench::value_from_args("--tasks").map(|v| v.parse()) {
+        None => 4,
+        Some(Ok(n)) => n,
+        Some(Err(_)) => {
+            eprintln!("trace-export: --tasks wants a number");
+            return ExitCode::from(2);
+        }
+    };
+    let seed: u64 = match rc_bench::value_from_args("--det-seed").map(|v| v.parse()) {
+        None => critpath::DET_SEED,
+        Some(Ok(n)) => n,
+        Some(Err(_)) => {
+            eprintln!("trace-export: --det-seed wants a number");
+            return ExitCode::from(2);
+        }
+    };
+    let run = match critpath::collect(&wname, tasks, "lea", &RunConfig::lea(), scale, seed) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("trace-export: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let events: usize = run.reports.iter().map(|r| r.sched.events.len()).sum();
+    let dropped: u64 = run.reports.iter().map(|r| r.sched.dropped).sum();
+    println!(
+        "{} ×{}: {} tasks, {} scheduler events ({} dropped), work {} / span {} cycles",
+        run.workload,
+        run.tasks,
+        run.reports.len(),
+        events,
+        dropped,
+        run.cp.work,
+        run.cp.span
+    );
+    let out = rc_bench::value_from_args("--out")
+        .unwrap_or_else(|| format!("target/experiments/trace_par_{wname}_t{tasks}.json"));
+    write_trace(&out, critpath::multi_track_trace(&run).render_pretty())
+}
+
+fn write_trace(out: &str, json: String) -> ExitCode {
+    if let Some(dir) = std::path::Path::new(out).parent() {
         if let Err(e) = std::fs::create_dir_all(dir) {
             eprintln!("trace-export: {}: {e}", dir.display());
             return ExitCode::from(2);
         }
     }
-    if let Err(e) = std::fs::write(&out, json) {
+    if let Err(e) = std::fs::write(out, json) {
         eprintln!("trace-export: {out}: {e}");
         return ExitCode::from(2);
     }

@@ -64,7 +64,7 @@ pub fn dump(
 
 fn header(s: &HeapSnapshot) -> String {
     let label = if s.label.is_empty() { "<unlabeled>" } else { &s.label };
-    format!(
+    let mut out = format!(
         "{label} — reason {}, at {} cycles\n\
          live words : {} (regions {}, malloc {}, gc {})\n\
          pages      : {} committed, {} free; malloc free slots {}, gc free slots {}\n",
@@ -78,7 +78,17 @@ fn header(s: &HeapSnapshot) -> String {
         s.free_chain.len(),
         s.malloc_free_depths.iter().map(|&d| d as u64).sum::<u64>(),
         s.gc_free_depths.iter().map(|&d| d as u64).sum::<u64>(),
-    )
+    );
+    // Parallel runs only: the merged scheduler counters (per-task detail
+    // lives in the run's `TaskReport`s, not in heap snapshots).
+    if s.stats.sched_spawns + s.stats.sched_joins > 0 {
+        let _ = writeln!(
+            out,
+            "tasks      : {} spawned, {} join points",
+            s.stats.sched_spawns, s.stats.sched_joins,
+        );
+    }
+    out
 }
 
 fn region_line(s: &HeapSnapshot, idx: usize, depth: usize) -> String {
@@ -380,6 +390,17 @@ mod tests {
         assert!(l.contains("retained past last touch"));
         // cfrac's globals survive to exit, so something is attributed.
         assert!(l.contains("cfrac/qs:"), "{l}");
+    }
+
+    #[test]
+    fn summary_shows_task_counters_only_for_parallel_runs() {
+        let mut s = snap("qs", RunConfig::rc(CheckMode::Qs));
+        // Sequential runs never spawned, so the line must be absent.
+        assert!(!summary(&s).contains("tasks      :"), "{}", summary(&s));
+        s.stats.sched_spawns = 4;
+        s.stats.sched_joins = 1;
+        let sum = summary(&s);
+        assert!(sum.contains("tasks      : 4 spawned, 1 join points"), "{sum}");
     }
 
     #[test]

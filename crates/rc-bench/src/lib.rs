@@ -17,6 +17,7 @@
 //! | Fault-injection torture matrix      | `cargo run -p rc-bench --bin fault-matrix` |
 //! | Checkpoint-recovery matrix          | `cargo run -p rc-bench --bin recovery-matrix` |
 //! | Parallel spawn/join matrix          | `cargo run -p rc-bench --bin parallel-matrix` |
+//! | Critical-path attribution           | `cargo run -p rc-bench --bin critpath` |
 //! | Perfetto provenance trace           | `cargo run -p rc-bench --bin trace-export` |
 //! | Heap snapshot dump + analysis       | `cargo run -p rc-bench --bin rc-inspect` |
 //!
@@ -26,6 +27,7 @@
 //! (per-site hot spots, region flamegraph); `--trace <path>` exports the
 //! raw event stream as JSON Lines. See `docs/OBSERVABILITY.md`.
 
+pub mod critpath;
 pub mod faultmatrix;
 pub mod fuzzreport;
 pub mod inspect;

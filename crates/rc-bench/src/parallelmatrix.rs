@@ -36,7 +36,7 @@ use std::time::Instant;
 use rc_lang::{run_audited, CheckMode, Outcome, RunConfig, SchedMode};
 use rc_workloads::parspawn::par_source;
 use rc_workloads::Scale;
-use region_rt::Json;
+use region_rt::{critpath_analyze, Json, SchedEventKind, TaskReport};
 
 /// Schema identifier embedded in every report; bumped on layout change
 /// (registered in [`crate::schema`]).
@@ -99,6 +99,25 @@ pub struct ParallelRun {
     pub steps: u64,
     /// Objects allocated across all shards.
     pub objects: u64,
+    /// Total work: Σ per-task charged cycles (equals `cycles` — the
+    /// matrix configurations carry no base-compiler factor).
+    pub work: u64,
+    /// Critical-path length (work/span model over the spawn/join tree).
+    pub span: u64,
+    /// Ideal parallelism `work/span`, in permille.
+    pub ideal_milli: u64,
+    /// Critical-path cycles executed by the root task — the serial
+    /// prefix/suffix no schedule can overlap away.
+    pub root_serial: u64,
+    /// Off-path cycles (`work − span`): exactly the cycle gap between
+    /// the sequential run and an ideal parallel schedule.
+    pub overlapped: u64,
+    /// Shared-clock blocked time summed over all tasks under the
+    /// deterministic scheduler.
+    pub blocked: u64,
+    /// Root cycles after its last `join_wait_end` — the post-join merge
+    /// cost, charged serially by construction.
+    pub merge_tail: u64,
 }
 
 impl ParallelRun {
@@ -122,8 +141,31 @@ impl ParallelRun {
             ("cycles", Json::U(self.cycles)),
             ("steps", Json::U(self.steps)),
             ("objects", Json::U(self.objects)),
+            ("work", Json::U(self.work)),
+            ("span", Json::U(self.span)),
+            ("ideal_milli", Json::U(self.ideal_milli)),
+            ("root_serial", Json::U(self.root_serial)),
+            ("overlapped", Json::U(self.overlapped)),
+            ("blocked", Json::U(self.blocked)),
+            ("merge_tail", Json::U(self.merge_tail)),
         ])
     }
+}
+
+/// Root cycles after the last `join_wait_end` in the root's scheduler
+/// log: everything the main task does once the final child has been
+/// merged — shard renumbering, result folding, teardown.
+fn merge_tail(reports: &[TaskReport]) -> u64 {
+    let Some(root) = reports.first() else { return 0 };
+    let last_join = root
+        .sched
+        .events
+        .iter()
+        .rev()
+        .find(|e| matches!(e.kind, SchedEventKind::JoinWaitEnd))
+        .map(|e| e.local)
+        .unwrap_or(root.cycles);
+    root.cycles.saturating_sub(last_join)
 }
 
 /// The full matrix report: every cell plus the contract violations.
@@ -223,6 +265,13 @@ pub fn collect_for(scale: Scale, workloads: &[&str]) -> ParallelMatrixReport {
             for (cfg_name, cfg) in configs() {
                 let seq = run_audited(&compiled, &cfg);
                 let det = run_audited(&compiled, &cfg.clone().det_sched(DET_SEED));
+                let cp = match critpath_analyze(&det.task_reports) {
+                    Ok(cp) => Some(cp),
+                    Err(e) => {
+                        violations.push(format!("{name}/w{workers}/{cfg_name}: critpath: {e}"));
+                        None
+                    }
+                };
                 let cell = ParallelRun {
                     workload: name.to_string(),
                     workers,
@@ -240,8 +289,15 @@ pub fn collect_for(scale: Scale, workloads: &[&str]) -> ParallelMatrixReport {
                     cycles: det.cycles,
                     steps: det.steps,
                     objects: det.stats.objects_allocated,
+                    work: cp.as_ref().map_or(0, |c| c.work),
+                    span: cp.as_ref().map_or(0, |c| c.span),
+                    ideal_milli: cp.as_ref().map_or(0, |c| c.ideal_parallelism_milli()),
+                    root_serial: cp.as_ref().map_or(0, |c| c.root_serial()),
+                    overlapped: cp.as_ref().map_or(0, |c| c.overlapped()),
+                    blocked: cp.as_ref().map_or(0, |c| c.blocked_total()),
+                    merge_tail: merge_tail(&det.task_reports),
                 };
-                gate_cell(&cell, workers, &mut violations);
+                gate_cell(&cell, workers, cp.is_some(), &mut violations);
                 runs.push(cell);
             }
         }
@@ -249,8 +305,11 @@ pub fn collect_for(scale: Scale, workloads: &[&str]) -> ParallelMatrixReport {
     ParallelMatrixReport { scale: scale.0, seed: DET_SEED, runs, violations }
 }
 
-/// Applies the parallel contract to one cell.
-fn gate_cell(cell: &ParallelRun, workers: u32, violations: &mut Vec<String>) {
+/// Applies the parallel contract to one cell. `critpath_ok` is whether
+/// the analyzer accepted the cell's task reports (a rejection already
+/// recorded its own violation, so the attribution identities are only
+/// checked when it did).
+fn gate_cell(cell: &ParallelRun, workers: u32, critpath_ok: bool, violations: &mut Vec<String>) {
     let key = cell.key();
     if !cell.outcomes_match {
         violations.push(format!(
@@ -276,6 +335,74 @@ fn gate_cell(cell: &ParallelRun, workers: u32, violations: &mut Vec<String>) {
     if cell.seq_outcome != expect {
         violations.push(format!("{key}: expected {expect}, got {}", cell.seq_outcome));
     }
+    if critpath_ok {
+        // Attribution identities. The matrix configurations carry no
+        // base-compiler factor, so Σ per-task cycles must equal the
+        // merged virtual clock; and because `reports_match` pins the
+        // sequential run to the same cycle count, `overlapped` is
+        // exactly the sequential-vs-ideal-parallel cycle gap.
+        if cell.work != cell.cycles {
+            violations.push(format!(
+                "{key}: work {} != merged cycles {}",
+                cell.work, cell.cycles
+            ));
+        }
+        if cell.span > cell.work {
+            violations.push(format!("{key}: span {} exceeds work {}", cell.span, cell.work));
+        }
+        if cell.span + cell.overlapped != cell.work {
+            violations.push(format!(
+                "{key}: span {} + overlapped {} != work {}",
+                cell.span, cell.overlapped, cell.work
+            ));
+        }
+        if cell.root_serial > cell.span {
+            violations.push(format!(
+                "{key}: root-serial {} exceeds span {}",
+                cell.root_serial, cell.span
+            ));
+        }
+        if cell.merge_tail > cell.root_serial {
+            // The merge tail runs after every child has ended, so it is
+            // always on the critical path and root-executed.
+            violations.push(format!(
+                "{key}: merge tail {} exceeds root-serial path share {}",
+                cell.merge_tail, cell.root_serial
+            ));
+        }
+    }
+}
+
+/// Renders the per-cell speedup-attribution table folded into
+/// `EXPERIMENTS.md`: where each cell's cycles sit relative to the ideal
+/// (`span + overlapped == work`, gated above), restricted to the `lea`
+/// configuration — the attribution is schedule-derived and identical in
+/// shape across configurations.
+pub fn attribution_markdown(rep: &ParallelMatrixReport) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "| workload | tasks | work | span | ideal× | root-serial | overlapped | blocked | merge-tail |"
+    );
+    let _ = writeln!(out, "|---|---|---|---|---|---|---|---|---|");
+    for r in rep.runs.iter().filter(|r| r.config == "lea") {
+        let _ = writeln!(
+            out,
+            "| {} | {} | {} | {} | {}.{:02} | {} | {} | {} | {} |",
+            r.workload,
+            r.workers,
+            r.work,
+            r.span,
+            r.ideal_milli / 1000,
+            r.ideal_milli % 1000 / 10,
+            r.root_serial,
+            r.overlapped,
+            r.blocked,
+            r.merge_tail,
+        );
+    }
+    out
 }
 
 /// One wall-clock scaling measurement from [`speedup_probe`].
@@ -381,6 +508,36 @@ mod tests {
         }
         let summary = rep.summary();
         assert!(summary.contains("PASS"), "{summary}");
+    }
+
+    #[test]
+    fn attribution_identities_hold_in_every_cell() {
+        let rep = tiny_matrix();
+        assert!(rep.passed(), "violations: {:?}", rep.violations);
+        for r in &rep.runs {
+            // Σ per-task cycles == merged clock: the sequential-vs-ideal
+            // gap decomposes exactly into span + overlapped.
+            assert_eq!(r.work, r.cycles, "{}", r.key());
+            assert!(r.span <= r.work, "{}", r.key());
+            assert_eq!(r.span + r.overlapped, r.work, "{}", r.key());
+            assert!(r.root_serial <= r.span, "{}", r.key());
+            assert!(r.merge_tail <= r.root_serial, "{}", r.key());
+            assert!(r.span > 0, "{}: span empty", r.key());
+            // Spawning real work always leaves some overlappable time.
+            if r.workers > 1 {
+                assert!(r.overlapped > 0, "{}: nothing overlappable", r.key());
+            }
+        }
+    }
+
+    #[test]
+    fn attribution_markdown_lists_lea_cells() {
+        let rep = tiny_matrix();
+        let md = attribution_markdown(&rep);
+        assert!(md.contains("| workload |"), "{md}");
+        let rows = md.lines().filter(|l| l.starts_with("| tile") || l.starts_with("| moss"));
+        assert_eq!(rows.count(), 2 * WORKERS.len(), "one row per lea cell:\n{md}");
+        assert!(!md.contains("| GC |") && !md.contains("| qs |"), "lea only:\n{md}");
     }
 
     #[test]

@@ -25,11 +25,13 @@ pub enum Schema {
     RecoveryMatrix,
     /// Parallel spawn/join execution matrix (scheduler equivalence).
     ParallelMatrix,
+    /// Work/span critical-path report for one parallel workload cell.
+    CritPath,
 }
 
 impl Schema {
     /// Every registered schema, in introduction order.
-    pub const ALL: [Schema; 7] = [
+    pub const ALL: [Schema; 8] = [
         Schema::Trajectory,
         Schema::FaultMatrix,
         Schema::FuzzReport,
@@ -37,6 +39,7 @@ impl Schema {
         Schema::Snapshot,
         Schema::RecoveryMatrix,
         Schema::ParallelMatrix,
+        Schema::CritPath,
     ];
 
     /// The identifier embedded in the artifact; bumped on layout change.
@@ -49,6 +52,7 @@ impl Schema {
             Schema::Snapshot => "rc-bench-snapshot/v1",
             Schema::RecoveryMatrix => "rc-bench-recoverymatrix/v1",
             Schema::ParallelMatrix => "rc-bench-parallelmatrix/v1",
+            Schema::CritPath => "rc-bench-critpath/v1",
         }
     }
 }
@@ -73,6 +77,7 @@ mod tests {
                 Schema::Snapshot => s.id(),
                 Schema::RecoveryMatrix => s.id(),
                 Schema::ParallelMatrix => s.id(),
+                Schema::CritPath => s.id(),
             };
             assert!(
                 id.rsplit_once("/v").and_then(|(_, v)| v.parse::<u32>().ok()).is_some(),
@@ -92,5 +97,6 @@ mod tests {
         assert_eq!(region_rt::SNAPSHOT_SCHEMA, Schema::Snapshot.id());
         assert_eq!(crate::recoverymatrix::SCHEMA, Schema::RecoveryMatrix.id());
         assert_eq!(crate::parallelmatrix::SCHEMA, Schema::ParallelMatrix.id());
+        assert_eq!(crate::critpath::SCHEMA, Schema::CritPath.id());
     }
 }

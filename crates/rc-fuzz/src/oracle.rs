@@ -1,5 +1,5 @@
 //! The differential oracle: one program, five allocator configurations,
-//! seven families of assertions.
+//! eight families of assertions.
 //!
 //! 1. **Conformance** — the observable outcome (exit code / trap kind /
 //!    assertion failure) is identical under `lea`, `GC`, `nq`, `qs` and
@@ -33,6 +33,14 @@
 //!    audit clean. Region ownership transfer makes task interleaving
 //!    unobservable, so any disagreement is a scheduler or shard-merge
 //!    bug.
+//! 8. **Task-report well-formedness** — the same deterministic-scheduler
+//!    run must hand back per-task reports that are an exact decomposition
+//!    of the merged run: root first, every scheduler log balanced
+//!    ([`region_rt::SchedLog::balanced`]), per-task cycles / steps /
+//!    [`region_rt::Stats`] folding back to the merged totals, and the
+//!    work/span analyzer ([`region_rt::critpath_analyze`]) accepting the
+//!    reports with `span ≤ work == merged cycles`. A report set that does
+//!    not re-compose is attribution the observability layer cannot trust.
 
 use rc_lang::{CheckMode, Outcome, RunConfig};
 use rlang::SiteId;
@@ -90,6 +98,14 @@ pub enum Violation {
         /// The deterministic-scheduler outcome key.
         got: String,
     },
+    /// The deterministic-scheduler run's per-task reports do not
+    /// re-compose into the merged run (unbalanced scheduler log, telemetry
+    /// that does not fold back, or a report set the critical-path analyzer
+    /// rejects).
+    TaskReportDivergence {
+        /// The first broken invariant, rendered for humans.
+        detail: String,
+    },
 }
 
 impl Violation {
@@ -103,6 +119,7 @@ impl Violation {
             Violation::MalformedSpans { .. } => "malformed_spans",
             Violation::RestoreDivergence { .. } => "restore_divergence",
             Violation::ParallelDivergence { .. } => "parallel_divergence",
+            Violation::TaskReportDivergence { .. } => "task_report_divergence",
         }
     }
 }
@@ -134,6 +151,9 @@ impl std::fmt::Display for Violation {
                     "parallel divergence: deterministic scheduler saw {got}, \
                      sequential baseline saw {baseline}"
                 )
+            }
+            Violation::TaskReportDivergence { detail } => {
+                write!(f, "task report divergence: {detail}")
             }
         }
     }
@@ -179,6 +199,64 @@ fn has_spawn(module: &rc_lang::hir::Module) -> bool {
         })
     }
     module.funcs.iter().any(|f| in_stmts(&f.body))
+}
+
+/// Assertion 8's predicate: the first way `r.task_reports` fails to be an
+/// exact decomposition of the merged run, or `None` when the reports are
+/// well-formed. Reports only exist once spawned children have been
+/// joined, so an aborted run with none recorded is not a defect — but a
+/// clean exit that spawned and still has none is.
+fn task_report_defect(r: &rc_lang::RunResult) -> Option<String> {
+    let reports = &r.task_reports;
+    if reports.is_empty() {
+        if matches!(r.outcome, Outcome::Exit(_)) && r.stats.sched_spawns > 0 {
+            return Some(format!(
+                "clean exit spawned {} task(s) but produced no task reports",
+                r.stats.sched_spawns
+            ));
+        }
+        return None;
+    }
+    if !reports[0].is_root() {
+        return Some(format!("first report is task {}, not the root", reports[0].id.0));
+    }
+    for t in reports {
+        if !t.sched.balanced() {
+            return Some(format!("task {} has an unbalanced scheduler log", t.id.0));
+        }
+    }
+    let cycle_sum: u64 = reports.iter().map(|t| t.cycles).sum();
+    if cycle_sum != r.cycles {
+        return Some(format!(
+            "per-task cycles sum to {cycle_sum}, merged clock read {}",
+            r.cycles
+        ));
+    }
+    let step_sum: u64 = reports.iter().map(|t| t.steps).sum();
+    if step_sum != r.steps {
+        return Some(format!(
+            "per-task steps sum to {step_sum}, merged run counted {}",
+            r.steps
+        ));
+    }
+    let folded = reports[1..]
+        .iter()
+        .fold(reports[0].stats.clone(), |acc, t| acc.merge(&t.stats));
+    if folded.to_json().render() != r.stats.to_json().render() {
+        return Some("per-task stats do not fold to the merged stats".to_string());
+    }
+    match region_rt::critpath_analyze(reports) {
+        Ok(cp) => {
+            if cp.work != r.cycles || cp.span > cp.work {
+                return Some(format!(
+                    "critical path broke its identities: work {} span {} cycles {}",
+                    cp.work, cp.span, r.cycles
+                ));
+            }
+        }
+        Err(e) => return Some(format!("critical-path analyzer rejected the reports: {e}")),
+    }
+    None
 }
 
 /// Collapses an [`Outcome`] to an allocator-independent key. Abort and
@@ -283,6 +361,13 @@ pub fn check_source(src: &str, step_budget: u64) -> Result<CaseReport, rc_lang::
                 baseline: baseline_key.clone(),
                 got: key,
             });
+        }
+        // (8): the same run's per-task reports must re-compose into the
+        // merged view exactly — they are the raw material every
+        // attribution surface (critpath, trace-export, parallel-matrix)
+        // is built from.
+        if let Some(detail) = task_report_defect(&r) {
+            violations.push(Violation::TaskReportDivergence { detail });
         }
         match r.audit {
             Some(Err(e)) => violations.push(Violation::AuditFailure {
@@ -576,6 +661,41 @@ int main() {
         assert_eq!(v.kind(), "parallel_divergence");
         assert!(v.to_string().contains("parallel divergence"));
         assert!(v.to_string().contains("exit:7"));
+    }
+
+    #[test]
+    fn task_report_oracle_tag_is_stable() {
+        // The campaign's shrink predicate and regression file names key
+        // on this tag; it must never drift.
+        let v = Violation::TaskReportDivergence { detail: "task 3 has an unbalanced scheduler log".into() };
+        assert_eq!(v.kind(), "task_report_divergence");
+        assert!(v.to_string().contains("task report divergence"));
+        assert!(v.to_string().contains("task 3"));
+    }
+
+    #[test]
+    fn task_report_defect_catches_a_tampered_report_set() {
+        // A healthy spawn run has no defect; perturbing one task's cycle
+        // count must surface as a fold mismatch against the merged clock.
+        let compiled = rc_lang::prepare(
+            "
+int main() deletes {
+    region s0 = newregion();
+    spawn s0 { int w = 1; assert(w == 1); }
+    join;
+    deleteregion(s0);
+    return 0;
+}
+",
+        )
+        .expect("compiles");
+        let cfg = RunConfig::lea().det_sched(PAR_SEED);
+        let mut r = rc_lang::run_audited(&compiled, &cfg);
+        assert!(!r.task_reports.is_empty(), "the det run keeps per-task reports");
+        assert_eq!(task_report_defect(&r), None, "healthy run has no defect");
+        r.task_reports[1].cycles += 1;
+        let defect = task_report_defect(&r).expect("tampered cycles must be caught");
+        assert!(defect.contains("merged clock"), "got: {defect}");
     }
 
     #[test]

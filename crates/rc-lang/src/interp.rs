@@ -12,8 +12,8 @@ use std::collections::{HashMap, HashSet};
 
 use region_rt::{
     audit_all, Addr, EmuBackend, EmuRegionId, EmuRegions, Facet, FaultReport, Handoff, Heap,
-    HeapConfig, PtrKind, RegionId, RtError, Shard, ShardId, SlotKind, SnapshotReason, Stats,
-    TypeId, TypeLayout, WriteMode,
+    HeapConfig, PtrKind, RegionId, RtError, SchedEventKind, SchedLog, SchedRecorder, Shard, ShardId,
+    SlotKind, SnapshotReason, Stats, TaskReport, TypeId, TypeLayout, WriteMode,
 };
 use rlang::SiteId;
 
@@ -120,6 +120,13 @@ pub struct RunResult {
     /// of the root task and every shard in this order, so it is
     /// byte-identical across schedulers and seeds.
     pub handoffs: Vec<Handoff>,
+    /// Each task's un-merged observability facet (root first, then
+    /// shards in DFS order), for programs that spawned: per-task
+    /// `Stats`/cycles/steps, the typed scheduler-event log on the shared
+    /// virtual clock, and — when sampling/tracing were on — the task's
+    /// own timeline and trace. The merged telemetry above is exactly the
+    /// in-order fold of these. Empty for programs without tasks.
+    pub task_reports: Vec<TaskReport>,
 }
 
 impl RunResult {
@@ -173,6 +180,10 @@ where
     interp.scope = scope;
     interp.gate = Gate::root(config.sched);
     interp.gate.start();
+    if interp.gate.is_threads() {
+        interp.sched.stamp(0, SchedEventKind::SemaAdmit);
+    }
+    interp.sched.stamp(0, SchedEventKind::TaskStart);
     let outcome = interp.run_main();
     // A program may end (or abort) with tasks still outstanding; join
     // them here so every shard is collected and no task thread outlives
@@ -234,6 +245,42 @@ where
     if config.snapshots && !matches!(outcome, Outcome::Trapped(_)) {
         interp.snapshots.push(interp.heap.snapshot(SnapshotReason::Exit));
     }
+    // Seal the root's scheduler log (the final `task_end` stamp) and
+    // preserve every task's un-merged observability facet before the
+    // destructive fold below. Spawn-free runs skip all of it.
+    let root_sched =
+        std::mem::replace(&mut interp.sched, SchedRecorder::root()).finish(interp.heap.clock.cycles());
+    let mut task_reports: Vec<TaskReport> = Vec::new();
+    if !interp.shards.is_empty() {
+        task_reports.push(TaskReport {
+            id: ShardId::ROOT,
+            parent: ShardId::ROOT,
+            seq: 0,
+            region: RegionId(0),
+            spawn_site: 0,
+            cycles: interp.heap.clock.cycles(),
+            steps: interp.steps,
+            stats: interp.heap.stats.clone(),
+            sched: root_sched,
+            timeline: None, // patched from the root's taken instruments below
+            tracer: None,
+        });
+        for s in &interp.shards {
+            task_reports.push(TaskReport {
+                id: s.id,
+                parent: s.handoff.from,
+                seq: s.handoff.seq,
+                region: s.handoff.region,
+                spawn_site: s.spawn_site,
+                cycles: s.heap.clock.cycles(),
+                steps: s.steps,
+                stats: s.heap.stats.clone(),
+                sched: s.sched.clone(),
+                timeline: s.timeline.clone(),
+                tracer: s.tracer.clone(),
+            });
+        }
+    }
     // Fold every shard into the global report in `Handoff::seq` order.
     // Every merge below is exact and associative, so the report is
     // byte-identical across schedulers, worker counts and seeds.
@@ -244,6 +291,10 @@ where
     let mut tracer = interp.heap.take_tracer();
     let mut timeline = interp.heap.take_timeline();
     let mut check_counts = interp.heap.take_check_counter();
+    if let Some(root) = task_reports.first_mut() {
+        root.timeline = timeline.clone();
+        root.tracer = tracer.clone();
+    }
     for s in &mut interp.shards {
         stats = stats.merge(&s.heap.stats);
         cycles += s.heap.clock.cycles();
@@ -289,6 +340,7 @@ where
         spans,
         snapshots: interp.snapshots,
         handoffs,
+        task_reports,
     }
 }
 
@@ -397,6 +449,9 @@ struct ChildTask<'scope> {
     region_desc: Addr,
     /// Parent-space region number, recorded in the [`Handoff`].
     region_id: RegionId,
+    /// The child's scheduler id ([`Gate::task_id`]) — the `join` wait
+    /// set under the deterministic baton.
+    sched_id: usize,
     state: TaskState<'scope>,
 }
 
@@ -442,6 +497,16 @@ struct Interp<'c, 'scope, 'env> {
     scope: Option<&'scope std::thread::Scope<'scope, 'env>>,
     /// This task's scheduler handle (one [`Gate::tick`] per step).
     gate: Gate,
+    /// This task's scheduler-event recorder on the run's shared virtual
+    /// clock (`run_task` installs a child recorder for spawned tasks).
+    sched: SchedRecorder,
+    /// The sealed scheduler log, when `run_task` already stamped
+    /// `task_end` *before* releasing the gate — sealing after release
+    /// would race the next baton-holder's stamps on the shared clock
+    /// and break per-seed determinism.
+    sealed_sched: Option<SchedLog>,
+    /// Source line of the `spawn` that created this task (0 at root).
+    spawn_site: u32,
     /// Descriptors of regions currently handed off to running tasks;
     /// every handle-level touch answers [`RtError::RegionMoved`] until
     /// the join returns ownership.
@@ -609,6 +674,9 @@ where
             snapshots: Vec::new(),
             scope: None,
             gate: Gate::Inline,
+            sched: SchedRecorder::root(),
+            sealed_sched: None,
+            spawn_site: 0,
             moved: HashSet::new(),
             children: Vec::new(),
             shards: Vec::new(),
@@ -641,8 +709,14 @@ where
         self.heap.sample_tick();
         // The deterministic scheduler's preemption point: every step
         // burns one slice unit; an expired slice passes the baton (a
-        // no-op branch under the inline and thread schedulers).
-        self.gate.tick();
+        // no-op branch under the inline and thread schedulers), with
+        // release/acquire events stamped around the pass so the
+        // scheduler log shows every slice boundary.
+        if let Some(ran) = self.gate.tick() {
+            self.sched.stamp(self.heap.clock.cycles(), SchedEventKind::BatonRelease { ran });
+            let slice = self.gate.yield_now();
+            self.sched.stamp(self.heap.clock.cycles(), SchedEventKind::BatonAcquire { slice });
+        }
         if self.config.step_limit != 0 && self.steps > self.config.step_limit {
             return Err(Halt::StepLimit);
         }
@@ -811,24 +885,31 @@ where
         self.moved.insert(desc);
         let captured = self.capture_frame(f, rvar);
         let gate = if self.scope.is_none() { Gate::Inline } else { self.gate.child() };
+        let sched_id = gate.task_id();
+        // Stamp the spawn before launching so the child recorder is born
+        // at (and its start waits are measured from) the spawn point.
+        self.heap.stats.sched_spawns += 1;
+        let nth = self.sched.spawns() as u32;
+        self.sched.stamp(self.heap.clock.cycles(), SchedEventKind::Spawn { nth });
+        let sched = self.sched.child();
         let c = self.c;
         let config = self.config;
         let state = match (config.sched, self.scope) {
-            (SchedMode::Inline, _) | (_, None) => {
-                TaskState::Done(run_task(c, config, f, body, captured, rvar, gate, self.scope))
-            }
+            (SchedMode::Inline, _) | (_, None) => TaskState::Done(run_task(
+                c, config, f, body, captured, rvar, gate, sched, line, self.scope,
+            )),
             (_, Some(s)) => {
                 let handle = std::thread::Builder::new()
                     .name("rc-task".into())
                     .stack_size(64 * 1024 * 1024)
                     .spawn_scoped(s, move || {
-                        run_task(c, config, f, body, captured, rvar, gate, Some(s))
+                        run_task(c, config, f, body, captured, rvar, gate, sched, line, Some(s))
                     })
                     .expect("spawning a task thread");
                 TaskState::Running(handle)
             }
         };
-        self.children.push(ChildTask { region_desc: desc, region_id, state });
+        self.children.push(ChildTask { region_desc: desc, region_id, sched_id, state });
         Ok(Flow::Normal)
     }
 
@@ -865,10 +946,26 @@ where
         }
         let children = std::mem::take(&mut self.children);
         let any_running = children.iter().any(|ch| matches!(ch.state, TaskState::Running(_)));
+        // The join is a program point in every mode; the wait bracket is
+        // stamped even when nothing actually blocks (inline) so event
+        // pairing is schedule-invariant.
+        self.heap.stats.sched_joins += 1;
+        self.sched.stamp(
+            self.heap.clock.cycles(),
+            SchedEventKind::JoinWaitBegin { pending: children.len() as u32 },
+        );
         // Hand our turn/permit back while blocked in OS joins so the
         // children we are waiting on can actually run.
         if any_running {
-            self.gate.begin_wait();
+            if self.gate.is_threads() {
+                self.sched.stamp(self.heap.clock.cycles(), SchedEventKind::SemaBlock);
+            }
+            let waiting_on: Vec<usize> = children
+                .iter()
+                .filter(|ch| matches!(ch.state, TaskState::Running(_)))
+                .map(|ch| ch.sched_id)
+                .collect();
+            self.gate.begin_wait(&waiting_on);
         }
         let collected: Vec<(Addr, RegionId, TaskDone)> = children
             .into_iter()
@@ -885,7 +982,11 @@ where
             .collect();
         if any_running {
             self.gate.end_wait();
+            if self.gate.is_threads() {
+                self.sched.stamp(self.heap.clock.cycles(), SchedEventKind::SemaAdmit);
+            }
         }
+        self.sched.stamp(self.heap.clock.cycles(), SchedEventKind::JoinWaitEnd);
         let mut first_halt: Option<Halt> = None;
         let mut dead_regions: Vec<Addr> = Vec::new();
         for (desc, region_id, done) in collected {
@@ -939,6 +1040,13 @@ where
         let tracer = self.heap.take_tracer();
         let timeline = self.heap.take_timeline();
         let facet = self.facet.unwrap_or(Facet::Real(RegionId(0)));
+        // Seal the scheduler log: the task's final cycle count becomes
+        // its `task_end` stamp. `run_task` seals before releasing the
+        // gate (see `sealed_sched`); inline tasks seal here.
+        let sched = match self.sealed_sched.take() {
+            Some(s) => s,
+            None => self.sched.finish(self.heap.clock.cycles()),
+        };
         let mut shards = Vec::with_capacity(1 + self.shards.len());
         shards.push(Shard {
             id: ShardId(0),
@@ -956,6 +1064,8 @@ where
             tracer,
             timeline,
             steps: self.steps,
+            sched,
+            spawn_site: self.spawn_site,
         });
         shards.append(&mut self.shards);
         TaskDone { halt, shards, base_ops: self.base_ops }
@@ -1584,14 +1694,24 @@ fn run_task<'c, 'scope, 'env>(
     mut captured: Vec<Value>,
     rvar: VarRef,
     gate: Gate,
+    mut sched: SchedRecorder,
+    spawn_site: u32,
     scope: Option<&'scope std::thread::Scope<'scope, 'env>>,
 ) -> TaskDone
 where
     'c: 'scope,
 {
     gate.start();
+    // Stamp the start before the task heap exists (local 0): everything
+    // between the spawn and here was time spent waiting to be scheduled.
+    if gate.is_threads() {
+        sched.stamp(0, SchedEventKind::SemaAdmit);
+    }
+    sched.stamp(0, SchedEventKind::TaskStart);
     let mut interp = Interp::new(c, config);
     interp.gate = gate;
+    interp.sched = sched;
+    interp.spawn_site = spawn_site;
     interp.scope = scope;
     let mut halt = interp.startup_fault.take().map(Halt::Abort);
     if halt.is_none() {
@@ -1621,6 +1741,12 @@ where
         // reporting `Trapped`; the root converts the outcome.
         interp.unwind_after_fault();
     }
+    // Seal the scheduler log (the `task_end` stamp) *before* releasing
+    // the gate: sealing afterwards would race the next baton-holder's
+    // stamps on the shared clock and break per-seed determinism.
+    let cycles = interp.heap.clock.cycles();
+    let sealed = std::mem::replace(&mut interp.sched, SchedRecorder::root()).finish(cycles);
+    interp.sealed_sched = Some(sealed);
     interp.gate.finish();
     interp.into_task_done(halt)
 }
@@ -2511,6 +2637,103 @@ mod spawn_tests {
                 base.stats.parallel_invariant_key().render()
             );
         }
+    }
+
+    #[test]
+    fn task_reports_fold_to_the_merged_view_under_every_scheduler() {
+        let mut structural = Vec::new();
+        for (name, sched) in all_scheds() {
+            let r = go(SPAWN_TWO, RunConfig::rc_inf().with_sched(sched));
+            assert_eq!(r.task_reports.len(), r.handoffs.len() + 1, "sched {name}");
+            assert!(r.task_reports[0].is_root(), "sched {name}");
+            // The merged report is exactly the in-order fold of the
+            // per-task facets.
+            let folded = r
+                .task_reports
+                .iter()
+                .skip(1)
+                .fold(r.task_reports[0].stats.clone(), |acc, t| acc.merge(&t.stats));
+            assert_eq!(folded, r.stats, "sched {name}");
+            assert_eq!(
+                r.task_reports.iter().map(|t| t.cycles).sum::<u64>(),
+                r.cycles,
+                "sched {name}"
+            );
+            assert_eq!(
+                r.task_reports.iter().map(|t| t.steps).sum::<u64>(),
+                r.steps,
+                "sched {name}"
+            );
+            assert_eq!(r.stats.sched_spawns, 2, "sched {name}");
+            assert_eq!(r.stats.sched_joins, 1, "sched {name}");
+            for t in &r.task_reports {
+                assert!(t.sched.balanced(), "sched {name} task {}: {:?}", t.id.0, t.sched);
+            }
+            // Tasks carry their spawn site; the root has none.
+            assert_eq!(r.task_reports[0].spawn_site, 0);
+            assert!(r.task_reports.iter().skip(1).all(|t| t.spawn_site > 0), "sched {name}");
+            // Work/span come from structural events only, so the
+            // critical path is schedule-invariant too.
+            let cp = region_rt::critpath::analyze(&r.task_reports)
+                .unwrap_or_else(|e| panic!("sched {name}: {e}"));
+            assert_eq!(cp.work, r.cycles, "sched {name}");
+            assert!(cp.span <= cp.work, "sched {name}");
+            let longest = r.task_reports.iter().map(|t| t.cycles).max().unwrap_or(0);
+            assert!(cp.span >= longest, "sched {name}");
+            structural.push((
+                name,
+                cp.work,
+                cp.span,
+                cp.path.iter().map(region_rt::PathSeg::to_json).map(|j| j.render()).collect::<Vec<_>>(),
+            ));
+        }
+        let base = &structural[0];
+        for s in &structural[1..] {
+            assert_eq!((&s.1, &s.2, &s.3), (&base.1, &base.2, &base.3), "{} vs {}", s.0, base.0);
+        }
+    }
+
+    #[test]
+    fn task_reports_are_byte_deterministic_per_seed() {
+        let render = |r: &RunResult| {
+            r.task_reports.iter().map(|t| t.to_json().render()).collect::<Vec<_>>().join("\n")
+        };
+        let a = go(SPAWN_TWO, RunConfig::rc_inf().det_sched(42));
+        let b = go(SPAWN_TWO, RunConfig::rc_inf().det_sched(42));
+        assert_eq!(render(&a), render(&b), "same seed, same per-task reports");
+        // A different seed interleaves differently (different baton
+        // traffic) but the structural identities still hold.
+        let c = go(SPAWN_TWO, RunConfig::rc_inf().det_sched(7));
+        assert_eq!(c.stats, a.stats);
+        assert_eq!(c.cycles, a.cycles);
+    }
+
+    #[test]
+    fn per_task_timelines_fold_to_the_merged_timeline() {
+        let cfg = RunConfig::rc_inf().det_sched(11).sampled();
+        let r = go(SPAWN_TWO, cfg);
+        let merged = r.timeline.as_ref().expect("sampling was on");
+        let mut folded: Option<Box<region_rt::Timeline>> = None;
+        for t in &r.task_reports {
+            let tl = t.timeline.as_ref().expect("every task samples");
+            match &mut folded {
+                Some(acc) => acc.merge(tl),
+                None => folded = Some(tl.clone()),
+            }
+        }
+        let folded = folded.expect("at least the root task");
+        assert_eq!(folded.to_json().render(), merged.to_json().render());
+    }
+
+    #[test]
+    fn spawn_free_runs_carry_no_task_reports() {
+        let r = go(
+            "int main() { return 3; }",
+            RunConfig::rc_inf().det_sched(1),
+        );
+        assert!(r.task_reports.is_empty());
+        assert_eq!(r.stats.sched_spawns, 0);
+        assert_eq!(r.stats.sched_joins, 0);
     }
 
     #[test]

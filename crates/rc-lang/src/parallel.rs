@@ -61,20 +61,40 @@ const IDLE: usize = usize::MAX;
 #[derive(Debug)]
 struct BatonInner {
     states: Vec<TaskState>,
+    /// Per task: the child ids a [`TaskState::Blocked`] task's `join` is
+    /// waiting for. Blocked tasks become grantable the instant every id
+    /// here is `Finished` — decided by `advance` from task states alone,
+    /// so the schedule never depends on *when* the parent's OS `join`
+    /// happens to return.
+    waiting: Vec<Vec<usize>>,
     current: usize,
 }
 
 impl BatonInner {
-    /// Hands the baton to the next runnable task after `from`,
-    /// round-robin; parks it at [`IDLE`] when nobody is runnable (an
-    /// unblocking task will pick it up).
+    /// Hands the baton to the next grantable task after `from`,
+    /// round-robin: a runnable task, or a blocked one whose entire wait
+    /// set has finished (it is flipped runnable on grant — its thread
+    /// will arrive in [`Baton::unblock`] and find the turn already
+    /// held). Parks at [`IDLE`] when nobody qualifies, which only
+    /// happens once every task has finished.
     fn advance(&mut self, from: usize) {
         let n = self.states.len();
         for k in 1..=n {
             let j = (from + k) % n;
-            if self.states[j] == TaskState::Runnable {
-                self.current = j;
-                return;
+            match self.states[j] {
+                TaskState::Runnable => {
+                    self.current = j;
+                    return;
+                }
+                TaskState::Blocked
+                    if self.waiting[j].iter().all(|&c| self.states[c] == TaskState::Finished) =>
+                {
+                    self.states[j] = TaskState::Runnable;
+                    self.waiting[j].clear();
+                    self.current = j;
+                    return;
+                }
+                _ => {}
             }
         }
         self.current = IDLE;
@@ -97,7 +117,7 @@ impl Baton {
     /// A baton whose task 0 (the registering root) holds the turn.
     pub fn new(seed: u64) -> Baton {
         Baton {
-            inner: Mutex::new(BatonInner { states: Vec::new(), current: 0 }),
+            inner: Mutex::new(BatonInner { states: Vec::new(), waiting: Vec::new(), current: 0 }),
             cv: Condvar::new(),
             seed,
         }
@@ -107,6 +127,7 @@ impl Baton {
     pub fn register(&self) -> usize {
         let mut g = self.inner.lock().unwrap();
         g.states.push(TaskState::Runnable);
+        g.waiting.push(Vec::new());
         g.states.len() - 1
     }
 
@@ -142,21 +163,31 @@ impl Baton {
         }
     }
 
-    /// Marks task `id` blocked (about to wait on something other than
-    /// the baton, e.g. an OS join) and passes the baton on.
-    pub fn block(&self, id: usize) {
+    /// Marks task `id` blocked on the tasks in `waiting_on` (it is about
+    /// to OS-`join` them) and passes the baton on. The baton re-grants
+    /// `id` deterministically once every task in `waiting_on` has
+    /// finished — see [`BatonInner::advance`].
+    pub fn block(&self, id: usize, waiting_on: &[usize]) {
         let mut g = self.inner.lock().unwrap();
         g.states[id] = TaskState::Blocked;
+        g.waiting[id] = waiting_on.to_vec();
         g.advance(id);
         self.cv.notify_all();
     }
 
-    /// Marks task `id` runnable again and blocks until it holds the
-    /// baton (taking over immediately if the baton is idle).
+    /// Blocks until task `id` holds the baton again after a
+    /// [`Baton::block`]. The grant itself already happened inside
+    /// `advance` when the wait set finished (the last child's
+    /// [`Baton::finish`] at the latest), so this only waits for the
+    /// round-robin to come back around — the schedule is fixed before
+    /// this thread wakes from its OS `join`.
     pub fn unblock(&self, id: usize) {
         let mut g = self.inner.lock().unwrap();
-        g.states[id] = TaskState::Runnable;
+        // Defensive: cannot happen while any task is unfinished (the
+        // blocked task's own wait set keeps `advance` from going idle),
+        // but an idle baton would otherwise deadlock here.
         if g.current == IDLE {
+            g.states[id] = TaskState::Runnable;
             g.current = id;
         }
         self.cv.notify_all();
@@ -223,6 +254,9 @@ pub enum Gate {
         rng: SplitMix64,
         /// Steps left in the current slice.
         slice: u64,
+        /// The current slice's full length (for `baton_release` events:
+        /// `ran == granted` at expiry).
+        granted: u64,
     },
     /// A permit of the shared [`Semaphore`], held while running.
     Threads {
@@ -241,7 +275,7 @@ impl Gate {
                 let id = baton.register();
                 let mut rng = baton.stream(id);
                 let slice = 1 + rng.next() % MAX_SLICE;
-                Gate::Det { baton, id, rng, slice }
+                Gate::Det { baton, id, rng, slice, granted: slice }
             }
             crate::config::SchedMode::Threads { workers } => {
                 Gate::Threads { sem: Arc::new(Semaphore::new(workers)) }
@@ -259,7 +293,7 @@ impl Gate {
                 let id = baton.register();
                 let mut rng = baton.stream(id);
                 let slice = 1 + rng.next() % MAX_SLICE;
-                Gate::Det { baton: Arc::clone(baton), id, rng, slice }
+                Gate::Det { baton: Arc::clone(baton), id, rng, slice, granted: slice }
             }
             Gate::Threads { sem } => Gate::Threads { sem: Arc::clone(sem) },
         }
@@ -276,24 +310,59 @@ impl Gate {
     }
 
     /// One interpreter step: under the deterministic scheduler, burns a
-    /// slice step and passes the baton when the slice is spent.
+    /// slice step. Returns `Some(ran)` when the slice is spent — the
+    /// caller stamps its `baton_release` event and must then call
+    /// [`Gate::yield_now`] to actually pass the baton.
     #[inline]
-    pub fn tick(&mut self) {
-        if let Gate::Det { baton, id, rng, slice } = self {
+    pub fn tick(&mut self) -> Option<u64> {
+        if let Gate::Det { slice, granted, .. } = self {
             *slice -= 1;
             if *slice == 0 {
-                baton.yield_turn(*id);
-                *slice = 1 + rng.next() % MAX_SLICE;
+                return Some(*granted);
             }
+        }
+        None
+    }
+
+    /// Passes the baton and blocks until it returns; draws the next
+    /// slice from the stream and returns its length (0 outside the
+    /// deterministic scheduler). Split from [`Gate::tick`] so the
+    /// interpreter can stamp release/acquire events around the pass.
+    pub fn yield_now(&mut self) -> u64 {
+        if let Gate::Det { baton, id, rng, slice, granted } = self {
+            baton.yield_turn(*id);
+            *slice = 1 + rng.next() % MAX_SLICE;
+            *granted = *slice;
+            *slice
+        } else {
+            0
         }
     }
 
-    /// About to block outside the scheduler (OS-joining children):
-    /// releases the turn/permit so those children can run.
-    pub fn begin_wait(&self) {
+    /// Whether this gate is the thread scheduler's (for `sema_*` event
+    /// stamping).
+    pub fn is_threads(&self) -> bool {
+        matches!(self, Gate::Threads { .. })
+    }
+
+    /// This task's scheduler id (spawn ordinal; 0 outside the
+    /// deterministic scheduler). Parents record it per child so a `join`
+    /// can hand the baton its exact wait set.
+    pub fn task_id(&self) -> usize {
+        match self {
+            Gate::Det { id, .. } => *id,
+            _ => 0,
+        }
+    }
+
+    /// About to block outside the scheduler (OS-joining the tasks in
+    /// `waiting_on`): releases the turn/permit so those children can
+    /// run. Under the deterministic scheduler the wait set makes the
+    /// wake-up a pure function of task states (see [`Baton::block`]).
+    pub fn begin_wait(&self, waiting_on: &[usize]) {
         match self {
             Gate::Inline => {}
-            Gate::Det { baton, id, .. } => baton.block(*id),
+            Gate::Det { baton, id, .. } => baton.block(*id, waiting_on),
             Gate::Threads { sem } => sem.release(),
         }
     }
@@ -349,8 +418,10 @@ mod tests {
             baton.wait_turn(root);
             std::thread::scope(|s| {
                 let mut handles = Vec::new();
+                let mut ids = Vec::new();
                 for _ in 0..2 {
                     let id = baton.register();
+                    ids.push(id);
                     let baton = Arc::clone(&baton);
                     let out = Arc::clone(&out);
                     handles.push(s.spawn(move || {
@@ -362,7 +433,7 @@ mod tests {
                         baton.finish(id);
                     }));
                 }
-                baton.block(root);
+                baton.block(root, &ids);
                 for h in handles {
                     h.join().unwrap();
                 }
@@ -374,6 +445,54 @@ mod tests {
         let a = trace(1);
         assert_eq!(a.len(), 10);
         assert_eq!(a, trace(1), "same seed, same schedule");
+    }
+
+    #[test]
+    fn blocked_parent_wakeup_is_decided_by_task_states_not_thread_timing() {
+        // The parent's wake-up slot must be fixed the instant its wait
+        // set finishes (the last child's `finish` call), however late
+        // the parent thread's OS `join` returns. A deliberately slow
+        // parent must observe the identical post-join grant order.
+        let order = |parent_delay_us: u64| -> Vec<usize> {
+            let baton = Arc::new(Baton::new(3));
+            let root = baton.register();
+            let grants = Arc::new(Mutex::new(Vec::new()));
+            baton.wait_turn(root);
+            std::thread::scope(|s| {
+                let child = baton.register();
+                let other = baton.register();
+                let h = {
+                    let baton = Arc::clone(&baton);
+                    let grants = Arc::clone(&grants);
+                    s.spawn(move || {
+                        baton.wait_turn(child);
+                        grants.lock().unwrap().push(child);
+                        baton.finish(child);
+                    })
+                };
+                {
+                    let baton = Arc::clone(&baton);
+                    let grants = Arc::clone(&grants);
+                    s.spawn(move || {
+                        baton.wait_turn(other);
+                        for _ in 0..3 {
+                            grants.lock().unwrap().push(other);
+                            baton.yield_turn(other);
+                        }
+                        baton.finish(other);
+                    });
+                }
+                baton.block(root, &[child]);
+                h.join().unwrap();
+                std::thread::sleep(std::time::Duration::from_micros(parent_delay_us));
+                baton.unblock(root);
+                grants.lock().unwrap().push(root);
+                baton.finish(root);
+            });
+            Arc::try_unwrap(grants).unwrap().into_inner().unwrap()
+        };
+        let fast = order(0);
+        assert_eq!(fast, order(500), "parent delay must not change the schedule");
     }
 
     #[test]

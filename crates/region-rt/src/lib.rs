@@ -84,6 +84,7 @@ pub mod alloc;
 pub mod audit;
 pub mod checkcount;
 pub mod cost;
+pub mod critpath;
 pub mod emu;
 pub mod error;
 pub mod fault;
@@ -107,6 +108,7 @@ pub use addr::Addr;
 pub use audit::AuditError;
 pub use checkcount::{CheckCounter, SiteCheckCounts, NO_CHECK_SITE};
 pub use cost::{Clock, CostModel, Cycles};
+pub use critpath::{analyze as critpath_analyze, CritPath, PathSeg, TaskBreakdown};
 pub use emu::{EmuBackend, EmuRegionId, EmuRegions};
 pub use error::RtError;
 pub use fault::{FaultArmReport, FaultMode, FaultPlan, FaultPlane, FaultReport, InjectedFault};
@@ -116,7 +118,10 @@ pub use layout::{PtrKind, SlotKind, TypeId, TypeLayout};
 pub use profile::{Profile, ProfileTotals, RegionProfile, SiteProfile};
 pub use rcops::WriteMode;
 pub use region::{RegionId, TRADITIONAL};
-pub use shard::{audit_all, Facet, Handoff, Shard, ShardId};
+pub use shard::{
+    audit_all, Facet, Handoff, SchedEvent, SchedEventKind, SchedLog, SchedRecorder, Shard, ShardId,
+    SharedClock, TaskReport, SCHED_EVENT_CAP,
+};
 pub use snapshot::{
     HeapSnapshot, PageSnapshot, RegionSnapshot, SiteRetained, SnapOwner, SnapshotReason,
     SNAPSHOT_SCHEMA,

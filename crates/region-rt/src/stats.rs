@@ -103,6 +103,14 @@ pub struct Stats {
     /// [`crate::timeline::Timeline::samples_dropped`]): nonzero means the
     /// exported timeline lost resolution, though window sums stay exact.
     pub samples_dropped: u64,
+    /// Tasks spawned (`spawn` statements executed). A program point, not
+    /// a scheduler decision, so the count is identical under every
+    /// scheduler mode.
+    pub sched_spawns: u64,
+    /// `join` points executed with at least one outstanding child. Also
+    /// schedule-invariant: joins happen where the program says, however
+    /// the tasks were interleaved.
+    pub sched_joins: u64,
 }
 
 impl Stats {
@@ -223,6 +231,8 @@ impl Stats {
             live_underflows: self.live_underflows + other.live_underflows,
             faults_injected: self.faults_injected + other.faults_injected,
             samples_dropped: self.samples_dropped + other.samples_dropped,
+            sched_spawns: self.sched_spawns + other.sched_spawns,
+            sched_joins: self.sched_joins + other.sched_joins,
         }
     }
 
@@ -284,6 +294,8 @@ impl Stats {
             live_underflows: _,
             faults_injected: _,
             samples_dropped: _,
+            sched_spawns,
+            sched_joins,
         } = self;
         Json::obj(vec![
             ("assigns_safe", Json::U(*assigns_safe)),
@@ -298,6 +310,8 @@ impl Stats {
             ("checks_parentptr", Json::U(*checks_parentptr)),
             ("regions_deferred", Json::U(*regions_deferred)),
             ("local_pins", Json::U(*local_pins)),
+            ("sched_spawns", Json::U(*sched_spawns)),
+            ("sched_joins", Json::U(*sched_joins)),
         ])
     }
 
@@ -374,6 +388,12 @@ impl Stats {
                 self.samples_dropped
             ));
         }
+        if self.sched_spawns + self.sched_joins > 0 {
+            out.push_str(&format!(
+                "tasks      : {} spawned, {} join points\n",
+                self.sched_spawns, self.sched_joins
+            ));
+        }
         if self.live_underflows > 0 {
             out.push_str(&format!(
                 "WARNING    : {} live-gauge underflows (double free or allocator accounting bug)\n",
@@ -422,6 +442,8 @@ impl Stats {
             ("live_underflows", Json::U(self.live_underflows)),
             ("faults_injected", Json::U(self.faults_injected)),
             ("samples_dropped", Json::U(self.samples_dropped)),
+            ("sched_spawns", Json::U(self.sched_spawns)),
+            ("sched_joins", Json::U(self.sched_joins)),
         ])
     }
 
@@ -476,6 +498,8 @@ impl Stats {
             live_underflows: field("live_underflows")?,
             faults_injected: field("faults_injected")?,
             samples_dropped: field("samples_dropped")?,
+            sched_spawns: field("sched_spawns")?,
+            sched_joins: field("sched_joins")?,
         })
     }
 }
@@ -600,6 +624,8 @@ mod tests {
             live_underflows: 31,
             faults_injected: 32,
             samples_dropped: 33,
+            sched_spawns: 34,
+            sched_joins: 35,
         }
     }
 
@@ -645,7 +671,7 @@ mod tests {
         let key = fully_populated().parallel_invariant_key();
         let fields = key.as_object().unwrap_or_default();
         assert!(!fields.is_empty());
-        assert!(fields.len() < 33, "key must exclude shard-dependent gauges");
+        assert!(fields.len() < 35, "key must exclude shard-dependent gauges");
         let full = fully_populated().to_json();
         for (k, v) in fields {
             assert_eq!(full.get(k), Some(v), "{k} drifted from the counter it projects");
@@ -662,15 +688,15 @@ mod tests {
         let json = s.to_json();
         // An unexpected shape fails the assertion instead of panicking.
         let fields = json.as_object().unwrap_or_default();
-        assert_eq!(fields.len(), 33, "one JSON key per Stats field (got {json:?})");
+        assert_eq!(fields.len(), 35, "one JSON key per Stats field (got {json:?})");
         for (key, val) in fields {
-            assert!(matches!(val, Json::U(v) if *v >= 1 && *v <= 33), "{key} lost its value");
+            assert!(matches!(val, Json::U(v) if *v >= 1 && *v <= 35), "{key} lost its value");
         }
         // Distinct values stay distinct: nothing is aliased or dropped.
         let mut vals: Vec<u64> =
             fields.iter().map(|(_, v)| if let Json::U(u) = v { *u } else { 0 }).collect();
         vals.sort_unstable();
-        assert_eq!(vals, (1..=33).collect::<Vec<u64>>());
+        assert_eq!(vals, (1..=35).collect::<Vec<u64>>());
     }
 
     #[test]
@@ -688,7 +714,7 @@ mod tests {
         assert!(err.contains("assigns_safe"), "{err}");
         // One key missing.
         let mut fields = fully_populated().to_json().as_object().unwrap_or_default().to_vec();
-        assert_eq!(fields.len(), 33);
+        assert_eq!(fields.len(), 35);
         fields.retain(|(k, _)| k != "gc_cycles");
         let err = Stats::from_json(&Json::O(fields.clone())).unwrap_err();
         assert!(err.contains("gc_cycles"), "{err}");
@@ -735,6 +761,8 @@ mod tests {
             "31 live-gauge underflows",
             "32 injected",
             "33 samples dropped",
+            "34 spawned",
+            "35 join points",
         ] {
             assert!(text.contains(needle), "summary missing {needle:?}:\n{text}");
         }

@@ -230,8 +230,11 @@ pub fn check_kind_name(kind: PtrKind) -> &'static str {
 }
 
 /// The event recorder: a bounded ring of recent raw events plus an
-/// always-exact online [`Profile`] fold.
-#[derive(Debug)]
+/// always-exact online [`Profile`] fold. `Clone` exists so a task's
+/// tracer can be preserved un-merged in a
+/// [`TaskReport`](crate::shard::TaskReport) while the original is folded
+/// into the global profile.
+#[derive(Debug, Clone)]
 pub struct Tracer {
     mask: u32,
     capacity: usize,
